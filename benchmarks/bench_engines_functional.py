@@ -1,0 +1,122 @@
+"""Functional-engine microbenchmarks (library-level, real execution).
+
+Not a paper figure: these time the *actual* threaded DataMPI engine and
+mini-Hadoop on identical small workloads, so regressions in the real
+code paths (shuffle pipeline, sort/merge, serialization) show up in
+``pytest-benchmark`` history.
+"""
+
+import pytest
+
+from repro.hadoop import MiniHadoopCluster
+from repro.hdfs import MiniDFSCluster
+from repro.workloads import (
+    generate_text,
+    teragen_to_dfs,
+    terasort_datampi,
+    terasort_hadoop,
+    verify_terasort_output,
+    wordcount_datampi,
+    wordcount_hadoop,
+    wordcount_reference,
+)
+from repro.workloads.teragen import RECORD_LEN
+from repro.workloads.wordcount import write_text_to_dfs
+
+N_RECORDS = 2000
+
+
+@pytest.fixture()
+def tera_cluster():
+    cluster = MiniDFSCluster(num_nodes=4, block_size=100 * RECORD_LEN)
+    teragen_to_dfs(cluster.client(0), "/tera/in", N_RECORDS)
+    return cluster
+
+
+def test_engine_terasort_datampi(benchmark, tera_cluster):
+    counter = iter(range(1000))
+
+    def run():
+        out = f"/tera/out-{next(counter)}"
+        terasort_datampi(tera_cluster, "/tera/in", out, o_tasks=4, a_tasks=2,
+                         nprocs=4)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert verify_terasort_output(tera_cluster.client(None), out, N_RECORDS)
+
+
+def test_engine_terasort_hadoop(benchmark, tera_cluster):
+    hadoop = MiniHadoopCluster(tera_cluster)
+    counter = iter(range(1000))
+
+    def run():
+        out = f"/tera/hout-{next(counter)}"
+        terasort_hadoop(hadoop, "/tera/in", out, num_reduces=2)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert verify_terasort_output(tera_cluster.client(None), out, N_RECORDS)
+
+
+@pytest.fixture()
+def text_cluster():
+    lines = generate_text(300)
+    cluster = MiniDFSCluster(num_nodes=3, block_size=2048)
+    write_text_to_dfs(cluster.client(0), "/wc/in", lines)
+    return cluster, lines
+
+
+def test_engine_wordcount_datampi(benchmark, text_cluster):
+    cluster, lines = text_cluster
+
+    def run():
+        _, counts = wordcount_datampi(cluster, "/wc/in", o_tasks=3, a_tasks=2,
+                                      nprocs=3)
+        return counts
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert counts == wordcount_reference(lines)
+
+
+def test_engine_wordcount_hadoop(benchmark, text_cluster):
+    cluster, lines = text_cluster
+    hadoop = MiniHadoopCluster(cluster)
+    counter = iter(range(1000))
+
+    def run():
+        _, counts = wordcount_hadoop(hadoop, "/wc/in", f"/wc/out-{next(counter)}", 2)
+        return counts
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert counts == wordcount_reference(lines)
+
+
+def test_engine_mpi_allreduce(benchmark):
+    """Raw MPI substrate collective throughput."""
+    from repro.mpi import SUM, run_world
+
+    def run():
+        return run_world(4, lambda comm: comm.allreduce(comm.rank, SUM))
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert results == [6, 6, 6, 6]
+
+
+def test_engine_serialization_throughput(benchmark):
+    """Writable wire-format encode/decode of 10k small records."""
+    from repro.serde.io import DataInput, DataOutput
+    from repro.serde.serialization import WritableSerializer
+
+    serializer = WritableSerializer()
+    records = [(f"key-{i}", i) for i in range(10_000)]
+
+    def roundtrip():
+        out = DataOutput()
+        for k, v in records:
+            serializer.serialize_kv(k, v, out)
+        src = DataInput(out.getvalue())
+        return [serializer.deserialize_kv(src) for _ in records]
+
+    back = benchmark(roundtrip)
+    assert back == records

@@ -1,0 +1,39 @@
+"""Figure 1(a): peak bandwidth of Hadoop Jetty / DataMPI / MVAPICH2.
+
+Paper claims: DataMPI and MVAPICH2 drive more than twice Jetty's
+bandwidth on IB/IPoIB and 10GigE; DataMPI sits slightly below MVAPICH2
+(JVM binding overhead); Jetty is less efficient even on 1GigE.
+"""
+
+from repro.net.bandwidth import BandwidthBenchmark, summarize_figure_1a
+
+from conftest import table
+
+
+def test_fig01a_peak_bandwidth(benchmark, emit):
+    bench = BandwidthBenchmark()
+    result = benchmark.pedantic(bench.run, rounds=1, iterations=1)
+
+    systems = ["Hadoop Jetty", "DataMPI", "MVAPICH2"]
+    rows = [
+        [fabric] + [f"{result[fabric][s]:.1f}" for s in systems]
+        for fabric in result
+    ]
+    ratios = bench.improvement_matrix(result)
+    text = table(["Network"] + [f"{s} (MB/s)" for s in systems], rows)
+    text += "\n\nDataMPI / Jetty ratios: " + ", ".join(
+        f"{k}: {v:.2f}x" for k, v in ratios.items()
+    )
+    text += "\npaper: >2x on IB and 10GigE; DataMPI slightly below MVAPICH2"
+    emit("fig01a_peak_bandwidth", text)
+
+    assert ratios["IB (16Gbps)"] > 2.0
+    assert ratios["10GigE"] > 2.0
+    assert 1.0 < ratios["1GigE"] < 1.5
+    for fabric in result:
+        assert result[fabric]["DataMPI"] < result[fabric]["MVAPICH2"]
+
+
+def test_fig01a_summary_renders(benchmark):
+    text = benchmark.pedantic(summarize_figure_1a, rounds=1, iterations=1)
+    assert "Peak Bandwidth" in text

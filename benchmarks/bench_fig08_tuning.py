@@ -1,0 +1,50 @@
+"""Figure 8: parameter tuning — HDFS block size and A/reduce task count.
+
+Paper claims: both frameworks peak at a 256 MB block size (Fig 8a) and
+at 4 concurrent A/reduce tasks per node (Fig 8b) on Testbed A.
+"""
+
+from repro.simulate.figures import GB, fig8a_block_size_sweep, fig8b_task_sweep
+
+from conftest import table
+
+
+def test_fig08a_block_size(benchmark, emit):
+    sweep = benchmark.pedantic(
+        fig8a_block_size_sweep,
+        kwargs=dict(data_bytes=96 * GB),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [mb, f"{sweep[mb]['Hadoop']:.0f}", f"{sweep[mb]['DataMPI']:.0f}"]
+        for mb in sweep
+    ]
+    text = table(["block(MB)", "Hadoop(MB/s)", "DataMPI(MB/s)"], rows)
+    text += "\npaper: both achieve best throughput at 256 MB (96 GB TeraSort)"
+    emit("fig08a_block_size_tuning", text)
+
+    hadoop = {mb: sweep[mb]["Hadoop"] for mb in sweep}
+    datampi = {mb: sweep[mb]["DataMPI"] for mb in sweep}
+    assert max(hadoop, key=hadoop.get) == 256
+    # DataMPI's curve is flat near the top; 256 is within 2% of its max
+    assert datampi[256] > 0.98 * max(datampi.values())
+    assert datampi[256] > datampi[64] and datampi[256] > datampi[1024]
+
+
+def test_fig08b_task_count(benchmark, emit):
+    sweep = benchmark.pedantic(fig8b_task_sweep, rounds=1, iterations=1)
+    rows = [
+        [k, f"{sweep[k]['Hadoop']:.0f}", f"{sweep[k]['DataMPI']:.0f}"]
+        for k in sweep
+    ]
+    text = table(["A tasks/node", "Hadoop(MB/s)", "DataMPI(MB/s)"], rows)
+    text += "\npaper: best throughput at 4 concurrent A/reduce tasks per node"
+    emit("fig08b_task_count_tuning", text)
+
+    hadoop = {k: sweep[k]["Hadoop"] for k in sweep}
+    assert max(hadoop, key=hadoop.get) == 4
+    datampi = {k: sweep[k]["DataMPI"] for k in sweep}
+    assert datampi[4] > datampi[2]
+    # diminishing/negative returns past 4 (cache pressure spills)
+    assert datampi[8] - datampi[4] < 0.5 * (datampi[4] - datampi[2])

@@ -1,0 +1,45 @@
+"""Figure 9: progress of the 168 GB TeraSort on Testbed A.
+
+Paper claims: Hadoop requires 475 s, DataMPI 312 s, and DataMPI improves
+both the O (map) and A (reduce) phases.
+"""
+
+from repro.simulate.figures import GB, fig9_progress
+
+from conftest import improvement, table
+
+
+def _progress_rows(report, phases, step=0.25):
+    rows = []
+    for phase in phases:
+        series = report.progress[phase]
+        for target in (0.25, 0.5, 0.75, 1.0):
+            t = next(
+                (t for t, v in zip(series.times, series.values) if v >= target),
+                None,
+            )
+            rows.append([f"{report.framework} {phase}", f"{target:.0%}",
+                         f"{t:.0f}s" if t is not None else "-"])
+    return rows
+
+
+def test_fig09_terasort_progress(benchmark, emit):
+    reports = benchmark.pedantic(
+        fig9_progress, kwargs=dict(data_bytes=168 * GB), rounds=1, iterations=1
+    )
+    hadoop, datampi = reports["Hadoop"], reports["DataMPI"]
+    rows = _progress_rows(hadoop, ("map", "reduce"))
+    rows += _progress_rows(datampi, ("O", "A"))
+    text = table(["curve", "progress", "time"], rows)
+    text += (
+        f"\n\ntotal: Hadoop {hadoop.duration:.0f}s, DataMPI {datampi.duration:.0f}s"
+        f" ({improvement(hadoop.duration, datampi.duration):.1f}% improvement)"
+        "\npaper: Hadoop 475 s, DataMPI 312 s (34.3%)"
+    )
+    emit("fig09_terasort_progress", text)
+
+    assert abs(hadoop.duration - 475) / 475 < 0.20
+    assert abs(datampi.duration - 312) / 312 < 0.15
+    assert 30 < improvement(hadoop.duration, datampi.duration) < 44
+    # both phases improve (§V-C)
+    assert datampi.phase_duration("O") < hadoop.phase_duration("map")

@@ -1,0 +1,44 @@
+"""Figure 10(a): TeraSort execution time, 48-192 GB, plus WordCount.
+
+Paper claims: DataMPI gains 32-41% over Hadoop across the size sweep;
+WordCount (smaller data movement) still improves by 31%.
+"""
+
+from repro.simulate.figures import fig10a_terasort_sweep, wordcount_comparison
+
+from conftest import improvement, table
+
+
+def test_fig10a_terasort_sizes(benchmark, emit):
+    sweep = benchmark.pedantic(
+        fig10a_terasort_sweep,
+        kwargs=dict(sizes_gb=(48, 96, 144, 192)),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for gb, row in sweep.items():
+        rows.append(
+            [gb, f"{row['Hadoop']:.0f}", f"{row['DataMPI']:.0f}",
+             f"{improvement(row['Hadoop'], row['DataMPI']):.1f}%"]
+        )
+    text = table(["data(GB)", "Hadoop(s)", "DataMPI(s)", "improv"], rows)
+    text += "\npaper: 32-41% improvement from 48 GB to 192 GB"
+    emit("fig10a_terasort_sizes", text)
+
+    for gb, row in sweep.items():
+        gain = improvement(row["Hadoop"], row["DataMPI"])
+        assert 28 < gain < 45, f"{gb} GB out of band: {gain:.1f}%"
+
+
+def test_fig10a_wordcount(benchmark, emit):
+    result = benchmark.pedantic(wordcount_comparison, rounds=1, iterations=1)
+    gain = improvement(result["Hadoop"], result["DataMPI"])
+    text = table(
+        ["workload", "Hadoop(s)", "DataMPI(s)", "improv"],
+        [["WordCount 96GB", f"{result['Hadoop']:.0f}",
+          f"{result['DataMPI']:.0f}", f"{gain:.1f}%"]],
+    )
+    text += "\npaper: DataMPI speeds up WordCount by 31%"
+    emit("fig10a_wordcount", text)
+    assert 22 < gain < 40

@@ -1,0 +1,45 @@
+"""Figure 10(b): PageRank and K-means, 40 GB, seven rounds.
+
+Paper claims: DataMPI improves PageRank by 41% and K-means by 40% on
+average across the seven iteration rounds.
+"""
+
+from repro.simulate.figures import GB, fig10b_iteration
+
+from conftest import improvement, table
+
+
+def test_fig10b_pagerank_kmeans_rounds(benchmark, emit):
+    results = benchmark.pedantic(
+        fig10b_iteration,
+        kwargs=dict(data_bytes=40 * GB, rounds=7),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for workload, pair in results.items():
+        hadoop, datampi = pair["Hadoop"], pair["DataMPI"]
+        for i in range(7):
+            rows.append(
+                [workload, f"{i + 1}", f"{hadoop.round_times[i]:.0f}",
+                 f"{datampi.round_times[i]:.0f}"]
+            )
+    text = table(["workload", "round", "Hadoop(s)", "DataMPI(s)"], rows)
+    gains = {
+        workload: improvement(
+            pair["Hadoop"].mean_round, pair["DataMPI"].mean_round
+        )
+        for workload, pair in results.items()
+    }
+    text += "\n\naverage improvements: " + ", ".join(
+        f"{k}: {v:.1f}%" for k, v in gains.items()
+    )
+    text += "\npaper: PageRank 41%, K-means 40%"
+    emit("fig10b_iteration_rounds", text)
+
+    assert 28 < gains["PageRank"] < 50
+    assert 30 < gains["K-means"] < 55
+    for pair in results.values():
+        # DataMPI's later rounds run on resident state: faster than round 1
+        times = pair["DataMPI"].round_times
+        assert all(t < times[0] for t in times[1:])

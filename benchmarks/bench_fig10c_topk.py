@@ -1,0 +1,60 @@
+"""Figure 10(c): Top-K streaming latency distribution, 1 K msg/s x 100 B.
+
+Paper claims: DataMPI latencies range 0.5-4 s while S4's range 1.5-12 s
+("more left is better" on the distribution plot).
+"""
+
+import numpy as np
+
+from repro.simulate.figures import fig10c_topk
+
+from conftest import table
+
+
+def test_fig10c_topk_latency_distribution(benchmark, emit):
+    results = benchmark.pedantic(
+        fig10c_topk, kwargs=dict(duration=120.0), rounds=1, iterations=1
+    )
+    rows = []
+    buckets = results["S4"]["distribution"]
+    for i, (lo, hi, _) in enumerate(buckets):
+        rows.append(
+            [f"{lo:.0f}-{hi:.0f}s",
+             f"{results['DataMPI']['distribution'][i][2]:.3f}",
+             f"{results['S4']['distribution'][i][2]:.3f}"]
+        )
+    text = table(["latency", "DataMPI ratio", "S4 ratio"], rows)
+    text += (
+        f"\n\nDataMPI: {results['DataMPI']['min']:.2f}-"
+        f"{results['DataMPI']['max']:.2f}s | "
+        f"S4: {results['S4']['min']:.2f}-{results['S4']['max']:.2f}s"
+        "\npaper: DataMPI 0.5-4 s, S4 1.5-12 s"
+    )
+    emit("fig10c_topk_latency", text)
+
+    assert results["DataMPI"]["max"] < 5.0
+    assert 0.3 < results["DataMPI"]["min"] < 1.0
+    assert results["S4"]["max"] > 6.0
+    assert results["S4"]["min"] > 1.0
+    assert results["DataMPI"]["median"] < results["S4"]["median"]
+
+
+def test_fig10c_functional_engines_agree(benchmark):
+    """The real threaded engines produce identical top-k answers."""
+    from repro.workloads import (
+        generate_stream,
+        topk_datampi,
+        topk_reference,
+        topk_s4,
+    )
+
+    words = generate_stream(1500)
+
+    def run():
+        _, top, _ = topk_datampi(words, 5, o_tasks=2, a_tasks=2, nprocs=2)
+        return top
+
+    top = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert top == topk_reference(words, 5)
+    s4_top, _ = topk_s4(words, 5)
+    assert s4_top == top

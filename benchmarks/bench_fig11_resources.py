@@ -1,0 +1,52 @@
+"""Figure 11: resource utilization profiles of the 168 GB TeraSort.
+
+Paper claims (Testbed A):
+* (a) DataMPI's average CPU is lower, but its early CPU is higher;
+* (b) DataMPI reads at 65.8 MB/s in the O phase vs Hadoop's 38.9 MB/s in
+  the map phase (69% higher); DataMPI writes about half of Hadoop;
+* (c) network: DataMPI 74.3 MB/s vs Hadoop 50.6 MB/s (47% higher),
+  concentrated in the O phase;
+* (d) memory: DataMPI 26.6 GB vs Hadoop 29.3 GB.
+"""
+
+from repro.simulate.figures import GB, active_mean, fig11_resource_profiles
+
+from conftest import table
+
+
+def test_fig11_resource_profiles(benchmark, emit):
+    reports = benchmark.pedantic(
+        fig11_resource_profiles, kwargs=dict(data_bytes=168 * GB),
+        rounds=1, iterations=1,
+    )
+    hadoop, datampi = reports["Hadoop"], reports["DataMPI"]
+
+    h_read = hadoop.mean_disk_read_rate("map") / 1e6
+    d_read = datampi.mean_disk_read_rate("O") / 1e6
+    h_net = active_mean(hadoop.net) / 1e6
+    d_net = active_mean(datampi.net) / 1e6
+    h_mem = hadoop.mem.max() / 1e9
+    d_mem = datampi.mem.max() / 1e9
+    h_cpu = hadoop.cpu_util.mean()
+    d_cpu = datampi.cpu_util.mean()
+    h_written = hadoop.disk_write.integral() * 16 / 1e9
+    d_written = datampi.disk_write.integral() * 16 / 1e9
+
+    rows = [
+        ["disk read (MB/s, map/O)", f"{h_read:.1f}", f"{d_read:.1f}", "38.9 / 65.8"],
+        ["disk written (GB total)", f"{h_written:.0f}", f"{d_written:.0f}",
+         "DataMPI ~ half"],
+        ["network (MB/s, active)", f"{h_net:.1f}", f"{d_net:.1f}", "50.6 / 74.3"],
+        ["memory peak (GB/node)", f"{h_mem:.1f}", f"{d_mem:.1f}", "29.3 / 26.6"],
+        ["cpu mean (%)", f"{h_cpu:.1f}", f"{d_cpu:.1f}", "DataMPI lower avg"],
+    ]
+    text = table(["metric", "Hadoop", "DataMPI", "paper"], rows)
+    emit("fig11_resource_profiles", text)
+
+    assert abs(h_read - 38.9) / 38.9 < 0.15
+    assert abs(d_read - 65.8) / 65.8 < 0.15
+    assert d_written < 0.65 * h_written
+    assert d_net > h_net * 0.95  # DataMPI uses the network at least as hard
+    assert d_mem < h_mem
+    # early CPU: DataMPI above Hadoop (overlapped O-side pipeline)
+    assert datampi.cpu_util.mean(0, 60) > hadoop.cpu_util.mean(0, 60)

@@ -1,0 +1,58 @@
+"""Figure 14: scalability on Testbed B (up to 64 slave nodes).
+
+Paper claims: strong scale (256 GB fixed) — DataMPI reduces job time by
+35-40%; weak scale (2 GB per A task) — both scale linearly and DataMPI
+improves by ~40%.
+"""
+
+from repro.simulate.figures import GB, fig14a_strong_scale, fig14b_weak_scale
+
+from conftest import improvement, table
+
+
+def test_fig14a_strong_scale(benchmark, emit):
+    sweep = benchmark.pedantic(
+        fig14a_strong_scale,
+        kwargs=dict(data_bytes=256 * GB, node_counts=(16, 32, 64)),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [n, f"{row['Hadoop']:.0f}", f"{row['DataMPI']:.0f}",
+         f"{improvement(row['Hadoop'], row['DataMPI']):.1f}%"]
+        for n, row in sweep.items()
+    ]
+    text = table(["nodes", "Hadoop(s)", "DataMPI(s)", "improv"], rows)
+    text += "\npaper: 35-40% improvement, similar scaling trend (256 GB)"
+    emit("fig14a_strong_scale", text)
+
+    for n, row in sweep.items():
+        gain = improvement(row["Hadoop"], row["DataMPI"])
+        assert 25 < gain < 48, f"{n} nodes: {gain:.1f}%"
+    for framework in ("Hadoop", "DataMPI"):
+        times = [sweep[n][framework] for n in sorted(sweep)]
+        assert times == sorted(times, reverse=True)  # more nodes, less time
+        assert times[-1] < 0.35 * times[0]  # near-linear over 4x nodes
+
+
+def test_fig14b_weak_scale(benchmark, emit):
+    sweep = benchmark.pedantic(
+        fig14b_weak_scale,
+        kwargs=dict(per_task_bytes=2 * GB, node_counts=(16, 32, 64)),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [n, f"{row['Hadoop']:.0f}", f"{row['DataMPI']:.0f}",
+         f"{improvement(row['Hadoop'], row['DataMPI']):.1f}%"]
+        for n, row in sweep.items()
+    ]
+    text = table(["nodes", "Hadoop(s)", "DataMPI(s)", "improv"], rows)
+    text += "\npaper: both scale linearly; DataMPI ~40% faster (2 GB/task)"
+    emit("fig14b_weak_scale", text)
+
+    datampi_times = [sweep[n]["DataMPI"] for n in sorted(sweep)]
+    assert max(datampi_times) / min(datampi_times) < 1.15  # linear weak scale
+    for n, row in sweep.items():
+        gain = improvement(row["Hadoop"], row["DataMPI"])
+        assert 20 < gain < 48, f"{n} nodes: {gain:.1f}%"

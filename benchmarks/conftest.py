@@ -1,0 +1,54 @@
+"""Shared helpers for the figure-reproduction benchmark harness.
+
+Every ``bench_figNN_*.py`` regenerates one table/figure of the paper's
+evaluation: it runs the models, prints the same rows/series the paper
+reports (visible with ``pytest benchmarks/ --benchmark-only -s``), writes
+them to ``benchmarks/results/``, and asserts the headline shape so a
+regression cannot slip through silently.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def emit(results_dir, request):
+    """Print a figure table and persist it under benchmarks/results/."""
+
+    def _emit(name: str, text: str) -> None:
+        banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}\n"
+        print(banner)
+        path = os.path.join(results_dir, f"{name}.txt")
+        with open(path, "w") as f:
+            f.write(text + "\n")
+
+    return _emit
+
+
+def improvement(hadoop: float, datampi: float) -> float:
+    return (hadoop - datampi) / hadoop * 100.0
+
+
+def table(header: list[str], rows: list[list]) -> str:
+    """Fixed-width text table."""
+    widths = [
+        max(len(str(header[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    def fmt(row):
+        return "  ".join(str(cell).rjust(widths[i]) for i, cell in enumerate(row))
+
+    lines = [fmt(header), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

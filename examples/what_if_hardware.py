@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""What-if analysis: does DataMPI's advantage survive better hardware?
+
+The paper measured 1GigE + single-HDD nodes (2013 hardware).  A natural
+question for an adopter: how much of the 30-40% TeraSort win remains on
+SSDs or a 10GigE fabric?  The simulator makes this a three-line sweep —
+define a cluster spec, run both framework models, compare.
+
+Run:  python examples/what_if_hardware.py
+"""
+
+from dataclasses import replace
+
+from repro.common.units import MiB
+from repro.simulate import SimCluster, TESTBED_A
+from repro.simulate.cluster import ClusterSpec, NodeSpec
+from repro.simulate.datampi_model import DataMPISimParams, simulate_datampi_job
+from repro.simulate.hadoop_model import HadoopSimParams, simulate_hadoop_job
+from repro.simulate.profiles import TERASORT
+
+DATA = 96e9
+
+
+def run_pair(spec: ClusterSpec) -> tuple[float, float]:
+    tasks = spec.num_slaves * spec.reduce_slots
+    hadoop = simulate_hadoop_job(
+        SimCluster(spec),
+        HadoopSimParams(TERASORT, DATA, spec.default_block_size, tasks),
+        profile_resources=False,
+    )
+    datampi = simulate_datampi_job(
+        SimCluster(spec),
+        DataMPISimParams(TERASORT, DATA, spec.default_block_size, tasks),
+        profile_resources=False,
+    )
+    return hadoop.duration, datampi.duration
+
+
+def variant(name: str, **node_changes) -> tuple[str, ClusterSpec]:
+    node = replace(TESTBED_A.node, **node_changes)
+    return name, replace(TESTBED_A, node=node)
+
+
+def main() -> None:
+    variants = [
+        ("paper hardware (HDD, 1GigE)", TESTBED_A),
+        variant("SATA SSD (500 MB/s, no seeks)", disk_rate=500e6, disk_seek=0.0),
+        variant("NVMe (3 GB/s, no seeks)", disk_rate=3e9, disk_seek=0.0),
+        variant("10GigE network", nic_rate=1170e6),
+        variant("SSD + 10GigE", disk_rate=500e6, disk_seek=0.0,
+                nic_rate=1170e6),
+    ]
+    print(f"96 GB TeraSort on 16 nodes, varying the hardware:\n")
+    print(f"{'variant':<34}{'Hadoop':>9}{'DataMPI':>9}{'improv':>9}")
+    for name, spec in variants:
+        hadoop, datampi = run_pair(spec)
+        gain = (hadoop - datampi) / hadoop * 100
+        print(f"{name:<34}{hadoop:>8.0f}s{datampi:>8.0f}s{gain:>8.1f}%")
+    print(
+        "\nreading: the advantage lives in the paper's disk-bound hardware —"
+        "\nDataMPI wins by never writing map output to the slow shared HDD."
+        "\nOnce storage is fast, that saving vanishes while DataMPI's O-side"
+        "\npartition/sort/send CPU stays on the critical path, so the gap"
+        "\ncloses and can even invert.  A faster network alone changes"
+        "\nnothing: at 1 GigE-era data rates the shuffle was never"
+        "\nnetwork-bound on this workload."
+    )
+
+
+if __name__ == "__main__":
+    main()

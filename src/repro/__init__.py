@@ -1,0 +1,42 @@
+"""DataMPI reproduction: extending MPI to Hadoop-like Big Data computing.
+
+A full Python implementation of the IPDPS 2014 paper's system and its
+evaluation substrates.  The most-used entry points are re-exported here:
+
+>>> from repro import MPI_D, mpidrun, mapreduce_job, Mode
+
+Subpackages:
+
+* :mod:`repro.core` — DataMPI itself (the paper's contribution)
+* :mod:`repro.mpi` — the from-scratch MPI substrate
+* :mod:`repro.hdfs` / :mod:`repro.hadoop` — the Hadoop baseline
+* :mod:`repro.s4` — the streaming baseline
+* :mod:`repro.workloads` — the five paper benchmarks on every engine
+* :mod:`repro.simulate` — the testbed simulator behind Figures 8-14
+* :mod:`repro.net` / :mod:`repro.rpc` — Figure 1's primitive layers
+"""
+
+from repro.core import (
+    MPI_D,
+    MPI_D_Constants,
+    Mode,
+    DataMPIJob,
+    JobResult,
+    common_job,
+    mapreduce_job,
+    mpidrun,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MPI_D",
+    "MPI_D_Constants",
+    "Mode",
+    "DataMPIJob",
+    "JobResult",
+    "common_job",
+    "mapreduce_job",
+    "mpidrun",
+    "__version__",
+]

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the whole reproduction.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch at the granularity they care about.  ``MPI_D_Exception`` is kept as
+an alias of :class:`DataMPIError` to mirror the paper's Listing 1.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration key is missing, malformed, or inconsistent."""
+
+
+class SerializationError(ReproError):
+    """A value could not be serialized or deserialized."""
+
+
+class MPIError(ReproError):
+    """Error inside the from-scratch MPI substrate (``repro.mpi``)."""
+
+
+class MPIAbort(MPIError):
+    """Raised in every rank when one rank calls ``comm.abort``."""
+
+    def __init__(self, errorcode: int = 1, message: str = "MPI_Abort"):
+        super().__init__(f"{message} (errorcode={errorcode})")
+        self.errorcode = errorcode
+
+
+class DataMPIError(ReproError):
+    """Error raised by the DataMPI core library (``repro.core``)."""
+
+
+#: Alias matching the paper's Java binding exception name (Listing 1).
+MPI_D_Exception = DataMPIError
+
+
+class HDFSError(ReproError):
+    """Error from the mini-HDFS substrate."""
+
+
+class RPCError(ReproError):
+    """RPC call failed (timeout, connection refused, handler raised)."""
+
+
+class CheckpointError(DataMPIError):
+    """Checkpoint could not be written, read, or reconciled."""
+
+
+class TaskFailedError(ReproError):
+    """A single task attempt failed; carries the task id and cause."""
+
+    def __init__(self, task_id: str, cause: BaseException | str):
+        super().__init__(f"task {task_id} failed: {cause}")
+        self.task_id = task_id
+        self.cause = cause
+
+
+class JobFailedError(ReproError):
+    """A whole job failed after exhausting retries."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""

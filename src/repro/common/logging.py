@@ -1,0 +1,71 @@
+"""Lightweight component logging.
+
+The engines are heavily threaded; when something hangs, printf debugging
+fights the interleaving.  ``get_logger`` returns stdlib loggers with a
+consistent ``repro.<component>`` namespace, a thread-name-carrying
+format, and an environment switch so test runs stay silent by default:
+
+    REPRO_LOG=debug pytest tests/core -k streaming
+    REPRO_LOG=repro.core.scheduler=debug python examples/quickstart.py
+
+The second form sets per-component levels (comma-separated).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+import threading
+
+_FORMAT = "%(asctime)s %(levelname).1s %(name)s [%(threadName)s] %(message)s"
+_configured = False
+_lock = threading.Lock()
+
+
+def _configure_root() -> None:
+    global _configured
+    with _lock:
+        if _configured:
+            return
+        root = logging.getLogger("repro")
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT, datefmt="%H:%M:%S"))
+        root.addHandler(handler)
+        root.propagate = False
+        root.setLevel(logging.WARNING)
+        _apply_env(os.environ.get("REPRO_LOG", ""))
+        _configured = True
+
+
+def _apply_env(spec: str) -> None:
+    """Parse ``REPRO_LOG``: a bare level, or ``name=level`` pairs."""
+    if not spec:
+        return
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" in part:
+            name, _, level_name = part.partition("=")
+            target = logging.getLogger(name.strip())
+        else:
+            level_name = part
+            target = logging.getLogger("repro")
+        level = getattr(logging, level_name.strip().upper(), None)
+        if isinstance(level, int):
+            target.setLevel(level)
+
+
+def get_logger(component: str) -> logging.Logger:
+    """A logger named ``repro.<component>`` under the shared configuration."""
+    _configure_root()
+    name = component if component.startswith("repro") else f"repro.{component}"
+    return logging.getLogger(name)
+
+
+def set_level(level: str, component: str = "repro") -> None:
+    """Programmatic override (tests use this instead of the env var)."""
+    _configure_root()
+    value = getattr(logging, level.upper())
+    logging.getLogger(component).setLevel(value)

@@ -1,0 +1,58 @@
+"""Key-value record primitives.
+
+Key-value pairs are "the core data representation structure" of Hadoop-like
+systems (paper §II-B); every shuffle buffer, checkpoint file and RPC payload
+in this library ultimately carries them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, NamedTuple
+
+
+class KeyValue(NamedTuple):
+    """An immutable (key, value) pair — "an intact business record" (§IV-E)."""
+
+    key: Any
+    value: Any
+
+    def __repr__(self) -> str:  # keep shuffle debug output short
+        return f"KV({self.key!r}, {self.value!r})"
+
+
+def kv_bytes(key: Any, value: Any) -> int:
+    """Approximate the in-memory payload size of a key-value pair.
+
+    Buffer thresholds (SPL flush, spill triggers, checkpoint rounds) need a
+    cheap, deterministic size estimate that does not serialize the pair.
+    ``bytes``/``str`` report their real length; other objects use a small
+    fixed cost plus recursion over tuples/lists, which is adequate for
+    threshold accounting.
+    """
+    return _size_of(key) + _size_of(value)
+
+
+def _size_of(obj: Any) -> int:
+    if obj is None:
+        return 1
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj) + 4
+    if isinstance(obj, str):
+        return len(obj) + 4
+    if isinstance(obj, bool):
+        return 1
+    if isinstance(obj, int):
+        return 8
+    if isinstance(obj, float):
+        return 8
+    if isinstance(obj, (tuple, list)):
+        return 4 + sum(_size_of(item) for item in obj)
+    if hasattr(obj, "serialized_size"):
+        return int(obj.serialized_size())
+    return 16
+
+
+def iter_kv(pairs: Iterable[tuple[Any, Any]]) -> Iterator[KeyValue]:
+    """Normalize an iterable of 2-tuples into :class:`KeyValue` records."""
+    for key, value in pairs:
+        yield KeyValue(key, value)

@@ -1,0 +1,44 @@
+"""DataMPI core — the paper's primary contribution.
+
+Public surface:
+
+* :class:`~repro.core.api.MPI_D` — the extended MPI interface
+  (Tables I & II): ``Init``/``Finalize``, ``Comm_rank``/``Comm_size``
+  over the bipartite communicators, and key-value ``Send``/``Recv``.
+* :class:`~repro.core.job.DataMPIJob` + helpers — job definitions
+  carrying the optional user functions (compare/partition/combine).
+* :func:`~repro.core.mpidrun.mpidrun` — the launcher/scheduler.
+* :class:`~repro.core.constants.Mode` — Common, MapReduce, Iteration,
+  Streaming.
+"""
+
+from repro.core.api import MPI_D
+from repro.core.constants import Mode, MPI_D_Constants
+from repro.core.context import BipartiteComm, TaskContext
+from repro.core.job import DataMPIJob, common_job, mapreduce_job
+from repro.core.metrics import JobMetrics, JobResult, WorkerMetrics
+from repro.core.mpidrun import mpidrun, parse_mpidrun_command
+from repro.core.partition import (
+    PartitionWindow,
+    hash_partitioner,
+    range_partitioner,
+)
+
+__all__ = [
+    "MPI_D",
+    "MPI_D_Constants",
+    "Mode",
+    "DataMPIJob",
+    "mapreduce_job",
+    "common_job",
+    "mpidrun",
+    "parse_mpidrun_command",
+    "TaskContext",
+    "BipartiteComm",
+    "JobResult",
+    "JobMetrics",
+    "WorkerMetrics",
+    "PartitionWindow",
+    "hash_partitioner",
+    "range_partitioner",
+]

@@ -1,0 +1,151 @@
+"""Partition-List buffer management (§IV-D, Figure 6).
+
+Send side: a :class:`SendPartitionList` (SPL) holds one
+:class:`DataPartition` per A task.  An emitted pair is cached in the
+partition selected by ``MPI_D_PARTITION``; when a partition crosses the
+flush threshold it is sealed into a block (sorted and combined if the
+mode asks for it) and handed to the communication thread's send queue.
+
+Receive side: a :class:`ReceivePartitionList` (RPL) per hosted partition
+accumulates arriving blocks into a :class:`~repro.core.sorter.RunStore`,
+merging in the background past a block threshold and spilling to disk
+past the memory budget.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.common.records import kv_bytes
+from repro.core.sorter import RunStore, combine_run, sort_block
+from repro.serde.comparators import Compare
+
+KV = tuple[Any, Any]
+Combiner = Callable[[Any, list[Any]], Iterable[Any]]
+
+
+@dataclass
+class DataPartition:
+    """Buffered records destined for one A task, with meta information."""
+
+    partition_id: int
+    records: list[KV] = field(default_factory=list)
+    nbytes: int = 0
+
+    def add(self, key: Any, value: Any) -> None:
+        self.records.append((key, value))
+        self.nbytes += kv_bytes(key, value)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def drain(self) -> list[KV]:
+        records, self.records, self.nbytes = self.records, [], 0
+        return records
+
+
+@dataclass(frozen=True)
+class Block:
+    """A sealed partition block in flight between processes."""
+
+    partition_id: int
+    records: tuple[KV, ...]
+    nbytes: int
+    sorted: bool
+
+
+class SendPartitionList:
+    """SPL: per-destination-partition staging buffers."""
+
+    def __init__(
+        self,
+        num_partitions: int,
+        flush_bytes: int,
+        cmp: Compare | None,
+        combiner: Combiner | None = None,
+    ) -> None:
+        self.partitions = [DataPartition(p) for p in range(num_partitions)]
+        self.flush_bytes = flush_bytes
+        self.cmp = cmp
+        self.combiner = combiner
+        self.records_in = 0
+        self.records_out = 0
+        self.bytes_out = 0
+        self.combined_away = 0
+
+    def add(self, partition: int, key: Any, value: Any) -> Block | None:
+        """Cache a pair; returns a sealed block when the partition filled."""
+        part = self.partitions[partition]
+        part.add(key, value)
+        self.records_in += 1
+        if part.nbytes >= self.flush_bytes:
+            return self._seal(part)
+        return None
+
+    def _seal(self, part: DataPartition) -> Block:
+        records = part.drain()
+        if self.cmp is not None:
+            records = sort_block(records, self.cmp)
+            if self.combiner is not None:
+                before = len(records)
+                records = combine_run(records, self.combiner)
+                self.combined_away += before - len(records)
+        nbytes = sum(kv_bytes(k, v) for k, v in records)
+        self.records_out += len(records)
+        self.bytes_out += nbytes
+        return Block(
+            part.partition_id, tuple(records), nbytes, sorted=self.cmp is not None
+        )
+
+    def flush_all(self) -> list[Block]:
+        """Seal every non-empty partition (end of the O phase)."""
+        blocks = []
+        for part in self.partitions:
+            if part.records:
+                blocks.append(self._seal(part))
+        return blocks
+
+
+class ReceivePartitionList:
+    """RPL: arriving blocks for one hosted partition.
+
+    Thread-safe: the receiver thread appends while an A task may already
+    be iterating (Streaming mode uses :meth:`stream` instead).
+    """
+
+    def __init__(
+        self,
+        partition_id: int,
+        cmp: Compare | None,
+        store: RunStore,
+        merge_threshold_blocks: int,
+    ) -> None:
+        self.partition_id = partition_id
+        self.cmp = cmp
+        self.store = store
+        self.merge_threshold_blocks = merge_threshold_blocks
+        self.blocks_received = 0
+        self.records_received = 0
+        self._lock = threading.Lock()
+
+    def add_block(self, block: Block) -> None:
+        with self._lock:
+            run = list(block.records)
+            if self.cmp is not None and not block.sorted:
+                run = sort_block(run, self.cmp)
+            self.store.add_run(run, block.nbytes)
+            self.blocks_received += 1
+            self.records_received += len(run)
+            # background merge pass once the merge queue is deep enough
+            self.store.compact(self.merge_threshold_blocks)
+
+    def merged(self) -> Iterator[KV]:
+        """Final merged iterator (after the plane completed)."""
+        with self._lock:
+            return iter(self.store)
+
+    def cleanup(self) -> None:
+        with self._lock:
+            self.store.cleanup()

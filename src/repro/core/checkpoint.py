@@ -1,0 +1,174 @@
+"""Key-value library-level checkpointing (§IV-E, Figure 7).
+
+"Each task makes the checkpoint separably after a round of data
+exchanging" — emitted key-value pairs are buffered and persisted in
+numbered *rounds* (``cp_<task>_<round>.ckpt``); a round file is written
+to a temp name and renamed, so a crash can never leave a half-round
+visible.  On recovery the library replays all complete rounds straight
+from disk (the "Job Reload Checkpoint" phase of Figure 13) and the
+re-executed task skips that many records — transparent for
+deterministic applications, exactly as the paper requires.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Any, Iterator
+
+from repro.common.errors import CheckpointError
+from repro.serde.io import DataInput, DataOutput
+from repro.serde.serialization import Serializer
+
+KV = tuple[Any, Any]
+
+_ROUND_RE = re.compile(r"^cp_(?P<task>.+)_(?P<round>\d{6})\.ckpt$")
+
+
+def _round_path(directory: str, task: str, round_no: int) -> str:
+    return os.path.join(directory, f"cp_{task}_{round_no:06d}.ckpt")
+
+
+class CheckpointWriter:
+    """Streams one task's emitted pairs into numbered round files."""
+
+    def __init__(
+        self,
+        directory: str,
+        task: str,
+        serializer: Serializer,
+        interval_records: int,
+        start_round: int = 0,
+    ) -> None:
+        if interval_records < 1:
+            raise CheckpointError("checkpoint interval must be >= 1 record")
+        os.makedirs(directory, exist_ok=True)
+        self.directory = directory
+        self.task = task
+        self.serializer = serializer
+        self.interval_records = interval_records
+        self.round_no = start_round
+        self._buffer: list[KV] = []
+        self.records_persisted = 0
+
+    def add(self, key: Any, value: Any) -> None:
+        self._buffer.append((key, value))
+        if len(self._buffer) >= self.interval_records:
+            self.flush_round()
+
+    def flush_round(self) -> None:
+        """Persist the buffered round atomically (write-then-rename)."""
+        if not self._buffer:
+            return
+        out = DataOutput()
+        out.write_vint(len(self._buffer))
+        for key, value in self._buffer:
+            self.serializer.serialize_kv(key, value, out)
+        final = _round_path(self.directory, self.task, self.round_no)
+        tmp = final + ".tmp"
+        with open(tmp, "wb") as f:
+            f.write(out.getvalue())
+        os.replace(tmp, final)
+        self.records_persisted += len(self._buffer)
+        self._buffer.clear()
+        self.round_no += 1
+
+    def close(self) -> None:
+        """Flush the trailing partial round (task completed normally)."""
+        self.flush_round()
+
+
+class CheckpointReader:
+    """Recovers one task's persisted rounds."""
+
+    def __init__(self, directory: str, task: str, serializer: Serializer) -> None:
+        self.directory = directory
+        self.task = task
+        self.serializer = serializer
+
+    def complete_rounds(self) -> list[int]:
+        """Round numbers with a successfully persisted file, sorted."""
+        if not os.path.isdir(self.directory):
+            return []
+        rounds = []
+        for name in os.listdir(self.directory):
+            m = _ROUND_RE.match(name)
+            if m and m.group("task") == self.task:
+                rounds.append(int(m.group("round")))
+        return sorted(rounds)
+
+    def max_round(self) -> int:
+        """Highest persisted round + 1 (0 when nothing was checkpointed)."""
+        rounds = self.complete_rounds()
+        return rounds[-1] + 1 if rounds else 0
+
+    def replay(self) -> Iterator[KV]:
+        """All persisted pairs in emit order."""
+        for round_no in self.complete_rounds():
+            path = _round_path(self.directory, self.task, round_no)
+            with open(path, "rb") as f:
+                src = DataInput(f.read())
+            count = src.read_vint()
+            for _ in range(count):
+                yield self.serializer.deserialize_kv(src)
+
+    def record_count(self) -> int:
+        return sum(1 for _ in self.replay())
+
+
+class CheckpointManager:
+    """Per-job checkpoint coordination.
+
+    The job's directory is ``<ft_dir>/<job_id>``; tasks are identified as
+    ``o<task_id>`` (only O-side emits are checkpointed — A output goes to
+    the job's final sink).  ``global_max_round`` is the coordination
+    value the paper describes: "all processes can coordinate with each
+    other to get the global maximum checkpoint number among all
+    successfully generated checkpoints".
+    """
+
+    def __init__(
+        self,
+        ft_dir: str,
+        job_id: str,
+        serializer: Serializer,
+        interval_records: int,
+    ) -> None:
+        self.directory = os.path.join(ft_dir, job_id)
+        self.serializer = serializer
+        self.interval_records = interval_records
+
+    def writer(self, task_id: int, start_round: int = 0) -> CheckpointWriter:
+        return CheckpointWriter(
+            self.directory,
+            f"o{task_id}",
+            self.serializer,
+            self.interval_records,
+            start_round=start_round,
+        )
+
+    def reader(self, task_id: int) -> CheckpointReader:
+        return CheckpointReader(self.directory, f"o{task_id}", self.serializer)
+
+    def global_max_round(self, num_o_tasks: int) -> int:
+        return max(
+            (self.reader(t).max_round() for t in range(num_o_tasks)), default=0
+        )
+
+    def total_persisted(self, num_o_tasks: int) -> int:
+        return sum(self.reader(t).record_count() for t in range(num_o_tasks))
+
+    def clear(self) -> None:
+        """Remove all checkpoints (job completed)."""
+        if not os.path.isdir(self.directory):
+            return
+        for name in os.listdir(self.directory):
+            if name.endswith(".ckpt") or name.endswith(".tmp"):
+                try:
+                    os.unlink(os.path.join(self.directory, name))
+                except FileNotFoundError:
+                    pass
+        try:
+            os.rmdir(self.directory)
+        except OSError:
+            pass

@@ -1,0 +1,84 @@
+"""Reserved configuration keys and modes (paper Table I, §III-A).
+
+``MPI_D_Constants`` mirrors the Java binding's constants class used in
+Listing 1 (``MPI_D_Constants.KEY_CLASS`` etc.).  Every tunable the
+DataMPI engine reads is named here so profiles, tests and user code share
+one vocabulary.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Mode(Enum):
+    """The four diversified communication modes (§II-A, §III-A)."""
+
+    #: SPMD-style programming and execution, like traditional MPI programs
+    COMMON = "common"
+    #: MPMD-style MapReduce applications (sorted, one-way exchange)
+    MAPREDUCE = "mapreduce"
+    #: iterative computations (bi-directional, multiple rounds)
+    ITERATION = "iteration"
+    #: real-time data streams (unsorted, pipelined delivery)
+    STREAMING = "streaming"
+
+
+class MPI_D_Constants:
+    """Reserved configuration keys."""
+
+    # -- serialization (the two keys shown in the paper) -----------------------
+    KEY_CLASS = "mpi.d.key.class"
+    VALUE_CLASS = "mpi.d.value.class"
+    #: serializer backend: "writable" | "pickle" | "java"
+    SERIALIZER = "mpi.d.serializer"
+
+    # -- buffer management (§IV-D) ---------------------------------------------
+    #: flush threshold per send-partition, bytes
+    SPL_PARTITION_BYTES = "mpi.d.spl.partition.bytes"
+    #: receive-side merge trigger: blocks per partition before a merge pass
+    MERGE_THRESHOLD_BLOCKS = "mpi.d.merge.threshold.blocks"
+    #: memory budget for cached intermediate data per process, bytes;
+    #: beyond it, merged runs spill to disk (§V-E)
+    MEMORY_CACHE_BYTES = "mpi.d.memory.cache.bytes"
+    #: fraction of intermediate data cached in memory (Figure 12 knob);
+    #: when set, overrides MEMORY_CACHE_BYTES proportionally
+    CACHE_FRACTION = "mpi.d.cache.fraction"
+    #: directory for spill files (defaults to a temp dir)
+    LOCAL_DIR = "mpi.d.local.dir"
+    #: zlib-compress spilled runs (trade CPU for disk bandwidth)
+    SPILL_COMPRESS = "mpi.d.spill.compress"
+
+    # -- semantics toggles (mode profile defaults) --------------------------------
+    #: sort key-value pairs by key during the exchange
+    SORT = "mpi.d.sort"
+    #: allow A->O communication (Iteration mode)
+    BIDIRECTIONAL = "mpi.d.bidirectional"
+    #: deliver pairs as they arrive instead of after the O phase
+    PIPELINED_DELIVERY = "mpi.d.pipelined.delivery"
+    #: number of O/A rounds (Iteration mode)
+    ROUNDS = "mpi.d.rounds"
+
+    # -- fault tolerance (§IV-E) ----------------------------------------------
+    #: enable the key-value library-level checkpoint
+    FT_ENABLED = "mpi.d.ft.enabled"
+    #: records per checkpoint round
+    FT_INTERVAL_RECORDS = "mpi.d.ft.interval.records"
+    #: checkpoint directory (must survive restarts)
+    FT_DIR = "mpi.d.ft.dir"
+    #: stable job id, so a restart finds its checkpoints
+    JOB_ID = "mpi.d.job.id"
+
+    # -- failure injection (testing) ----------------------------------------------
+    #: crash the job after this many total emitted records (-1 = never)
+    INJECT_CRASH_AFTER_RECORDS = "mpi.d.inject.crash.after.records"
+    #: rank of the O task that crashes (with the above)
+    INJECT_CRASH_TASK = "mpi.d.inject.crash.task"
+
+
+#: internal shuffle tag on the worker world communicator
+SHUFFLE_TAG = 900_001
+#: control-protocol tag on the driver<->worker intercommunicator
+CONTROL_TAG = 900_002
+#: completion/metrics tag
+REPORT_TAG = 900_003

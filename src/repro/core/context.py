@@ -1,0 +1,230 @@
+"""Task execution context: the object behind the MPI_D API calls.
+
+One :class:`TaskContext` exists per task attempt.  It knows which
+bipartite communicator the task belongs to, routes ``Send`` through the
+SPL/partitioner/checkpoint pipeline and serves ``Recv`` from the task's
+merged partition (or its live stream in Streaming mode).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.common.errors import DataMPIError
+from repro.core.buffers import SendPartitionList
+from repro.core.checkpoint import CheckpointReader, CheckpointWriter
+from repro.core.metrics import TaskMetrics
+from repro.core.partition import Partitioner, validate_destination
+
+if TYPE_CHECKING:
+    from repro.core.shuffle import ShufflePlane, ShuffleService
+
+KV = tuple[Any, Any]
+
+
+@dataclass(frozen=True)
+class BipartiteComm:
+    """What ``MPI_D.COMM_BIPARTITE_O`` / ``..._A`` evaluate to in a task.
+
+    ``rank`` is the *task* rank within its communicator and ``size`` the
+    total number of tasks there (Table I: naming functions operate on
+    tasks, not processes).
+    """
+
+    kind: str  # "O" or "A"
+    rank: int
+    size: int
+
+
+class TaskContext:
+    """Runtime state of one task attempt."""
+
+    def __init__(
+        self,
+        kind: str,
+        task_id: int,
+        o_size: int,
+        a_size: int,
+        round_no: int,
+        conf: Any,
+        partitioner: Partitioner,
+        spl: SendPartitionList | None,
+        send_plane_id: str | None,
+        shuffle: "ShuffleService | None",
+        recv_plane: "ShufflePlane | None",
+        pipelined: bool = False,
+        state: dict | None = None,
+        checkpoint_writer: CheckpointWriter | None = None,
+        checkpoint_reader: CheckpointReader | None = None,
+        crash_after: int = -1,
+        key_class: type | None = None,
+        value_class: type | None = None,
+    ) -> None:
+        self.kind = kind
+        self.task_id = task_id
+        self.o_size = o_size
+        self.a_size = a_size
+        self.round = round_no
+        self.conf = conf
+        self._partitioner = partitioner
+        self._spl = spl
+        self._send_plane_id = send_plane_id
+        self._shuffle = shuffle
+        self._recv_plane = recv_plane
+        self._pipelined = pipelined
+        #: process-local state shared between rounds (Iteration mode):
+        #: A tasks stash results here; the next round's O task on the same
+        #: process reads them data-locally.
+        self.state = state if state is not None else {}
+        self._cp_writer = checkpoint_writer
+        self._cp_reader = checkpoint_reader
+        self._crash_after = crash_after
+        #: KEY_CLASS / VALUE_CLASS enforcement (§III-A reserved keys);
+        #: None disables checking (the default when conf omits them)
+        self._key_class = key_class
+        self._value_class = value_class
+        self._emit_index = 0
+        self._skip_emits = 0
+        self._recv_iter: Iterator[KV] | None = None
+        self.metrics = TaskMetrics(task_id=task_id, kind=kind)
+        self.initialized = False
+        self.finalized = False
+
+    # -- bipartite communicators -------------------------------------------------
+    @property
+    def comm(self) -> BipartiteComm:
+        size = self.o_size if self.kind == "O" else self.a_size
+        return BipartiteComm(self.kind, self.task_id, size)
+
+    @property
+    def rank(self) -> int:
+        return self.task_id
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    @property
+    def num_send_partitions(self) -> int:
+        """Destination count: O sends toward A tasks, A (Iteration) toward O."""
+        return self.a_size if self.kind == "O" else self.o_size
+
+    # -- recovery ------------------------------------------------------------------
+    def replay_checkpoint(self) -> int:
+        """Resend persisted pairs; the task then skips that many emits.
+
+        Returns the number of reloaded records (Figure 13's "Job Reload
+        Checkpoint" phase).
+        """
+        if self._cp_reader is None:
+            return 0
+        reloaded = 0
+        for key, value in self._cp_reader.replay():
+            self._send_raw(key, value)
+            reloaded += 1
+        self._skip_emits = reloaded
+        return reloaded
+
+    # -- send path -------------------------------------------------------------------
+    def send(self, key: Any, value: Any) -> None:
+        """``MPI_D_SEND``: emit one pair; no destination — the library
+        partitions and schedules the movement implicitly (§III-A)."""
+        if self._spl is None:
+            raise DataMPIError(
+                f"{self.kind} task {self.task_id} cannot Send in this mode"
+            )
+        if self._crash_after >= 0 and self._emit_index >= self._crash_after:
+            raise DataMPIError(
+                f"injected crash in {self.kind} task {self.task_id} after "
+                f"{self._emit_index} records"
+            )
+        self._emit_index += 1
+        if self._emit_index <= self._skip_emits:
+            return  # this record was already sent from the checkpoint replay
+        key = self._typed("key", key, self._key_class)
+        value = self._typed("value", value, self._value_class)
+        self._send_raw(key, value)
+        if self._cp_writer is not None:
+            self._cp_writer.add(key, value)
+
+    def _typed(self, what: str, obj: Any, cls: type | None) -> Any:
+        """Enforce the configured KEY_CLASS/VALUE_CLASS on an emitted pair."""
+        if cls is None or isinstance(obj, cls):
+            return obj
+        try:
+            return cls(obj)
+        except (TypeError, ValueError) as exc:
+            raise DataMPIError(
+                f"{self.kind} task {self.task_id}: {what} {obj!r} is not a "
+                f"{cls.__name__} and cannot be coerced ({exc})"
+            ) from None
+
+    def _send_raw(self, key: Any, value: Any) -> None:
+        assert self._spl is not None and self._shuffle is not None
+        dest = validate_destination(
+            self._partitioner(key, value, self.num_send_partitions),
+            self.num_send_partitions,
+        )
+        self.metrics.records_emitted += 1
+        block = self._spl.add(dest, key, value)
+        if block is not None:
+            assert self._send_plane_id is not None
+            self._shuffle.send_block(self._send_plane_id, block)
+
+    # -- receive path -----------------------------------------------------------------
+    def _ensure_recv_iter(self) -> Iterator[KV]:
+        if self._recv_iter is None:
+            if self._recv_plane is None:
+                raise DataMPIError(
+                    f"{self.kind} task {self.task_id} has nothing to Recv from"
+                )
+            if self._pipelined:
+                self._recv_iter = self._recv_plane.stream_iter(self.task_id)
+            else:
+                self._recv_iter = self._recv_plane.merged_iter(self.task_id)
+        return self._recv_iter
+
+    def recv(self) -> KV | None:
+        """``MPI_D_RECV``: next pair for this task, or ``None`` at end."""
+        record = next(self._ensure_recv_iter(), None)
+        if record is not None:
+            self.metrics.records_received += 1
+        return record
+
+    def recv_iter(self) -> Iterator[KV]:
+        """All remaining pairs as an iterator (Pythonic convenience)."""
+        while True:
+            record = self.recv()
+            if record is None:
+                return
+            yield record
+
+    # -- lifecycle ----------------------------------------------------------------------
+    def close(self) -> None:
+        if self._cp_writer is not None:
+            self._cp_writer.close()
+
+
+class _ContextBinding(threading.local):
+    """Thread-local binding of the active TaskContext (set by the engine)."""
+
+    def __init__(self) -> None:
+        self.ctx: TaskContext | None = None
+
+
+CURRENT = _ContextBinding()
+
+
+def bind(ctx: TaskContext | None) -> None:
+    CURRENT.ctx = ctx
+
+
+def current() -> TaskContext:
+    if CURRENT.ctx is None:
+        raise DataMPIError(
+            "no DataMPI task context on this thread; MPI_D calls are only "
+            "valid inside a task launched by mpidrun"
+        )
+    return CURRENT.ctx

@@ -1,0 +1,325 @@
+"""Worker-side execution engine.
+
+Each DataMPI *working process* (one MPI rank of the spawned worker
+world) runs a :class:`WorkerEngine`: it pulls task assignments from
+``mpidrun`` over the parent intercommunicator (the control protocol of
+§IV-B), executes O tasks feeding the shuffle pipeline, waits for plane
+completion, then executes the A tasks whose partitions it hosts —
+reduce-side data locality by construction.
+
+Iteration mode loops rounds with a backward plane (A→O) per round and a
+process-local ``state`` dict that stays put across rounds.  Streaming
+mode starts the A tasks first, on their own threads, consuming pairs as
+they arrive.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from typing import Any
+
+from repro.common.config import Configuration
+from repro.common.errors import DataMPIError
+from repro.core import context as context_mod
+from repro.core.buffers import SendPartitionList
+from repro.core.checkpoint import CheckpointManager
+from repro.core.constants import CONTROL_TAG, Mode, MPI_D_Constants as K
+from repro.core.context import TaskContext
+from repro.core.job import DataMPIJob
+from repro.core.metrics import WorkerMetrics
+from repro.core.modes import (
+    mode_is_bidirectional,
+    mode_is_pipelined,
+    mode_sorts,
+    profile_for,
+)
+from repro.core.partition import PartitionWindow
+from repro.core.shuffle import PlaneConfig, ShufflePlane, ShuffleService
+from repro.common.logging import get_logger
+from repro.serde.comparators import default_compare
+from repro.serde.serialization import get_serializer
+
+_log = get_logger("core.engine")
+
+#: plane completion timeout (seconds); generous, aborted earlier on failure
+PLANE_TIMEOUT = 120.0
+
+
+def worker_main(world: Any, job: DataMPIJob, nprocs: int) -> WorkerMetrics:
+    """Entry point of one spawned working process."""
+    engine = WorkerEngine(world, job, nprocs)
+    return engine.run()
+
+
+class WorkerEngine:
+    def __init__(self, world: Any, job: DataMPIJob, nprocs: int) -> None:
+        self.world = world
+        self.parent = world.Get_parent()
+        if self.parent is None:
+            raise DataMPIError("worker engine requires a parent intercommunicator")
+        self.job = job
+        self.nprocs = nprocs
+        self.rank = world.rank
+        self.conf: Configuration = profile_for(job.mode, job.conf)
+        self.sorts = mode_sorts(self.conf)
+        self.pipelined = mode_is_pipelined(self.conf)
+        self.bidirectional = mode_is_bidirectional(self.conf)
+        self.cmp = (job.comparator or default_compare) if self.sorts else None
+        self.serializer = get_serializer(self.conf.get_str(K.SERIALIZER, "writable"))
+        self.spill_dir = self.conf.get(K.LOCAL_DIR) or tempfile.mkdtemp(
+            prefix=f"datampi-{job.name}-w{self.rank}-"
+        )
+        cache_fraction = self.conf.get_float(K.CACHE_FRACTION, 1.0)
+        self.memory_budget = max(
+            0, int(self.conf.get_bytes(K.MEMORY_CACHE_BYTES) * cache_fraction)
+        )
+        self.window_fwd = PartitionWindow(job.a_tasks, nprocs)
+        self.window_bwd = PartitionWindow(job.o_tasks, nprocs)
+        self.metrics = WorkerMetrics(process_rank=self.rank)
+        self.state: dict = {}  # process-local cross-round state (Iteration)
+        self.shuffle = ShuffleService(world, self._plane_config)
+        self._checkpoints = self._build_checkpoint_manager()
+        from repro.serde.registry import resolve_type
+
+        self.key_class = resolve_type(self.conf.get(K.KEY_CLASS))
+        self.value_class = resolve_type(self.conf.get(K.VALUE_CLASS))
+
+    # -- configuration plumbing ---------------------------------------------------
+    def _plane_config(self, plane_id: str) -> PlaneConfig:
+        window = self.window_bwd if plane_id.startswith("bwd") else self.window_fwd
+        return PlaneConfig(
+            num_partitions=window.num_partitions,
+            window=window,
+            cmp=self.cmp,
+            serializer=self.serializer,
+            spill_dir=self.spill_dir,
+            memory_budget=self.memory_budget,
+            merge_threshold_blocks=self.conf.get_int(K.MERGE_THRESHOLD_BLOCKS),
+            pipelined=self.pipelined,
+            compress_spills=self.conf.get_bool(K.SPILL_COMPRESS, False),
+        )
+
+    def _build_checkpoint_manager(self) -> CheckpointManager | None:
+        if not self.conf.get_bool(K.FT_ENABLED, False):
+            return None
+        if self.job.mode is Mode.ITERATION or self.pipelined:
+            raise DataMPIError(
+                "library-level checkpointing supports MapReduce/Common jobs"
+            )
+        ft_dir = self.conf.get(K.FT_DIR) or tempfile.gettempdir()
+        job_id = self.conf.get_str(K.JOB_ID, self.job.name)
+        return CheckpointManager(
+            ft_dir,
+            job_id,
+            self.serializer,
+            self.conf.get_int(K.FT_INTERVAL_RECORDS),
+        )
+
+    # -- control protocol ------------------------------------------------------------
+    def _request_task(self, phase: str, round_no: int) -> int | None:
+        """Ask mpidrun for the next task of (phase, round); None = phase over."""
+        self.parent.send(("req", phase, round_no, self.rank), dest=0, tag=CONTROL_TAG)
+        kind, task_id = self.parent.recv(source=0, tag=CONTROL_TAG)
+        return task_id if kind == "task" else None
+
+    def _report(self) -> None:
+        self.parent.send(("report", self.rank, self.metrics), dest=0, tag=CONTROL_TAG)
+
+    # -- task contexts -----------------------------------------------------------------
+    def _make_o_context(
+        self, task_id: int, round_no: int, spl: SendPartitionList
+    ) -> TaskContext:
+        recv_plane: ShufflePlane | None = None
+        if self.bidirectional and round_no > 0:
+            recv_plane = self.shuffle.plane(f"bwd:{round_no - 1}")
+        cp_writer = cp_reader = None
+        if self._checkpoints is not None:
+            cp_reader = self._checkpoints.reader(task_id)
+            cp_writer = self._checkpoints.writer(
+                task_id, start_round=cp_reader.max_round()
+            )
+        crash_after = -1
+        if (
+            self.conf.get_int(K.INJECT_CRASH_AFTER_RECORDS) >= 0
+            and task_id == self.conf.get_int(K.INJECT_CRASH_TASK)
+        ):
+            crash_after = self.conf.get_int(K.INJECT_CRASH_AFTER_RECORDS)
+        return TaskContext(
+            kind="O",
+            task_id=task_id,
+            o_size=self.job.o_tasks,
+            a_size=self.job.a_tasks,
+            round_no=round_no,
+            conf=self.conf,
+            partitioner=self.job.partitioner,
+            spl=spl,
+            send_plane_id=f"fwd:{round_no}",
+            shuffle=self.shuffle,
+            recv_plane=recv_plane,
+            pipelined=False,
+            state=self.state,
+            checkpoint_writer=cp_writer,
+            checkpoint_reader=cp_reader,
+            crash_after=crash_after,
+            key_class=self.key_class,
+            value_class=self.value_class,
+        )
+
+    def _make_a_context(
+        self,
+        task_id: int,
+        round_no: int,
+        recv_plane: ShufflePlane,
+        spl: SendPartitionList | None,
+    ) -> TaskContext:
+        return TaskContext(
+            kind="A",
+            task_id=task_id,
+            o_size=self.job.o_tasks,
+            a_size=self.job.a_tasks,
+            round_no=round_no,
+            conf=self.conf,
+            partitioner=self.job.partitioner,
+            spl=spl,
+            send_plane_id=f"bwd:{round_no}" if spl is not None else None,
+            shuffle=self.shuffle,
+            recv_plane=recv_plane,
+            pipelined=self.pipelined,
+            state=self.state,
+            key_class=self.key_class,
+            value_class=self.value_class,
+        )
+
+    def _execute(self, ctx: TaskContext, fn: Any) -> None:
+        _log.debug("start %s task %d (round %d)", ctx.kind, ctx.task_id, ctx.round)
+        context_mod.bind(ctx)
+        start = time.perf_counter()
+        try:
+            if ctx.kind == "O" and self._checkpoints is not None:
+                self.metrics.reloaded_records += ctx.replay_checkpoint()
+            fn(ctx)
+            ctx.close()
+        finally:
+            ctx.metrics.duration = time.perf_counter() - start
+            context_mod.bind(None)
+            _log.debug(
+                "end %s task %d: emitted=%d received=%d %.3fs",
+                ctx.kind, ctx.task_id, ctx.metrics.records_emitted,
+                ctx.metrics.records_received, ctx.metrics.duration,
+            )
+        if ctx.kind == "O":
+            self.metrics.o_tasks_run += 1
+            if ctx._cp_writer is not None:
+                self.metrics.checkpointed_records += ctx._cp_writer.records_persisted
+        else:
+            self.metrics.a_tasks_run += 1
+
+    # -- phase loops ----------------------------------------------------------------------
+    def _new_spl(self, direction: str) -> SendPartitionList:
+        num = self.job.a_tasks if direction == "fwd" else self.job.o_tasks
+        return SendPartitionList(
+            num_partitions=num,
+            flush_bytes=self.conf.get_bytes(K.SPL_PARTITION_BYTES),
+            cmp=self.cmp,
+            combiner=self.job.combiner,
+        )
+
+    def _finish_sends(self, plane_id: str, spl: SendPartitionList) -> None:
+        """Flush remaining SPL partitions and signal end-of-stream."""
+        for block in spl.flush_all():
+            self.shuffle.send_block(plane_id, block)
+        self.shuffle.send_eos(plane_id)
+        self.shuffle.drain_sends()
+        self.metrics.records_sent += spl.records_out
+        self.metrics.combined_away += spl.combined_away
+
+    def _run_o_phase(self, round_no: int) -> SendPartitionList:
+        spl = self._new_spl("fwd")
+        while True:
+            task_id = self._request_task("O", round_no)
+            if task_id is None:
+                break
+            ctx = self._make_o_context(task_id, round_no, spl)
+            self._execute(ctx, self.job.o_fn)
+        self._finish_sends(f"fwd:{round_no}", spl)
+        return spl
+
+    def _run_a_phase(self, round_no: int) -> None:
+        fwd_plane = self.shuffle.plane(f"fwd:{round_no}")
+        fwd_plane.wait_complete(PLANE_TIMEOUT)
+        spl = self._new_spl("bwd") if self.bidirectional else None
+        while True:
+            task_id = self._request_task("A", round_no)
+            if task_id is None:
+                break
+            if task_id in fwd_plane.rpls:
+                self.metrics.local_a_tasks += 1
+            ctx = self._make_a_context(task_id, round_no, fwd_plane, spl)
+            self._execute(ctx, self.job.a_fn)
+        if spl is not None:
+            self._finish_sends(f"bwd:{round_no}", spl)
+            self.shuffle.plane(f"bwd:{round_no}").wait_complete(PLANE_TIMEOUT)
+
+    def _run_streaming_round(self, round_no: int) -> None:
+        """Streaming: A tasks consume concurrently with O production."""
+        import threading
+
+        fwd_plane = self.shuffle.plane(f"fwd:{round_no}")
+        a_tasks: list[int] = []
+        while True:
+            task_id = self._request_task("A", round_no)
+            if task_id is None:
+                break
+            a_tasks.append(task_id)
+        errors: list[BaseException] = []
+
+        def run_a(task_id: int) -> None:
+            try:
+                ctx = self._make_a_context(task_id, round_no, fwd_plane, None)
+                self._execute(ctx, self.job.a_fn)
+                if task_id in fwd_plane.rpls:
+                    self.metrics.local_a_tasks += 1
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run_a, args=(t,), daemon=True, name=f"a-task-{t}")
+            for t in a_tasks
+        ]
+        for thread in threads:
+            thread.start()
+        spl = self._new_spl("fwd")
+        while True:
+            task_id = self._request_task("O", round_no)
+            if task_id is None:
+                break
+            ctx = self._make_o_context(task_id, round_no, spl)
+            self._execute(ctx, self.job.o_fn)
+        self._finish_sends(f"fwd:{round_no}", spl)
+        for thread in threads:
+            thread.join(PLANE_TIMEOUT)
+        if errors:
+            raise errors[0]
+
+    # -- top level ----------------------------------------------------------------------------
+    def run(self) -> WorkerMetrics:
+        rounds = self.job.rounds if self.bidirectional else 1
+        try:
+            for round_no in range(rounds):
+                if self.pipelined:
+                    self._run_streaming_round(round_no)
+                else:
+                    self._run_o_phase(round_no)
+                    self._run_a_phase(round_no)
+                self.world.barrier()
+            stats = self.shuffle.stats()
+            self.metrics.bytes_sent = stats["bytes_sent"]
+            self.metrics.blocks_sent = stats["blocks_sent"]
+            self.metrics.records_received = stats["records_received"]
+            self.metrics.blocks_received = stats["blocks_received"]
+            self.metrics.spilled_bytes = stats["spilled_bytes"]
+            self._report()
+            return self.metrics
+        finally:
+            self.shuffle.shutdown()

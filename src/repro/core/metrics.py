@@ -1,0 +1,88 @@
+"""Job and task metrics collected by the DataMPI engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TaskMetrics:
+    """Counters for one task attempt."""
+
+    task_id: int = -1
+    kind: str = ""  # "O" or "A"
+    records_emitted: int = 0
+    records_received: int = 0
+    duration: float = 0.0
+
+
+@dataclass
+class WorkerMetrics:
+    """Per-process counters, merged into :class:`JobMetrics` by the driver."""
+
+    process_rank: int = -1
+    o_tasks_run: int = 0
+    a_tasks_run: int = 0
+    records_sent: int = 0
+    bytes_sent: int = 0
+    blocks_sent: int = 0
+    records_received: int = 0
+    blocks_received: int = 0
+    spilled_bytes: int = 0
+    combined_away: int = 0
+    checkpointed_records: int = 0
+    reloaded_records: int = 0
+    local_a_tasks: int = 0  # A tasks that ran where their data lived
+
+    def merge_into(self, job: "JobMetrics") -> None:
+        job.o_tasks_run += self.o_tasks_run
+        job.a_tasks_run += self.a_tasks_run
+        job.records_sent += self.records_sent
+        job.bytes_sent += self.bytes_sent
+        job.blocks_sent += self.blocks_sent
+        job.records_received += self.records_received
+        job.blocks_received += self.blocks_received
+        job.spilled_bytes += self.spilled_bytes
+        job.combined_away += self.combined_away
+        job.checkpointed_records += self.checkpointed_records
+        job.reloaded_records += self.reloaded_records
+        job.local_a_tasks += self.local_a_tasks
+
+
+@dataclass
+class JobMetrics:
+    """Aggregated view of one job execution."""
+
+    o_tasks_run: int = 0
+    a_tasks_run: int = 0
+    records_sent: int = 0
+    bytes_sent: int = 0
+    blocks_sent: int = 0
+    records_received: int = 0
+    blocks_received: int = 0
+    spilled_bytes: int = 0
+    combined_away: int = 0
+    checkpointed_records: int = 0
+    reloaded_records: int = 0
+    local_a_tasks: int = 0
+    duration: float = 0.0
+
+
+@dataclass
+class JobResult:
+    """What ``mpidrun`` returns."""
+
+    name: str
+    success: bool
+    metrics: JobMetrics = field(default_factory=JobMetrics)
+    error: str = ""
+
+    @property
+    def a_data_locality(self) -> float:
+        """Fraction of A tasks that ran on the process holding their data.
+
+        The data-centric scheduler should keep this at 1.0 (§IV-B).
+        """
+        if self.metrics.a_tasks_run == 0:
+            return 1.0
+        return self.metrics.local_a_tasks / self.metrics.a_tasks_run

@@ -1,0 +1,79 @@
+"""Mode profiles (§IV-A "Profile").
+
+"Each communication mode has a kind of profile, which contains a set of
+typical configurations and related extensions to the DataMPI core.  For
+example, the MapReduce mode requires the intermediate data to be sorted
+by keys, while the Streaming mode may not need this feature.  The
+Iteration mode needs the communication to be bi-directional."
+
+A profile is just a defaults layer under the user ``conf``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.common.config import Configuration
+from repro.common.units import KiB, MiB
+from repro.core.constants import Mode, MPI_D_Constants as K
+
+_SHARED_DEFAULTS: dict[str, Any] = {
+    K.SERIALIZER: "writable",
+    K.SPL_PARTITION_BYTES: 32 * KiB,
+    K.MERGE_THRESHOLD_BLOCKS: 8,
+    K.MEMORY_CACHE_BYTES: 64 * MiB,
+    K.SPILL_COMPRESS: False,
+    K.FT_ENABLED: False,
+    K.FT_INTERVAL_RECORDS: 10_000,
+    K.INJECT_CRASH_AFTER_RECORDS: -1,
+    K.INJECT_CRASH_TASK: 0,
+    K.ROUNDS: 1,
+}
+
+_PROFILE_DEFAULTS: dict[Mode, dict[str, Any]] = {
+    # Common: SPMD, sorted exchange so the Listing-1 Sort works out of the box
+    Mode.COMMON: {
+        K.SORT: True,
+        K.BIDIRECTIONAL: False,
+        K.PIPELINED_DELIVERY: False,
+    },
+    # MapReduce: sorted, strictly one-way O->A
+    Mode.MAPREDUCE: {
+        K.SORT: True,
+        K.BIDIRECTIONAL: False,
+        K.PIPELINED_DELIVERY: False,
+    },
+    # Iteration: bi-directional rounds, no sorting required
+    Mode.ITERATION: {
+        K.SORT: False,
+        K.BIDIRECTIONAL: True,
+        K.PIPELINED_DELIVERY: False,
+    },
+    # Streaming: unsorted, pairs delivered while O tasks still run; a
+    # small flush threshold keeps per-record latency low
+    Mode.STREAMING: {
+        K.SORT: False,
+        K.BIDIRECTIONAL: False,
+        K.PIPELINED_DELIVERY: True,
+        K.SPL_PARTITION_BYTES: 2 * KiB,
+    },
+}
+
+
+def profile_for(mode: Mode, user_conf: Mapping[str, Any] | None = None) -> Configuration:
+    """Layer user configuration over the mode's profile defaults."""
+    base = Configuration(_SHARED_DEFAULTS)
+    profile = base.child(_PROFILE_DEFAULTS[mode])
+    return profile.child(dict(user_conf or {}))
+
+
+def mode_sorts(conf: Configuration) -> bool:
+    return conf.get_bool(K.SORT, False)
+
+
+def mode_is_pipelined(conf: Configuration) -> bool:
+    return conf.get_bool(K.PIPELINED_DELIVERY, False)
+
+
+def mode_is_bidirectional(conf: Configuration) -> bool:
+    return conf.get_bool(K.BIDIRECTIONAL, False)

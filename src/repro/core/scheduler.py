@@ -1,0 +1,113 @@
+"""mpidrun's task scheduler (§IV-B, Figure 4).
+
+The driver owns two task queues (communicator O & A) and serves workers'
+pull requests over the parent intercommunicator:
+
+* **Dichotomic**: separate queues per communicator.
+* **Dynamic**: O tasks (MapReduce/Common/Streaming) are handed out
+  first-come-first-served, so fast processes naturally take more tasks.
+* **Data-centric**: A tasks are assigned *only* to the process that
+  hosts their partition (the Partition Window ownership), giving every
+  A task reduce-side data locality.  Iteration-mode O tasks are pinned
+  the same way so cross-round process-local state stays local.
+* **Diversified**: the job's mode changes the loop structure (rounds,
+  streaming overlap) on the worker side; the scheduler just serves
+  queues keyed by (phase, round).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.common.errors import DataMPIError
+from repro.common.logging import get_logger
+from repro.core.constants import CONTROL_TAG, Mode
+from repro.core.job import DataMPIJob
+from repro.core.metrics import JobMetrics, WorkerMetrics
+from repro.core.partition import PartitionWindow
+from repro.mpi.datatypes import ANY_SOURCE
+
+_log = get_logger("core.scheduler")
+
+
+class TaskScheduler:
+    """Queue state for one job."""
+
+    def __init__(self, job: DataMPIJob, nprocs: int) -> None:
+        self.job = job
+        self.nprocs = nprocs
+        self.window_fwd = PartitionWindow(job.a_tasks, nprocs)
+        self.window_bwd = PartitionWindow(job.o_tasks, nprocs)
+        #: (phase, round) -> shared FIFO deque (dynamic O scheduling)
+        self._shared: dict[tuple[str, int], deque[int]] = {}
+        #: (phase, round, worker) -> pinned deque (data-centric scheduling)
+        self._pinned: dict[tuple[str, int, int], deque[int]] = {}
+        self.assigned: list[tuple[str, int, int, int]] = []  # audit trail
+
+    def _o_is_pinned(self) -> bool:
+        return self.job.mode is Mode.ITERATION
+
+    def next_task(self, phase: str, round_no: int, worker: int) -> int | None:
+        if phase not in ("O", "A"):
+            raise DataMPIError(f"unknown phase {phase!r}")
+        if phase == "A" or self._o_is_pinned():
+            queue = self._pinned_queue(phase, round_no, worker)
+        else:
+            queue = self._shared_queue(phase, round_no)
+        if not queue:
+            return None
+        task_id = queue.popleft()
+        self.assigned.append((phase, round_no, worker, task_id))
+        _log.debug(
+            "assign %s task %d (round %d) -> worker %d",
+            phase, task_id, round_no, worker,
+        )
+        return task_id
+
+    def _shared_queue(self, phase: str, round_no: int) -> deque[int]:
+        key = (phase, round_no)
+        if key not in self._shared:
+            count = self.job.o_tasks if phase == "O" else self.job.a_tasks
+            self._shared[key] = deque(range(count))
+        return self._shared[key]
+
+    def _pinned_queue(self, phase: str, round_no: int, worker: int) -> deque[int]:
+        key = (phase, round_no, worker)
+        if key not in self._pinned:
+            window = self.window_fwd if phase == "A" else self.window_bwd
+            self._pinned[key] = deque(window.owned_by(worker))
+        return self._pinned[key]
+
+
+def driver_main(comm: Any, job: DataMPIJob, nprocs: int) -> dict[int, WorkerMetrics]:
+    """The mpidrun process: spawn workers, serve the control protocol.
+
+    Runs as rank 0 of a single-rank world; workers are spawned as a child
+    world connected by an intercommunicator (Figure 4's process tree).
+    """
+    from repro.core.engine import worker_main
+
+    inter = comm.spawn(worker_main, nprocs, args=(job, nprocs), name=f"{job.name}-w")
+    scheduler = TaskScheduler(job, nprocs)
+    reports: dict[int, WorkerMetrics] = {}
+    while len(reports) < nprocs:
+        message = inter.recv(source=ANY_SOURCE, tag=CONTROL_TAG)
+        if message[0] == "req":
+            _, phase, round_no, worker = message
+            task_id = scheduler.next_task(phase, round_no, worker)
+            reply = ("task", task_id) if task_id is not None else ("none", None)
+            inter.send(reply, dest=worker, tag=CONTROL_TAG)
+        elif message[0] == "report":
+            _, worker, metrics = message
+            reports[worker] = metrics
+        else:
+            raise DataMPIError(f"unknown control message {message[0]!r}")
+    return reports
+
+
+def merge_reports(reports: dict[int, WorkerMetrics]) -> JobMetrics:
+    job_metrics = JobMetrics()
+    for metrics in reports.values():
+        metrics.merge_into(job_metrics)
+    return job_metrics

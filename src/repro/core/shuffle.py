@@ -1,0 +1,276 @@
+"""O-side shuffle pipeline (§IV-C) over the MPI bipartite model.
+
+Per worker process:
+
+* the **main thread** runs task logic and emits pairs into the SPL;
+* the **communication (sender) thread** drains sealed blocks from a send
+  queue and pushes them to the owning process with MPI point-to-point;
+* the **receiver thread** accepts blocks from every peer, caching them
+  in the RPL of the hosted partition and triggering background merges
+  (the paper's merge thread) — so computation, copy and merge overlap.
+
+A *plane* is one logical exchange (forward O→A, or backward A→O per
+Iteration round).  A plane completes when an end-of-stream marker has
+arrived from every process; Streaming mode delivers records to per-
+partition queues as blocks land instead of waiting for completion.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Iterator
+
+from repro.common.errors import DataMPIError
+from repro.core.buffers import Block, ReceivePartitionList
+from repro.core.constants import SHUFFLE_TAG
+from repro.core.partition import PartitionWindow
+from repro.core.sorter import RunStore
+from repro.mpi.datatypes import ANY_SOURCE
+from repro.serde.comparators import Compare
+from repro.serde.serialization import Serializer
+
+KV = tuple[Any, Any]
+
+#: sentinel ending a streaming partition queue
+_STREAM_EOS = object()
+
+
+class PlaneConfig:
+    """Everything a plane needs to build its receive side."""
+
+    def __init__(
+        self,
+        num_partitions: int,
+        window: PartitionWindow,
+        cmp: Compare | None,
+        serializer: Serializer,
+        spill_dir: str,
+        memory_budget: int,
+        merge_threshold_blocks: int,
+        pipelined: bool,
+        compress_spills: bool = False,
+    ) -> None:
+        self.num_partitions = num_partitions
+        self.window = window
+        self.cmp = cmp
+        self.serializer = serializer
+        self.spill_dir = spill_dir
+        self.memory_budget = memory_budget
+        self.merge_threshold_blocks = merge_threshold_blocks
+        self.pipelined = pipelined
+        self.compress_spills = compress_spills
+
+
+class ShufflePlane:
+    """Receive-side state of one exchange on one process."""
+
+    def __init__(self, plane_id: str, process_rank: int, config: PlaneConfig) -> None:
+        self.plane_id = plane_id
+        self.config = config
+        owned = config.window.owned_by(process_rank)
+        budget_each = max(1, config.memory_budget // max(1, len(owned)))
+        self.rpls: dict[int, ReceivePartitionList] = {
+            p: ReceivePartitionList(
+                p,
+                config.cmp,
+                RunStore(
+                    config.cmp,
+                    config.serializer,
+                    config.spill_dir,
+                    budget_each,
+                    stem=f"{plane_id}-p{p}",
+                    compress_spills=config.compress_spills,
+                ),
+                config.merge_threshold_blocks,
+            )
+            for p in owned
+        }
+        self.streams: dict[int, "queue.Queue[Any]"] = (
+            {p: queue.Queue() for p in owned} if config.pipelined else {}
+        )
+        self._eos_seen = 0
+        self._eos_expected = config.window.num_processes
+        self.complete = threading.Event()
+        self._lock = threading.Lock()
+
+    def add_block(self, block: Block) -> None:
+        rpl = self.rpls.get(block.partition_id)
+        if rpl is None:
+            raise DataMPIError(
+                f"plane {self.plane_id}: received partition {block.partition_id}"
+                " not owned by this process (Partition Window mismatch)"
+            )
+        rpl.add_block(block)
+        if self.config.pipelined:
+            stream = self.streams[block.partition_id]
+            for record in block.records:
+                stream.put(record)
+
+    def add_eos(self) -> None:
+        with self._lock:
+            self._eos_seen += 1
+            if self._eos_seen > self._eos_expected:
+                raise DataMPIError(f"plane {self.plane_id}: extra EOS marker")
+            if self._eos_seen == self._eos_expected:
+                for stream in self.streams.values():
+                    stream.put(_STREAM_EOS)
+                self.complete.set()
+
+    # -- consumption -----------------------------------------------------------
+    def merged_iter(self, partition: int) -> Iterator[KV]:
+        """Post-completion ordered iterator for one partition."""
+        if not self.complete.is_set():
+            raise DataMPIError(
+                f"plane {self.plane_id}: partition {partition} read before EOS"
+            )
+        return self.rpls[partition].merged()
+
+    def stream_iter(self, partition: int) -> Iterator[KV]:
+        """Live iterator (Streaming mode): yields pairs as they arrive."""
+        stream = self.streams[partition]
+        while True:
+            item = stream.get()
+            if item is _STREAM_EOS:
+                return
+            yield item
+
+    def wait_complete(self, timeout: float | None = None) -> None:
+        if not self.complete.wait(timeout):
+            raise DataMPIError(f"plane {self.plane_id}: completion timed out")
+
+    def cleanup(self) -> None:
+        for rpl in self.rpls.values():
+            rpl.cleanup()
+
+    # -- stats ------------------------------------------------------------------
+    def records_received(self) -> int:
+        return sum(r.records_received for r in self.rpls.values())
+
+    def blocks_received(self) -> int:
+        return sum(r.blocks_received for r in self.rpls.values())
+
+    def spilled_bytes(self) -> int:
+        return sum(r.store.spilled_bytes for r in self.rpls.values())
+
+
+class ShuffleService:
+    """Sender + receiver threads of one worker process."""
+
+    def __init__(
+        self,
+        world: Any,  # worker Intracomm
+        plane_config_factory: Callable[[str], PlaneConfig],
+    ) -> None:
+        self.world = world
+        self.rank = world.rank
+        self.nprocs = world.size
+        self._factory = plane_config_factory
+        self._planes: dict[str, ShufflePlane] = {}
+        self._planes_lock = threading.Lock()
+        self._send_queue: "queue.Queue[tuple | None]" = queue.Queue()
+        self.blocks_sent = 0
+        self.bytes_sent = 0
+        self._sender = threading.Thread(
+            target=self._sender_loop, daemon=True, name=f"shuffle-send-{self.rank}"
+        )
+        self._receiver = threading.Thread(
+            target=self._receiver_loop, daemon=True, name=f"shuffle-recv-{self.rank}"
+        )
+        self._sender.start()
+        self._receiver.start()
+
+    # -- plane registry -----------------------------------------------------------
+    def plane(self, plane_id: str) -> ShufflePlane:
+        with self._planes_lock:
+            plane = self._planes.get(plane_id)
+            if plane is None:
+                plane = ShufflePlane(plane_id, self.rank, self._factory(plane_id))
+                self._planes[plane_id] = plane
+            return plane
+
+    # -- send path -------------------------------------------------------------
+    def send_block(self, plane_id: str, block: Block) -> None:
+        """Hand a sealed block to the communication thread."""
+        config = self.plane(plane_id).config
+        dest = config.window.owner(block.partition_id)
+        self._send_queue.put(("block", plane_id, dest, block))
+
+    def send_eos(self, plane_id: str) -> None:
+        """Tell every process this sender finished the plane."""
+        for dest in range(self.nprocs):
+            self._send_queue.put(("eos", plane_id, dest, None))
+
+    def _sender_loop(self) -> None:
+        from repro.common.errors import MPIAbort
+
+        while True:
+            item = self._send_queue.get()
+            if item is None:
+                self._send_queue.task_done()
+                return
+            kind, plane_id, dest, block = item
+            try:
+                self.world.send((kind, plane_id, block), dest=dest, tag=SHUFFLE_TAG)
+            except MPIAbort:
+                # the job is dead; drain quietly so the worker can unwind
+                self._send_queue.task_done()
+                return
+            if kind == "block":
+                self.blocks_sent += 1
+                self.bytes_sent += block.nbytes
+            self._send_queue.task_done()
+
+    # -- receive path ------------------------------------------------------------
+    def _receiver_loop(self) -> None:
+        from repro.common.errors import MPIAbort
+
+        while True:
+            try:
+                kind, plane_id, block = self.world.recv(
+                    source=ANY_SOURCE, tag=SHUFFLE_TAG
+                )
+            except MPIAbort:
+                return  # job aborted; planes will never complete, that's fine
+            if kind == "shutdown":
+                return
+            plane = self.plane(plane_id)
+            if kind == "block":
+                plane.add_block(block)
+            elif kind == "eos":
+                plane.add_eos()
+            else:
+                raise DataMPIError(f"unknown shuffle message kind {kind!r}")
+
+    # -- lifecycle ---------------------------------------------------------------
+    def drain_sends(self) -> None:
+        """Block until the communication thread emptied the send queue."""
+        self._send_queue.join()
+
+    def shutdown(self) -> None:
+        from repro.common.errors import MPIAbort
+
+        self._send_queue.put(None)
+        self._sender.join(timeout=10)
+        try:
+            # self-deliver the receiver stop marker through MPI so it drains
+            # everything already enqueued first
+            self.world.send(("shutdown", "", None), dest=self.rank, tag=SHUFFLE_TAG)
+        except MPIAbort:
+            pass  # receiver already unwound via the abort
+        self._receiver.join(timeout=10)
+        for plane in self._planes.values():
+            plane.cleanup()
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "blocks_sent": self.blocks_sent,
+            "bytes_sent": self.bytes_sent,
+            "records_received": sum(
+                p.records_received() for p in self._planes.values()
+            ),
+            "blocks_received": sum(
+                p.blocks_received() for p in self._planes.values()
+            ),
+            "spilled_bytes": sum(p.spilled_bytes() for p in self._planes.values()),
+        }

@@ -1,0 +1,230 @@
+"""Sorting and k-way merging of key-value runs (§IV-C/§IV-D machinery).
+
+A *run* is a key-sorted sequence of (key, value) pairs.  Runs live in
+memory or on disk (spilled, serialized); :func:`merge_runs` lazily merges
+any mix of them with a heap, preserving stability so equal keys keep
+their arrival order — which MapReduce semantics rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import tempfile
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.common.records import kv_bytes
+from repro.serde.comparators import Compare, default_compare, sort_key
+from repro.serde.io import DataInput, DataOutput
+from repro.serde.serialization import Serializer
+
+KV = tuple[Any, Any]
+
+
+def sort_block(records: list[KV], cmp: Compare | None = None) -> list[KV]:
+    """Stable in-memory sort of one block by key."""
+    key_fn = sort_key(cmp or default_compare)
+    return sorted(records, key=lambda kv: key_fn(kv[0]))
+
+
+def merge_runs(
+    runs: list[Iterable[KV]], cmp: Compare | None = None
+) -> Iterator[KV]:
+    """Lazy stable k-way merge of key-sorted runs.
+
+    Ties break by run index then arrival order, so the merge is stable
+    with respect to the order runs were produced.
+    """
+    cmp = cmp or default_compare
+    key_fn = sort_key(cmp)
+    heap: list[tuple[Any, int, int, KV, Iterator[KV]]] = []
+    for idx, run in enumerate(runs):
+        it = iter(run)
+        first = next(it, None)
+        if first is not None:
+            heap.append((key_fn(first[0]), idx, 0, first, it))
+    heapq.heapify(heap)
+    while heap:
+        _, idx, seq, record, it = heapq.heappop(heap)
+        yield record
+        nxt = next(it, None)
+        if nxt is not None:
+            heapq.heappush(heap, (key_fn(nxt[0]), idx, seq + 1, nxt, it))
+
+
+def group_by_key(sorted_records: Iterable[KV]) -> Iterator[tuple[Any, list[Any]]]:
+    """Group a key-sorted stream into (key, [values]) — the reduce input."""
+    it = iter(sorted_records)
+    first = next(it, None)
+    if first is None:
+        return
+    current_key, values = first[0], [first[1]]
+    for key, value in it:
+        if key == current_key:
+            values.append(value)
+        else:
+            yield current_key, values
+            current_key, values = key, [value]
+    yield current_key, values
+
+
+def combine_run(
+    sorted_records: Iterable[KV],
+    combiner: Callable[[Any, list[Any]], Iterable[Any]],
+) -> list[KV]:
+    """Apply ``MPI_D_COMBINE`` to a sorted run, shrinking it in place.
+
+    The combiner receives (key, values) and returns the combined output
+    values for that key (usually one).
+    """
+    out: list[KV] = []
+    for key, values in group_by_key(sorted_records):
+        for combined in combiner(key, values):
+            out.append((key, combined))
+    return out
+
+
+class SpillFile:
+    """One on-disk serialized (optionally compressed) run."""
+
+    def __init__(
+        self,
+        path: str,
+        serializer: Serializer,
+        count: int,
+        nbytes: int,
+        compressed: bool = False,
+    ):
+        self.path = path
+        self.serializer = serializer
+        self.count = count
+        #: bytes on disk (post-compression)
+        self.nbytes = nbytes
+        self.compressed = compressed
+
+    def __iter__(self) -> Iterator[KV]:
+        with open(self.path, "rb") as f:
+            data = f.read()
+        if self.compressed:
+            import zlib
+
+            data = zlib.decompress(data)
+        src = DataInput(data)
+        for _ in range(self.count):
+            yield self.serializer.deserialize_kv(src)
+
+    def delete(self) -> None:
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass
+
+
+def spill_run(
+    records: list[KV],
+    serializer: Serializer,
+    directory: str,
+    stem: str,
+    compress: bool = False,
+) -> SpillFile:
+    """Serialize one run to ``directory`` and return its handle.
+
+    ``compress`` trades CPU for disk bandwidth like Hadoop's
+    ``mapred.compress.map.output`` — worthwhile exactly when the disk is
+    the bottleneck, which §V-B says it is on single-HDD nodes.
+    """
+    out = DataOutput()
+    for key, value in records:
+        serializer.serialize_kv(key, value, out)
+    payload = out.getvalue()
+    if compress:
+        import zlib
+
+        payload = zlib.compress(payload, level=1)
+    fd, path = tempfile.mkstemp(prefix=f"{stem}-", suffix=".spill", dir=directory)
+    with os.fdopen(fd, "wb") as f:
+        f.write(payload)
+    return SpillFile(path, serializer, len(records), len(payload), compress)
+
+
+class RunStore:
+    """Accumulates runs for one partition, spilling past a memory budget.
+
+    The store tracks the estimated in-memory footprint; once it exceeds
+    ``memory_budget`` the largest in-memory runs are spilled.  Iteration
+    merges everything (memory + disk) in key order.
+    """
+
+    def __init__(
+        self,
+        cmp: Compare | None,
+        serializer: Serializer,
+        directory: str,
+        memory_budget: int,
+        stem: str = "run",
+        compress_spills: bool = False,
+    ) -> None:
+        self.cmp = cmp
+        self.serializer = serializer
+        self.directory = directory
+        self.memory_budget = memory_budget
+        self.stem = stem
+        self.compress_spills = compress_spills
+        self.memory_runs: list[list[KV]] = []
+        self.disk_runs: list[SpillFile] = []
+        self.memory_bytes = 0
+        self.spilled_bytes = 0
+        self.total_records = 0
+
+    def add_run(self, run: list[KV], nbytes: int | None = None) -> None:
+        """Add a key-sorted run (or unsorted when cmp is None)."""
+        if nbytes is None:
+            nbytes = sum(kv_bytes(k, v) for k, v in run)
+        self.memory_runs.append(run)
+        self.memory_bytes += nbytes
+        self.total_records += len(run)
+        while self.memory_bytes > self.memory_budget and self.memory_runs:
+            self._spill_largest()
+
+    def _spill_largest(self) -> None:
+        idx = max(
+            range(len(self.memory_runs)), key=lambda i: len(self.memory_runs[i])
+        )
+        run = self.memory_runs.pop(idx)
+        nbytes = sum(kv_bytes(k, v) for k, v in run)
+        self.memory_bytes = max(0, self.memory_bytes - nbytes)
+        spill = spill_run(
+            run, self.serializer, self.directory, self.stem,
+            compress=self.compress_spills,
+        )
+        self.disk_runs.append(spill)
+        self.spilled_bytes += spill.nbytes
+
+    def compact(self, max_runs: int) -> None:
+        """Background merge: collapse in-memory runs when too many pile up.
+
+        This is the paper's receive-side merge thread behaviour: "some of
+        the cached RPLs are merged" once the merge queue crosses a
+        threshold.
+        """
+        if len(self.memory_runs) <= max_runs:
+            return
+        merged = list(merge_runs(self.memory_runs, self.cmp)) if self.cmp else [
+            record for run in self.memory_runs for record in run
+        ]
+        self.memory_runs = [merged]
+
+    def __iter__(self) -> Iterator[KV]:
+        runs: list[Iterable[KV]] = list(self.memory_runs) + list(self.disk_runs)
+        if self.cmp is None:
+            for run in runs:
+                yield from run
+        else:
+            yield from merge_runs(runs, self.cmp)
+
+    def cleanup(self) -> None:
+        for spill in self.disk_runs:
+            spill.delete()
+        self.disk_runs.clear()
+        self.memory_runs.clear()
+        self.memory_bytes = 0

@@ -1,0 +1,34 @@
+"""Mini-Hadoop: the MapReduce baseline the paper compares against.
+
+A functional reproduction of the Hadoop 1.x execution architecture at
+the granularity the paper discusses (§IV-B, Figure 5):
+
+* **JobTracker** — splits input by HDFS block, schedules map tasks with
+  data-locality preference, launches reduces only after maps complete;
+* **MapTask** — in-memory sort buffer (``io.sort.mb``), sorted+partitioned
+  spills, final merge, output registered with the host's shuffle server;
+* **proxy-based two-phase shuffle** — reduce tasks *pull* map output
+  segments from per-TaskTracker HTTP-style servers, then merge;
+* **ReduceTask** — copy, merge, reduce, write ``part-r-NNNNN`` to HDFS.
+
+This is the "two-phase and proxy-based data movement approach" whose
+lack of reduce-side locality and delayed shuffle DataMPI's O-side
+pipeline removes.
+"""
+
+from repro.hadoop.engine import MiniHadoopCluster
+from repro.hadoop.job import HadoopJob, HadoopJobResult
+from repro.hadoop.io_formats import (
+    FixedLengthRecordFormat,
+    KeyValueTextOutputFormat,
+    TextInputFormat,
+)
+
+__all__ = [
+    "MiniHadoopCluster",
+    "HadoopJob",
+    "HadoopJobResult",
+    "TextInputFormat",
+    "FixedLengthRecordFormat",
+    "KeyValueTextOutputFormat",
+]

@@ -1,0 +1,97 @@
+"""Map-side output buffer: the io.sort.mb spill machinery.
+
+Hadoop's map writes into a circular in-memory buffer; when it fills, the
+content is sorted, partitioned, optionally combined and *spilled to
+local disk*; at task end the spills are merged into one partitioned map
+output file.  The paper contrasts this write-to-disk-then-serve design
+("each map task writes the intermediate data to local disk") with
+DataMPI's in-memory push shuffle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.common.records import kv_bytes
+from repro.core.partition import Partitioner, validate_destination
+from repro.core.sorter import combine_run, merge_runs, sort_block
+from repro.serde.comparators import Compare, default_compare
+
+KV = tuple[Any, Any]
+Combiner = Callable[[Any, list[Any]], Iterable[Any]]
+
+
+class MapOutputBuffer:
+    """Collects map output, spills sorted partitioned runs past the budget."""
+
+    def __init__(
+        self,
+        num_partitions: int,
+        partitioner: Partitioner,
+        sort_buffer_bytes: int,
+        cmp: Compare | None = None,
+        combiner: Combiner | None = None,
+    ) -> None:
+        self.num_partitions = num_partitions
+        self.partitioner = partitioner
+        self.sort_buffer_bytes = sort_buffer_bytes
+        self.cmp = cmp or default_compare
+        self.combiner = combiner
+        self._records: list[tuple[int, Any, Any]] = []  # (partition, k, v)
+        self._bytes = 0
+        #: completed spills: each is partition -> sorted run
+        self.spills: list[dict[int, list[KV]]] = []
+        self.records_collected = 0
+        self.spilled_records = 0
+        self.combined_records = 0
+
+    def collect(self, key: Any, value: Any) -> None:
+        dest = validate_destination(
+            self.partitioner(key, value, self.num_partitions), self.num_partitions
+        )
+        self._records.append((dest, key, value))
+        self._bytes += kv_bytes(key, value)
+        self.records_collected += 1
+        if self._bytes >= self.sort_buffer_bytes:
+            self.spill()
+
+    def spill(self) -> None:
+        """Sort+partition (+combine) the buffer into one spill."""
+        if not self._records:
+            return
+        by_partition: dict[int, list[KV]] = {}
+        for dest, key, value in self._records:
+            by_partition.setdefault(dest, []).append((key, value))
+        spill: dict[int, list[KV]] = {}
+        for dest, records in by_partition.items():
+            run = sort_block(records, self.cmp)
+            if self.combiner is not None:
+                before = len(run)
+                run = combine_run(run, self.combiner)
+                self.combined_records += before - len(run)
+            spill[dest] = run
+            self.spilled_records += len(run)
+        self.spills.append(spill)
+        self._records.clear()
+        self._bytes = 0
+
+    def finish(self) -> dict[int, list[KV]]:
+        """Final merge of all spills into one map output (per partition)."""
+        self.spill()
+        merged: dict[int, list[KV]] = {}
+        for partition in range(self.num_partitions):
+            runs = [s[partition] for s in self.spills if partition in s]
+            if not runs:
+                continue
+            if len(runs) == 1:
+                merged[partition] = runs[0]
+            else:
+                run = list(merge_runs(runs, self.cmp))
+                if self.combiner is not None:
+                    run = combine_run(run, self.combiner)
+                merged[partition] = run
+        return merged
+
+    @property
+    def num_spills(self) -> int:
+        return len(self.spills)

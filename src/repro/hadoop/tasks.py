@@ -1,0 +1,102 @@
+"""Map and reduce task execution."""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.core.sorter import group_by_key, merge_runs
+from repro.hadoop.io_formats import InputSplit
+from repro.hadoop.job import HadoopCounters, HadoopJob
+from repro.hadoop.map_output import MapOutputBuffer
+from repro.hadoop.shuffle_http import ShuffleDirectory, ShuffleServer
+from repro.hdfs.client import DFSClient
+from repro.serde.comparators import default_compare
+
+
+def run_map_task(
+    job: HadoopJob,
+    map_id: int,
+    split: InputSplit,
+    dfs: DFSClient,
+    server: ShuffleServer,
+    counters: HadoopCounters,
+    counters_lock: Any,
+) -> None:
+    """Execute one map task on the host owning ``dfs``/``server``."""
+    buffer = MapOutputBuffer(
+        num_partitions=job.num_reduces,
+        partitioner=job.partitioner,
+        sort_buffer_bytes=job.sort_buffer_bytes,
+        cmp=job.comparator,
+        combiner=job.combiner,
+    )
+    input_records = 0
+    for key, value in job.input_format.read_split(dfs, split):
+        input_records += 1
+        job.mapper(key, value, buffer.collect)
+    outputs = buffer.finish()
+    # the map writes its output "to local disk" = this host's shuffle server
+    server.register_map_output(map_id, outputs)
+    with counters_lock:
+        counters.map_input_records += input_records
+        counters.map_output_records += buffer.records_collected
+        counters.spilled_records += buffer.spilled_records
+        counters.spill_files += buffer.num_spills
+        counters.combine_output_records += buffer.combined_records
+        if dfs.node_id is not None and dfs.node_id in split.hosts:
+            counters.data_local_maps += 1
+        else:
+            counters.rack_remote_maps += 1
+
+
+def run_reduce_task(
+    job: HadoopJob,
+    reduce_id: int,
+    num_maps: int,
+    directory: ShuffleDirectory,
+    dfs: DFSClient,
+    counters: HadoopCounters,
+    counters_lock: Any,
+) -> str:
+    """Execute one reduce: copy (HTTP pulls) -> merge -> reduce -> HDFS.
+
+    Returns the output file path written.
+    """
+    from repro.common.records import kv_bytes
+
+    # -- copy phase: pull this partition's segment from every map ------------
+    runs = []
+    shuffle_bytes = 0
+    fetches = 0
+    for map_id in range(num_maps):
+        run, _host = directory.fetch(map_id, reduce_id)
+        fetches += 1
+        shuffle_bytes += sum(kv_bytes(k, v) for k, v in run)
+        if run:
+            runs.append(run)
+    # -- merge phase ------------------------------------------------------------
+    cmp = job.comparator or default_compare
+    merged = merge_runs(runs, cmp)
+    # -- reduce phase -------------------------------------------------------------
+    output_pairs: list[tuple[Any, Any]] = []
+
+    def emit(key: Any, value: Any) -> None:
+        output_pairs.append((key, value))
+
+    reduce_input = 0
+    for key, values in group_by_key(merged):
+        reduce_input += len(values)
+        job.reducer(key, values, emit)
+    out_path = f"{job.output_path}/part-r-{reduce_id:05d}"
+    dfs.write_file(out_path, job.output_format.serialize(output_pairs))
+    with counters_lock:
+        counters.reduce_shuffle_bytes += shuffle_bytes
+        counters.shuffle_fetches += fetches
+        counters.reduce_input_records += reduce_input
+        counters.reduce_output_records += len(output_pairs)
+    return out_path
+
+
+def now() -> float:
+    return time.perf_counter()

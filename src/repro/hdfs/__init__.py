@@ -1,0 +1,27 @@
+"""Mini-HDFS: a block-based distributed filesystem substrate.
+
+Hadoop's and DataMPI's data-centric scheduling both hinge on HDFS
+semantics: files split into fixed-size blocks, blocks replicated across
+DataNodes, and ``getBlockLocations`` exposing which hosts store each
+block so tasks can be scheduled data-local (paper §IV-B: "a utility
+function is designed to locally load data from HDFS for O tasks by their
+ranks and the communicator size").
+
+The implementation is in-memory (one :class:`~repro.hdfs.datanode.DataNode`
+per simulated host), with HDFS's writer-local first-replica placement —
+the property that makes map-side locality possible at all.
+"""
+
+from repro.hdfs.client import DFSClient
+from repro.hdfs.cluster import MiniDFSCluster
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.namenode import BlockInfo, FileMeta, NameNode
+
+__all__ = [
+    "NameNode",
+    "DataNode",
+    "DFSClient",
+    "MiniDFSCluster",
+    "BlockInfo",
+    "FileMeta",
+]

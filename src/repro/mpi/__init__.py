@@ -1,0 +1,46 @@
+"""A from-scratch MPI implementation on threads.
+
+The paper layers DataMPI over a native MPI library (MVAPICH2).  Offline we
+have no MPI, so this package implements the MPI subset DataMPI needs, with
+mpi4py-compatible naming where practical:
+
+* ranks are Python threads launched by :class:`~repro.mpi.runtime.MPIRuntime`
+  (the ``mpiexec`` analogue);
+* point-to-point ``send/recv/isend/irecv/probe`` with ``(source, tag,
+  communicator)`` matching, ``ANY_SOURCE``/``ANY_TAG`` wildcards and the
+  MPI non-overtaking guarantee;
+* collectives (barrier, bcast, gather(+v), scatter, allgather, reduce,
+  allreduce, alltoall(+v), scan) built over p2p on a reserved context;
+* ``Comm.split``/``Comm.dup`` and intercommunicators;
+* dynamic process management (``spawn``) used by ``mpidrun`` to launch
+  working processes connected to their parent by an intercommunicator
+  (paper §IV-B).
+
+Failure of any rank aborts the whole runtime, waking blocked peers with
+:class:`~repro.common.errors.MPIAbort` — mirroring a real MPI job kill.
+"""
+
+from repro.common.errors import MPIAbort, MPIError
+from repro.mpi.comm import Intracomm
+from repro.mpi.datatypes import ANY_SOURCE, ANY_TAG, MAX, MIN, PROD, SUM, Op, Status
+from repro.mpi.intercomm import Intercomm
+from repro.mpi.request import Request
+from repro.mpi.runtime import MPIRuntime, run_world
+
+__all__ = [
+    "MPIRuntime",
+    "run_world",
+    "Intracomm",
+    "Intercomm",
+    "Request",
+    "Status",
+    "Op",
+    "SUM",
+    "MIN",
+    "MAX",
+    "PROD",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "MPIError",
+    "MPIAbort",
+]

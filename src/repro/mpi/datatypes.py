@@ -1,0 +1,92 @@
+"""MPI constants, Status, and reduction operators."""
+
+from __future__ import annotations
+
+import operator
+from functools import reduce as _functools_reduce
+from typing import Any, Callable, Sequence
+
+#: Wildcard source for receive matching.
+ANY_SOURCE = -1
+#: Wildcard tag for receive matching.
+ANY_TAG = -1
+
+#: Upper bound for user tags; internal (collective) traffic uses a separate
+#: context so the full non-negative tag space belongs to applications.
+TAG_UB = 2**30
+
+
+class Status:
+    """Receive status: actual source, tag and payload size."""
+
+    __slots__ = ("source", "tag", "count")
+
+    def __init__(self, source: int = ANY_SOURCE, tag: int = ANY_TAG, count: int = 0):
+        self.source = source
+        self.tag = tag
+        self.count = count
+
+    def Get_source(self) -> int:  # noqa: N802 - mpi4py-compatible name
+        return self.source
+
+    def Get_tag(self) -> int:  # noqa: N802
+        return self.tag
+
+    def Get_count(self) -> int:  # noqa: N802
+        return self.count
+
+    def __repr__(self) -> str:
+        return f"Status(source={self.source}, tag={self.tag}, count={self.count})"
+
+
+class Op:
+    """A reduction operator.
+
+    ``commutative`` matters for reduce-tree correctness; non-commutative
+    ops are applied strictly in rank order.
+    """
+
+    __slots__ = ("fn", "name", "commutative")
+
+    def __init__(
+        self, fn: Callable[[Any, Any], Any], name: str, commutative: bool = True
+    ):
+        self.fn = fn
+        self.name = name
+        self.commutative = commutative
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        return self.fn(a, b)
+
+    def reduce_all(self, values: Sequence[Any]) -> Any:
+        """Fold ``values`` left-to-right (rank order)."""
+        if not values:
+            raise ValueError("cannot reduce zero values")
+        return _functools_reduce(self.fn, values)
+
+    def __repr__(self) -> str:
+        return f"Op({self.name})"
+
+
+SUM = Op(operator.add, "SUM")
+PROD = Op(operator.mul, "PROD")
+MIN = Op(min, "MIN")
+MAX = Op(max, "MAX")
+LAND = Op(lambda a, b: bool(a) and bool(b), "LAND")
+LOR = Op(lambda a, b: bool(a) or bool(b), "LOR")
+BAND = Op(operator.and_, "BAND")
+BOR = Op(operator.or_, "BOR")
+
+
+def MINLOC(a: tuple, b: tuple) -> tuple:  # noqa: N802
+    """(value, index) pair min — mirrors MPI_MINLOC."""
+    return a if a[0] <= b[0] else b
+
+
+def MAXLOC(a: tuple, b: tuple) -> tuple:  # noqa: N802
+    """(value, index) pair max — mirrors MPI_MAXLOC."""
+    return a if a[0] >= b[0] else b
+
+
+MINLOC_OP = Op(MINLOC, "MINLOC")
+MAXLOC_OP = Op(MAXLOC, "MAXLOC")

@@ -1,0 +1,224 @@
+"""The MPI runtime: thread-per-rank launcher, endpoint registry, abort.
+
+:class:`MPIRuntime` plays ``mpiexec``: it creates one endpoint and one
+thread per rank, runs ``main(comm, *args)`` on each, and collects return
+values.  Dynamic process management (``Intracomm.spawn``) registers new
+endpoints on the fly, which is how ``mpidrun`` launches DataMPI working
+processes (paper §IV-B).
+
+Failure semantics match a batch MPI job: the first rank to raise trips a
+runtime-wide abort, every peer blocked in an MPI call raises
+:class:`~repro.common.errors.MPIAbort`, and :meth:`MPIRuntime.run`
+re-raises the original error.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Sequence
+
+from repro.common.errors import MPIAbort, MPIError
+from repro.mpi.comm import Intracomm
+from repro.mpi.intercomm import Intercomm
+from repro.mpi.transport import AbortFlag, Endpoint
+
+#: contexts are allocated in blocks of 4:
+#: +0 p2p, +1 collective, +2 merged-p2p, +3 merged-collective
+_CONTEXT_STRIDE = 4
+
+
+class _RankThread(threading.Thread):
+    """One MPI rank."""
+
+    def __init__(
+        self,
+        runtime: "MPIRuntime",
+        comm: Intracomm,
+        fn: Callable[..., Any],
+        args: tuple,
+        name: str,
+    ) -> None:
+        super().__init__(name=name, daemon=True)
+        self.runtime = runtime
+        self.comm = comm
+        self.fn = fn
+        self.args = args
+        self.result: Any = None
+
+    def run(self) -> None:
+        try:
+            self.result = self.fn(self.comm, *self.args)
+        except MPIAbort:
+            # a peer failed first; stay quiet, the original error is recorded
+            pass
+        except BaseException as exc:  # noqa: BLE001 - must catch to abort peers
+            self.runtime.record_error(self.comm, exc)
+
+
+class MPIRuntime:
+    """Endpoint registry + launcher for one MPI 'job'."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._endpoints: dict[int, Endpoint] = {}
+        self._next_global = 0
+        self._next_context = 0
+        self._threads: list[_RankThread] = []
+        self._errors: list[BaseException] = []
+        self.abort_flag = AbortFlag()
+
+    # -- registry -------------------------------------------------------------
+    def endpoint(self, global_rank: int) -> Endpoint:
+        try:
+            return self._endpoints[global_rank]
+        except KeyError:
+            raise MPIError(f"unknown global rank {global_rank}") from None
+
+    def allocate_context(self) -> int:
+        """A fresh context block (thread-safe, globally unique)."""
+        with self._lock:
+            context = self._next_context
+            self._next_context += _CONTEXT_STRIDE
+            return context
+
+    def _allocate_ranks(self, n: int) -> tuple[int, ...]:
+        with self._lock:
+            start = self._next_global
+            self._next_global += n
+            ids = tuple(range(start, start + n))
+            for gid in ids:
+                self._endpoints[gid] = Endpoint(gid, self.abort_flag)
+            return ids
+
+    # -- error handling ----------------------------------------------------------
+    def record_error(self, comm: Intracomm, exc: BaseException) -> None:
+        with self._lock:
+            self._errors.append(exc)
+        self.abort(f"rank {comm.rank} of {comm.name}: {exc!r}")
+
+    def abort(self, reason: str, errorcode: int = 1) -> None:
+        self.abort_flag.trip(reason, errorcode)
+        with self._lock:
+            endpoints = list(self._endpoints.values())
+        for endpoint in endpoints:
+            endpoint.wake()
+
+    @property
+    def errors(self) -> list[BaseException]:
+        return list(self._errors)
+
+    # -- launching ------------------------------------------------------------
+    def _start_world(
+        self,
+        fn: Callable[..., Any],
+        nprocs: int,
+        args: tuple,
+        name: str,
+        parent: tuple[tuple[int, ...], int] | None = None,
+    ) -> tuple[tuple[int, ...], int | None, list[_RankThread]]:
+        """Create endpoints + threads for a world; returns (group,
+        inter_context, threads).  ``parent`` is (parent_group,
+        inter_context) when this world is spawned."""
+        group = self._allocate_ranks(nprocs)
+        world_context = self.allocate_context()
+        inter_context = None
+        threads = []
+        for rank in range(nprocs):
+            comm = Intracomm(self, world_context, group, rank, name=name)
+            if parent is not None:
+                parent_group, inter_context = parent
+                comm.parent = Intercomm(
+                    self,
+                    inter_context,
+                    local_group=group,
+                    remote_group=parent_group,
+                    rank=rank,
+                    side=1,
+                    name=f"{name}.parent",
+                )
+            thread = _RankThread(self, comm, fn, args, f"{name}[{rank}]")
+            threads.append(thread)
+        with self._lock:
+            self._threads.extend(threads)
+        for thread in threads:
+            thread.start()
+        return group, inter_context, threads
+
+    def launch_children(
+        self,
+        fn: Callable[..., Any],
+        nprocs: int,
+        args: tuple,
+        parent_group: tuple[int, ...],
+        name: str,
+    ) -> tuple[tuple[int, ...], int]:
+        """Spawn a child world (used by ``Intracomm.spawn``)."""
+        inter_context = self.allocate_context()
+        group, _, _ = self._start_world(
+            fn, nprocs, args, name, parent=(parent_group, inter_context)
+        )
+        return group, inter_context
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        nprocs: int,
+        args: tuple = (),
+        timeout: float | None = 300.0,
+        name: str = "world",
+    ) -> list[Any]:
+        """Run ``fn(comm, *args)`` on ``nprocs`` ranks; return results in
+        rank order.  Waits for spawned child worlds too."""
+        _, _, world_threads = self._start_world(fn, nprocs, args, name)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        # join until the thread set is stable (spawn may add threads while
+        # we wait)
+        joined: set[_RankThread] = set()
+        while True:
+            with self._lock:
+                pending = [t for t in self._threads if t not in joined]
+            if not pending:
+                break
+            for thread in pending:
+                remaining = None
+                if deadline is not None:
+                    remaining = max(0.0, deadline - time.monotonic())
+                thread.join(remaining)
+                if thread.is_alive():
+                    self.abort("runtime timeout", errorcode=2)
+                    thread.join(5.0)
+                    if thread.is_alive():
+                        raise MPIError(
+                            f"rank thread {thread.name} hung past abort"
+                        )
+                joined.add(thread)
+        if self._errors:
+            raise self._errors[0]
+        if self.abort_flag.is_set():
+            raise MPIAbort(self.abort_flag.errorcode, self.abort_flag.reason)
+        return [t.result for t in world_threads]
+
+
+def run_world(
+    nprocs: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    timeout: float | None = 300.0,
+) -> list[Any]:
+    """Convenience: run one SPMD function on a fresh runtime.
+
+    >>> def main(comm):
+    ...     return comm.allreduce(comm.rank, SUM)
+    >>> run_world(4, main)
+    [6, 6, 6, 6]
+    """
+    return MPIRuntime().run(fn, nprocs, args=tuple(args), timeout=timeout)
+
+
+def gather_results(results: Sequence[Any]) -> Any:
+    """Collapse identical per-rank results into one value (sanity helper)."""
+    first = results[0]
+    if all(r == first for r in results):
+        return first
+    return list(results)

@@ -1,0 +1,191 @@
+"""Message transport: per-rank endpoints with MPI matching semantics.
+
+Each global rank owns an :class:`Endpoint`.  Senders deposit
+:class:`Envelope` objects directly into the destination endpoint (eager
+protocol); receivers match against ``(context, source, tag)`` with
+wildcard support.  Matching preserves MPI's non-overtaking rule: for a
+given (source, context, tag) pair, messages are matched in send order,
+because both the unexpected-message queue and the scan are FIFO.
+
+A runtime-wide abort flag wakes every blocked receiver so one failing
+rank cannot deadlock the world.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from typing import Any, Callable
+
+from repro.common.errors import MPIAbort
+from repro.mpi.datatypes import ANY_SOURCE, ANY_TAG, Status
+
+_seq = itertools.count()
+
+
+class Envelope:
+    """One in-flight message."""
+
+    __slots__ = ("context", "source", "tag", "payload", "nbytes", "seq", "delivered")
+
+    def __init__(
+        self, context: int, source: int, tag: int, payload: Any, nbytes: int
+    ) -> None:
+        self.context = context
+        self.source = source
+        self.tag = tag
+        self.payload = payload
+        self.nbytes = nbytes
+        self.seq = next(_seq)
+        #: set when a receiver consumes the message (for synchronous sends)
+        self.delivered = threading.Event()
+
+    def matches(self, context: int, source: int, tag: int) -> bool:
+        return (
+            self.context == context
+            and (source == ANY_SOURCE or self.source == source)
+            and (tag == ANY_TAG or self.tag == tag)
+        )
+
+    def status(self) -> Status:
+        return Status(self.source, self.tag, self.nbytes)
+
+
+class AbortFlag:
+    """Runtime-wide abort latch shared by every endpoint."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.reason: str = ""
+        self.errorcode: int = 0
+
+    def is_set(self) -> bool:
+        return self._event.is_set()
+
+    def trip(self, reason: str, errorcode: int = 1) -> None:
+        if not self._event.is_set():
+            self.reason = reason
+            self.errorcode = errorcode
+            self._event.set()
+
+    def check(self) -> None:
+        if self._event.is_set():
+            raise MPIAbort(self.errorcode, self.reason)
+
+
+class Endpoint:
+    """Mailbox of one global rank."""
+
+    #: Condition-wait slice; short enough to notice aborts promptly without
+    #: a hot loop (aborts also notify the condition directly).
+    WAIT_SLICE = 0.1
+
+    def __init__(self, rank: int, abort: AbortFlag) -> None:
+        self.rank = rank
+        self.abort = abort
+        self._lock = threading.Lock()
+        self._arrived = threading.Condition(self._lock)
+        self._queue: deque[Envelope] = deque()
+        # monotonically increasing count of messages ever enqueued; lets
+        # waiters detect arrivals without re-scanning spuriously
+        self._arrivals = 0
+
+    # -- sender side --------------------------------------------------------
+    def deposit(self, envelope: Envelope) -> None:
+        """Called by the *sender's* thread to deliver a message."""
+        with self._lock:
+            self._queue.append(envelope)
+            self._arrivals += 1
+            self._arrived.notify_all()
+
+    def wake(self) -> None:
+        """Wake blocked receivers (used on abort)."""
+        with self._lock:
+            self._arrived.notify_all()
+
+    # -- receiver side -------------------------------------------------------
+    def _find(self, context: int, source: int, tag: int) -> Envelope | None:
+        for envelope in self._queue:
+            if envelope.matches(context, source, tag):
+                return envelope
+        return None
+
+    def receive(
+        self,
+        context: int,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: float | None = None,
+        cancelled: Callable[[], bool] | None = None,
+    ) -> Envelope:
+        """Block until a matching message arrives, remove and return it.
+
+        ``timeout`` raises :class:`TimeoutError`; ``cancelled`` is polled so
+        higher layers (request cancellation) can back out.
+        """
+        deadline = None if timeout is None else _now() + timeout
+        with self._lock:
+            while True:
+                self.abort.check()
+                if cancelled is not None and cancelled():
+                    raise _Cancelled()
+                envelope = self._find(context, source, tag)
+                if envelope is not None:
+                    self._queue.remove(envelope)
+                    envelope.delivered.set()
+                    return envelope
+                wait = Endpoint.WAIT_SLICE
+                if deadline is not None:
+                    remaining = deadline - _now()
+                    if remaining <= 0:
+                        raise TimeoutError(
+                            f"recv(context={context}, source={source}, tag={tag})"
+                            f" timed out on rank {self.rank}"
+                        )
+                    wait = min(wait, remaining)
+                self._arrived.wait(wait)
+
+    def try_receive(
+        self, context: int, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> Envelope | None:
+        """Non-blocking matched receive (returns None when nothing matches)."""
+        with self._lock:
+            self.abort.check()
+            envelope = self._find(context, source, tag)
+            if envelope is not None:
+                self._queue.remove(envelope)
+                envelope.delivered.set()
+            return envelope
+
+    def probe(
+        self,
+        context: int,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        block: bool = True,
+    ) -> Status | None:
+        """Peek for a matching message without consuming it."""
+        with self._lock:
+            while True:
+                self.abort.check()
+                envelope = self._find(context, source, tag)
+                if envelope is not None:
+                    return envelope.status()
+                if not block:
+                    return None
+                self._arrived.wait(Endpoint.WAIT_SLICE)
+
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+
+class _Cancelled(Exception):
+    """Internal: a cancelled request backed out of a blocking receive."""
+
+
+def _now() -> float:
+    import time
+
+    return time.monotonic()

@@ -1,0 +1,47 @@
+"""Network fabrics and protocol-stack cost models.
+
+The paper's Figure 1 compares primitive-level communication (Hadoop Jetty
+HTTP, DataMPI, MVAPICH2) over three fabrics (IB/IPoIB 16 Gbps, 10GigE,
+1GigE).  This package models those stacks mechanistically: each protocol
+is a pipeline of wire transfer, kernel/stack traversals and memory
+copies, so achieved bandwidth and RPC latency *emerge* from per-stage
+costs instead of being hardcoded per experiment.
+"""
+
+from repro.net.bandwidth import BandwidthBenchmark, achieved_bandwidth, peak_bandwidth
+from repro.net.fabric import (
+    FABRICS,
+    GIGE1,
+    GIGE10,
+    IB_16G,
+    IPOIB_16G,
+    Fabric,
+)
+from repro.net.latency import RPC_STACKS, RpcLatencyModel, rpc_latency_comparison
+from repro.net.protocol import (
+    PROTOCOLS,
+    DataMPIStack,
+    JettyHTTPStack,
+    NativeMPIStack,
+    ProtocolStack,
+)
+
+__all__ = [
+    "Fabric",
+    "GIGE1",
+    "GIGE10",
+    "IB_16G",
+    "IPOIB_16G",
+    "FABRICS",
+    "ProtocolStack",
+    "JettyHTTPStack",
+    "DataMPIStack",
+    "NativeMPIStack",
+    "PROTOCOLS",
+    "achieved_bandwidth",
+    "peak_bandwidth",
+    "BandwidthBenchmark",
+    "RpcLatencyModel",
+    "RPC_STACKS",
+    "rpc_latency_comparison",
+]

@@ -1,0 +1,95 @@
+"""Network fabric descriptors.
+
+A :class:`Fabric` captures the physical/wire-level properties of one of
+the paper's three test networks.  Rates are in bytes/second, latencies in
+seconds.  Framing efficiency accounts for protocol headers at the MTU
+(Ethernet+IP+TCP is ~94% efficient at a 1500 B MTU; IPoIB pays extra
+encapsulation; native IB verbs frames are near-free at a 4 KB MTU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.units import gbps_to_bytes_per_sec
+
+
+@dataclass(frozen=True)
+class Fabric:
+    """One physical network."""
+
+    name: str
+    #: raw link speed, bytes/s
+    link_rate: float
+    #: one-way wire+switch latency for a minimal packet, seconds, as seen
+    #: by a kernel TCP stack (native-verbs users see ``rdma_latency``)
+    base_latency: float
+    #: fraction of the raw link usable for payload after framing
+    framing_efficiency: float
+    #: maximum transmission unit, bytes
+    mtu: int
+    #: one-way latency over native RDMA verbs, or None if unavailable
+    rdma_latency: float | None = None
+    #: payload efficiency for native verbs transfers (None = no verbs)
+    rdma_efficiency: float | None = None
+
+    @property
+    def tcp_goodput(self) -> float:
+        """Peak payload bytes/s achievable through the kernel TCP path."""
+        return self.link_rate * self.framing_efficiency
+
+    @property
+    def rdma_goodput(self) -> float | None:
+        """Peak payload bytes/s over native verbs (None on plain Ethernet)."""
+        if self.rdma_efficiency is None:
+            return None
+        return self.link_rate * self.rdma_efficiency
+
+    @property
+    def has_rdma(self) -> bool:
+        return self.rdma_latency is not None
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: 1 Gigabit Ethernet — Testbed A/B's interconnect.
+GIGE1 = Fabric(
+    name="1GigE",
+    link_rate=gbps_to_bytes_per_sec(1),
+    base_latency=50e-6,
+    framing_efficiency=0.94,
+    mtu=1500,
+)
+
+#: 10 Gigabit Ethernet.
+GIGE10 = Fabric(
+    name="10GigE",
+    link_rate=gbps_to_bytes_per_sec(10),
+    base_latency=25e-6,
+    framing_efficiency=0.94,
+    mtu=1500,
+)
+
+#: InfiniBand at a 16 Gbps signalling rate.  Sockets applications use the
+#: IPoIB encapsulation (higher latency, lower efficiency); MPI uses native
+#: verbs.  The paper labels Hadoop's runs "IPoIB (16Gbps)" and DataMPI's
+#: "IB (16Gbps)" accordingly.
+IB_16G = Fabric(
+    name="IB (16Gbps)",
+    link_rate=gbps_to_bytes_per_sec(16),
+    base_latency=18e-6,  # IPoIB path
+    framing_efficiency=0.85,  # IPoIB encapsulation overhead
+    mtu=2044,
+    rdma_latency=2e-6,
+    rdma_efficiency=0.975,
+)
+
+#: Alias emphasising the sockets view of the same hardware.
+IPOIB_16G = IB_16G
+
+FABRICS: dict[str, Fabric] = {
+    GIGE1.name: GIGE1,
+    GIGE10.name: GIGE10,
+    IB_16G.name: IB_16G,
+}

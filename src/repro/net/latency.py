@@ -1,0 +1,129 @@
+"""RPC round-trip latency model (Figure 1b).
+
+A request/response RPC's latency decomposes into wire round trip,
+kernel/stack traversals, serialization of the payload, and server-side
+dispatch.  Hadoop RPC and DataMPI RPC share the serialization mechanism
+("we further implement an RPC system based on DataMPI by using the same
+data serialization mechanism as default Hadoop RPC", §I-A), so the
+difference is purely transport + dispatch: DataMPI rides the MPI wire
+path (native verbs on IB) with a slim dispatcher, while Hadoop RPC pays
+the Java NIO socket stack and its handler-queue hand-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.fabric import FABRICS, Fabric
+
+#: serialization throughput (Writable encode+decode), bytes/s
+SERDE_RATE = 400e6
+#: fixed serialization cost per call (headers, method name, reflection)
+SERDE_FIXED = 10e-6
+#: size of the RPC response (ack + status), bytes
+RESPONSE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class RpcLatencyModel:
+    """One RPC system's latency decomposition."""
+
+    name: str
+    #: per-traversal kernel/socket stack cost, seconds (x2 ends x2 ways)
+    stack_cost: float
+    #: server-side dispatch cost per call (queueing, handler hand-off)
+    dispatch_cost: float
+    #: True -> uses native verbs latency/rate when the fabric has RDMA
+    uses_rdma: bool
+    #: extra fixed per-call cost (JNI crossing for the Java binding)
+    binding_cost: float = 0.0
+
+    def _one_way_latency(self, fabric: Fabric) -> float:
+        if self.uses_rdma and fabric.has_rdma:
+            assert fabric.rdma_latency is not None
+            return fabric.rdma_latency
+        return fabric.base_latency
+
+    def _wire_rate(self, fabric: Fabric) -> float:
+        if self.uses_rdma and fabric.has_rdma:
+            rate = fabric.rdma_goodput
+            assert rate is not None
+            return rate
+        return fabric.tcp_goodput
+
+    def latency(self, payload: int, fabric: Fabric) -> float:
+        """Round-trip seconds for a call with ``payload`` request bytes."""
+        wire = (
+            2 * self._one_way_latency(fabric)
+            + (payload + RESPONSE_BYTES) / self._wire_rate(fabric)
+        )
+        stacks = 4 * self.stack_cost  # client send/recv + server recv/send
+        serde = 2 * SERDE_FIXED + (payload + RESPONSE_BYTES) / SERDE_RATE
+        return wire + stacks + serde + self.dispatch_cost + self.binding_cost
+
+
+#: Default Hadoop RPC: Java NIO sockets, reader thread -> call queue ->
+#: handler thread -> responder.
+HadoopRpcModel = RpcLatencyModel(
+    name="Hadoop",
+    stack_cost=5e-6,
+    dispatch_cost=50e-6,
+    uses_rdma=False,
+)
+
+#: DataMPI RPC: MPI transport, direct handler dispatch, JNI boundary.
+DataMPIRpcModel = RpcLatencyModel(
+    name="DataMPI",
+    stack_cost=3e-6,
+    dispatch_cost=12e-6,
+    uses_rdma=True,
+    binding_cost=8e-6,
+)
+
+RPC_STACKS: dict[str, RpcLatencyModel] = {
+    "Hadoop": HadoopRpcModel,
+    "DataMPI": DataMPIRpcModel,
+}
+
+#: payload sweep used by the paper: 1 B .. 4 KB in powers of two
+PAYLOAD_SIZES = tuple(2**i for i in range(13))
+
+
+def rpc_latency_comparison(
+    fabric: Fabric, payloads: tuple[int, ...] = PAYLOAD_SIZES
+) -> dict[str, list[tuple[int, float]]]:
+    """Latency curves (seconds) for both RPC systems on ``fabric``."""
+    return {
+        name: [(p, model.latency(p, fabric)) for p in payloads]
+        for name, model in RPC_STACKS.items()
+    }
+
+
+def max_improvement(fabric: Fabric, payloads: tuple[int, ...] = PAYLOAD_SIZES) -> float:
+    """Max percentage improvement of DataMPI RPC over Hadoop RPC.
+
+    The paper reports this "up to" figure per fabric: 18% on 1GigE, 32%
+    on 10GigE, 55% on IB.
+    """
+    best = 0.0
+    for p in payloads:
+        h = HadoopRpcModel.latency(p, fabric)
+        d = DataMPIRpcModel.latency(p, fabric)
+        best = max(best, (h - d) / h * 100.0)
+    return best
+
+
+def summarize_figure_1b() -> str:
+    """Text rendering of Figure 1(b) for the benchmark harness."""
+    lines = ["Figure 1(b) RPC Latency (microseconds, lower is better)"]
+    for fabric_name, fabric in FABRICS.items():
+        curves = rpc_latency_comparison(fabric)
+        lines.append(f"-- {fabric_name} --")
+        lines.append(f"{'payload(B)':>12}{'Hadoop':>12}{'DataMPI':>12}{'improve':>10}")
+        for (p, h), (_, d) in zip(curves["Hadoop"], curves["DataMPI"]):
+            lines.append(
+                f"{p:>12}{h * 1e6:>12.1f}{d * 1e6:>12.1f}"
+                f"{(h - d) / h * 100:>9.1f}%"
+            )
+        lines.append(f"max improvement on {fabric_name}: {max_improvement(fabric):.1f}%")
+    return "\n".join(lines)

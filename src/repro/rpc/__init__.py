@@ -1,0 +1,32 @@
+"""RPC engines.
+
+Two functional RPC systems sharing one call framing and one serialization
+mechanism (Writable), mirroring §I-A: "we further implement an RPC system
+based on DataMPI by using the same data serialization mechanism as
+default Hadoop RPC".
+
+* :class:`~repro.rpc.server.HadoopRpcServer` — the Hadoop 1.x shape:
+  listener, shared call queue, handler thread pool, per-connection
+  responder.
+* :class:`~repro.rpc.server.DataMPIRpcServer` — a dispatcher served over
+  a ``repro.mpi`` communicator (tag-matched request/response).
+
+Latency *models* of the same two systems live in :mod:`repro.net.latency`;
+this package provides the executable artifacts.
+"""
+
+from repro.rpc.client import DataMPIRpcClient, HadoopRpcClient, RpcProxy
+from repro.rpc.protocol import RpcCall, RpcResponse, decode_message, encode_message
+from repro.rpc.server import DataMPIRpcServer, HadoopRpcServer
+
+__all__ = [
+    "RpcCall",
+    "RpcResponse",
+    "encode_message",
+    "decode_message",
+    "HadoopRpcServer",
+    "DataMPIRpcServer",
+    "HadoopRpcClient",
+    "DataMPIRpcClient",
+    "RpcProxy",
+]

@@ -1,0 +1,108 @@
+"""RPC clients and the attribute-style proxy."""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+from typing import Any
+
+from repro.common.errors import RPCError
+from repro.rpc.protocol import RpcCall, RpcResponse, decode_message, encode_message
+from repro.rpc.server import Connection, HadoopRpcServer, _response_tag
+from repro.rpc.server import RPC_REQUEST_TAG
+
+
+class HadoopRpcClient:
+    """Client for :class:`HadoopRpcServer`; safe for concurrent callers.
+
+    Responses can come back out of order (handler pool), so a response
+    router thread matches them to waiting calls by id.
+    """
+
+    def __init__(self, server: HadoopRpcServer, timeout: float = 30.0) -> None:
+        self._conn: Connection = server.connect()
+        self._timeout = timeout
+        self._ids = itertools.count(1)
+        self._pending: dict[int, "queue.Queue[RpcResponse]"] = {}
+        self._lock = threading.Lock()
+        self._router = threading.Thread(
+            target=self._route_responses, daemon=True, name="rpc-client-router"
+        )
+        self._router.start()
+
+    def _route_responses(self) -> None:
+        while True:
+            frame = self._conn.to_client.get()
+            if frame is None:
+                break
+            response = decode_message(frame)
+            assert isinstance(response, RpcResponse)
+            with self._lock:
+                waiter = self._pending.pop(response.call_id, None)
+            if waiter is not None:
+                waiter.put(response)
+
+    def call(self, method: str, *args: Any) -> Any:
+        call = RpcCall(next(self._ids), method, args)
+        waiter: "queue.Queue[RpcResponse]" = queue.Queue(maxsize=1)
+        with self._lock:
+            self._pending[call.call_id] = waiter
+        self._conn.to_server.put(encode_message(call))
+        try:
+            response = waiter.get(timeout=self._timeout)
+        except queue.Empty:
+            with self._lock:
+                self._pending.pop(call.call_id, None)
+            raise RPCError(f"RPC {method} timed out after {self._timeout}s") from None
+        return response.unwrap()
+
+    def close(self) -> None:
+        self._conn.close()
+        self._conn.to_client.put(None)
+
+
+class DataMPIRpcClient:
+    """Client for :class:`~repro.rpc.server.DataMPIRpcServer`.
+
+    ``comm`` may be an intra- or intercommunicator; ``server_rank`` is the
+    rank running ``serve_forever`` on that communicator.
+    """
+
+    def __init__(self, comm: Any, server_rank: int, timeout: float = 30.0) -> None:
+        self.comm = comm
+        self.server_rank = server_rank
+        self._timeout = timeout
+        self._ids = itertools.count(1)
+
+    def call(self, method: str, *args: Any) -> Any:
+        call = RpcCall(next(self._ids), method, args)
+        self.comm.send(encode_message(call), dest=self.server_rank, tag=RPC_REQUEST_TAG)
+        frame = self.comm.recv(
+            source=self.server_rank,
+            tag=_response_tag(call.call_id),
+            timeout=self._timeout,
+        )
+        response = decode_message(frame)
+        assert isinstance(response, RpcResponse)
+        return response.unwrap()
+
+    def shutdown_server(self) -> None:
+        """Stop the server loop (it replies to no one for this frame)."""
+        self.comm.send(None, dest=self.server_rank, tag=RPC_REQUEST_TAG)
+
+
+class RpcProxy:
+    """Attribute-style sugar: ``proxy.add(1, 2)`` == ``client.call("add", 1, 2)``."""
+
+    def __init__(self, client: HadoopRpcClient | DataMPIRpcClient) -> None:
+        self._client = client
+
+    def __getattr__(self, method: str) -> Any:
+        if method.startswith("_"):
+            raise AttributeError(method)
+
+        def invoke(*args: Any) -> Any:
+            return self._client.call(method, *args)
+
+        return invoke

@@ -1,0 +1,93 @@
+"""RPC call framing.
+
+Every message is a Writable-serialized frame:
+
+    byte  kind (0 = call, 1 = response)
+    vlong call_id
+    utf   method        | byte ok-flag
+    vint  n_args        | payload (result or error string)
+    ...   args
+
+Both RPC engines move these frames; only the transport differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.errors import RPCError
+from repro.serde.io import DataInput, DataOutput
+from repro.serde.serialization import Serializer, WritableSerializer
+
+_KIND_CALL = 0
+_KIND_RESPONSE = 1
+
+
+@dataclass(frozen=True)
+class RpcCall:
+    """One outbound invocation."""
+
+    call_id: int
+    method: str
+    args: tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class RpcResponse:
+    """One reply; exactly one of result/error is meaningful."""
+
+    call_id: int
+    ok: bool
+    result: Any = None
+    error: str = ""
+
+    def unwrap(self) -> Any:
+        if not self.ok:
+            raise RPCError(self.error)
+        return self.result
+
+
+def encode_message(
+    message: RpcCall | RpcResponse, serializer: Serializer | None = None
+) -> bytes:
+    """Serialize a call or response frame to bytes."""
+    serializer = serializer or WritableSerializer()
+    out = DataOutput()
+    if isinstance(message, RpcCall):
+        out.write_byte(_KIND_CALL)
+        out.write_vlong(message.call_id)
+        out.write_utf(message.method)
+        out.write_vint(len(message.args))
+        for arg in message.args:
+            serializer.serialize(arg, out)
+    else:
+        out.write_byte(_KIND_RESPONSE)
+        out.write_vlong(message.call_id)
+        out.write_boolean(message.ok)
+        if message.ok:
+            serializer.serialize(message.result, out)
+        else:
+            out.write_utf(message.error)
+    return out.getvalue()
+
+
+def decode_message(
+    data: bytes, serializer: Serializer | None = None
+) -> RpcCall | RpcResponse:
+    """Parse a frame produced by :func:`encode_message`."""
+    serializer = serializer or WritableSerializer()
+    src = DataInput(data)
+    kind = src.read_byte()
+    call_id = src.read_vlong()
+    if kind == _KIND_CALL:
+        method = src.read_utf()
+        n = src.read_vint()
+        args = tuple(serializer.deserialize(src) for _ in range(n))
+        return RpcCall(call_id, method, args)
+    if kind == _KIND_RESPONSE:
+        ok = src.read_boolean()
+        if ok:
+            return RpcResponse(call_id, True, serializer.deserialize(src))
+        return RpcResponse(call_id, False, error=src.read_utf())
+    raise RPCError(f"corrupt RPC frame: kind={kind}")

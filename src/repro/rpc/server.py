@@ -1,0 +1,175 @@
+"""RPC servers.
+
+:class:`HadoopRpcServer` reproduces the Hadoop 1.x ``ipc.Server``
+architecture in miniature: accepted connections feed a shared *call
+queue* drained by a pool of *handler* threads, and responses go back on
+the originating connection.  That queue hand-off is exactly the dispatch
+cost the latency model charges it for.
+
+:class:`DataMPIRpcServer` serves the same frames over an MPI
+communicator: requests arrive as tagged messages, handlers reply to the
+source rank.  It is used for the mpidrun<->worker control protocol tests
+and for the Figure 1(b) functional comparison.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import traceback
+from typing import Any, Callable
+
+from repro.common.errors import RPCError
+from repro.rpc.protocol import RpcCall, RpcResponse, decode_message, encode_message
+
+#: reserved tag for DataMPI RPC requests on a communicator
+RPC_REQUEST_TAG = 1_000_003
+
+
+class HandlerRegistry:
+    """Maps method names to callables; accepts an object or a dict."""
+
+    def __init__(self, target: Any) -> None:
+        self._target = target
+
+    def resolve(self, method: str) -> Callable[..., Any]:
+        if isinstance(self._target, dict):
+            fn = self._target.get(method)
+        else:
+            fn = getattr(self._target, method, None)
+            if method.startswith("_"):
+                fn = None  # never expose private attributes over RPC
+        if fn is None or not callable(fn):
+            raise RPCError(f"no such RPC method: {method!r}")
+        return fn
+
+    def invoke(self, call: RpcCall) -> RpcResponse:
+        try:
+            result = self.resolve(call.method)(*call.args)
+            return RpcResponse(call.call_id, True, result)
+        except Exception as exc:  # noqa: BLE001 - errors travel to the client
+            detail = "".join(traceback.format_exception_only(exc)).strip()
+            return RpcResponse(call.call_id, False, error=detail)
+
+
+class Connection:
+    """A bidirectional in-process byte-frame channel (one per client)."""
+
+    def __init__(self) -> None:
+        self.to_server: "queue.Queue[bytes | None]" = queue.Queue()
+        self.to_client: "queue.Queue[bytes | None]" = queue.Queue()
+
+    def close(self) -> None:
+        self.to_server.put(None)
+
+
+class HadoopRpcServer:
+    """Listener -> call queue -> handler pool -> responder."""
+
+    def __init__(self, target: Any, num_handlers: int = 4, name: str = "ipc"):
+        self.registry = HandlerRegistry(target)
+        self.name = name
+        self._call_queue: "queue.Queue[tuple[Connection, bytes] | None]" = (
+            queue.Queue()
+        )
+        self._connections: list[Connection] = []
+        self._threads: list[threading.Thread] = []
+        self._running = False
+        self._num_handlers = num_handlers
+        self._lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> "HadoopRpcServer":
+        self._running = True
+        for i in range(self._num_handlers):
+            t = threading.Thread(
+                target=self._handler_loop, name=f"{self.name}-handler-{i}", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+        for _ in self._threads:
+            self._call_queue.put(None)
+        for conn in self._connections:
+            conn.to_client.put(None)
+        for t in self._threads:
+            t.join(timeout=5)
+
+    # -- connection handling ----------------------------------------------------
+    def connect(self) -> Connection:
+        """Accept a new client; spawns its reader thread."""
+        if not self._running:
+            raise RPCError(f"server {self.name} is not running")
+        conn = Connection()
+        with self._lock:
+            self._connections.append(conn)
+        t = threading.Thread(
+            target=self._reader_loop, args=(conn,), daemon=True,
+            name=f"{self.name}-reader",
+        )
+        t.start()
+        self._threads.append(t)
+        return conn
+
+    def _reader_loop(self, conn: Connection) -> None:
+        while self._running:
+            frame = conn.to_server.get()
+            if frame is None:
+                break
+            self._call_queue.put((conn, frame))
+
+    def _handler_loop(self) -> None:
+        while True:
+            item = self._call_queue.get()
+            if item is None:
+                break
+            conn, frame = item
+            message = decode_message(frame)
+            assert isinstance(message, RpcCall)
+            response = self.registry.invoke(message)
+            conn.to_client.put(encode_message(response))
+
+
+class DataMPIRpcServer:
+    """RPC dispatcher over a ``repro.mpi`` communicator.
+
+    ``serve_forever`` runs on the server rank's own thread: it receives
+    ``(client_rank, frame)`` requests tagged :data:`RPC_REQUEST_TAG`,
+    dispatches, and replies with a tag equal to the call id so concurrent
+    clients never cross-match.  A ``None`` frame shuts the loop down.
+    """
+
+    def __init__(self, comm: Any, target: Any) -> None:
+        self.comm = comm
+        self.registry = HandlerRegistry(target)
+        self.calls_served = 0
+
+    def serve_forever(self) -> int:
+        """Serve until a shutdown frame; returns calls served."""
+        from repro.mpi.datatypes import ANY_SOURCE, Status
+
+        while True:
+            status = Status()
+            frame = self.comm.recv(
+                source=ANY_SOURCE, tag=RPC_REQUEST_TAG, status=status
+            )
+            if frame is None:
+                return self.calls_served
+            message = decode_message(frame)
+            assert isinstance(message, RpcCall)
+            response = self.registry.invoke(message)
+            self.comm.send(
+                encode_message(response), dest=status.source, tag=_response_tag(message.call_id)
+            )
+            self.calls_served += 1
+
+    def shutdown_frame(self) -> None:
+        """Frame a client can send to stop the server loop."""
+
+
+def _response_tag(call_id: int) -> int:
+    """Map a call id into the user tag space, away from the request tag."""
+    return RPC_REQUEST_TAG + 1 + (call_id % 100_000)

@@ -1,0 +1,17 @@
+"""Mini-S4: the streaming baseline (S4 v0.5 analogue).
+
+S4's model: *Processing Elements* (PEs) are keyed event handlers — one
+PE instance per distinct key — distributed over processing nodes by key
+hash.  Adapters inject external events into named streams; PEs consume
+events and may emit onto downstream streams.
+
+The mini version keeps that architecture with one worker thread per
+node and per-event timestamps, so Top-K end-to-end latency
+distributions (Figure 10c) can be measured functionally and modelled in
+the DES.
+"""
+
+from repro.s4.app import S4App, S4Node
+from repro.s4.pe import Event, ProcessingElement
+
+__all__ = ["S4App", "S4Node", "ProcessingElement", "Event"]

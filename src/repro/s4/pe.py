@@ -1,0 +1,53 @@
+"""Processing Elements and events."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class Event:
+    """One keyed event on a named stream."""
+
+    stream: str
+    key: Any
+    value: Any
+    #: injection timestamp (perf_counter), for end-to-end latency
+    created_at: float = field(default_factory=time.perf_counter)
+
+
+class ProcessingElement:
+    """Base PE.  Subclasses override :meth:`on_event`.
+
+    One instance exists per (prototype, key) pair — S4's keyed-PE model.
+    ``emit`` routes a new event into the app; it is injected by the
+    runtime when the instance is created.
+    """
+
+    def __init__(self, key: Any) -> None:
+        self.key = key
+        self.events_seen = 0
+        self._emit: Callable[[str, Any, Any], None] | None = None
+
+    # -- wiring -------------------------------------------------------------
+    def attach(self, emit: Callable[[str, Any, Any], None]) -> None:
+        self._emit = emit
+
+    def emit(self, stream: str, key: Any, value: Any) -> None:
+        if self._emit is None:
+            raise RuntimeError("PE not attached to an app")
+        self._emit(stream, key, value)
+
+    # -- user API ------------------------------------------------------------
+    def on_event(self, event: Event) -> None:
+        """Handle one event (override)."""
+        raise NotImplementedError
+
+    def on_shutdown(self) -> None:
+        """Called once when the app drains (override for final output)."""
+
+    def _dispatch(self, event: Event) -> None:
+        self.events_seen += 1
+        self.on_event(event)

@@ -1,0 +1,210 @@
+"""Pluggable serializer framework.
+
+§III-A: "the implementations can choose their preferred approaches to
+handle serialization issues."  Two backends are provided:
+
+* :class:`WritableSerializer` — Hadoop's Writable wire protocol plus
+  native encodings for Python ``str``/``int``/``float``/``bytes``/``bool``
+  and ``tuple``/``list`` of those, so the paper's Listing 1 (String keys)
+  works without wrapping everything in Writables.
+* :class:`PickleSerializer` — the "Java Serializable" analogue: anything
+  picklable round-trips, at a higher per-record byte cost.
+"""
+
+from __future__ import annotations
+
+import pickle
+from abc import ABC, abstractmethod
+from typing import Any
+
+from repro.common.errors import SerializationError
+from repro.serde.io import DataInput, DataOutput
+from repro.serde.writable import Writable
+
+# Tags for the writable backend's self-describing encoding.  One tag byte
+# per value keeps records compact while allowing heterogeneous streams.
+_T_NONE = 0
+_T_STR = 1
+_T_INT = 2
+_T_FLOAT = 3
+_T_BYTES = 4
+_T_BOOL = 5
+_T_TUPLE = 6
+_T_LIST = 7
+_T_WRITABLE = 8
+_T_PICKLE = 9
+_T_BIGINT = 10  # Python ints beyond the 64-bit vlong range
+
+_INT64_MIN, _INT64_MAX = -(2**63), 2**63 - 1
+
+
+class Serializer(ABC):
+    """Encodes/decodes single values onto Data streams."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def serialize(self, value: Any, out: DataOutput) -> None:
+        """Append ``value`` to ``out``."""
+
+    @abstractmethod
+    def deserialize(self, src: DataInput) -> Any:
+        """Read one value from ``src``."""
+
+    # -- convenience -------------------------------------------------------
+    def dumps(self, value: Any) -> bytes:
+        out = DataOutput()
+        self.serialize(value, out)
+        return out.getvalue()
+
+    def loads(self, data: bytes) -> Any:
+        return self.deserialize(DataInput(data))
+
+    def serialize_kv(self, key: Any, value: Any, out: DataOutput) -> None:
+        self.serialize(key, out)
+        self.serialize(value, out)
+
+    def deserialize_kv(self, src: DataInput) -> tuple[Any, Any]:
+        return self.deserialize(src), self.deserialize(src)
+
+
+class WritableSerializer(Serializer):
+    """Self-describing Writable-protocol serializer."""
+
+    name = "writable"
+
+    def __init__(self) -> None:
+        # writable class registry is per-serializer so concurrent jobs with
+        # different custom writables do not interfere
+        self._writable_ids: dict[type, int] = {}
+        self._writable_types: list[type] = []
+
+    def _writable_id(self, cls: type) -> int:
+        try:
+            return self._writable_ids[cls]
+        except KeyError:
+            self._writable_ids[cls] = len(self._writable_types)
+            self._writable_types.append(cls)
+            return self._writable_ids[cls]
+
+    def serialize(self, value: Any, out: DataOutput) -> None:
+        if value is None:
+            out.write_byte(_T_NONE)
+        elif isinstance(value, bool):  # before int: bool is an int subtype
+            out.write_byte(_T_BOOL)
+            out.write_boolean(value)
+        elif isinstance(value, str):
+            out.write_byte(_T_STR)
+            out.write_utf(value)
+        elif isinstance(value, int):
+            if _INT64_MIN <= value <= _INT64_MAX:
+                out.write_byte(_T_INT)
+                out.write_vlong(value)
+            else:
+                # arbitrary-precision escape: sign-magnitude byte string
+                out.write_byte(_T_BIGINT)
+                magnitude = abs(value)
+                raw = magnitude.to_bytes((magnitude.bit_length() + 7) // 8, "big")
+                out.write_boolean(value < 0)
+                out.write_vint(len(raw))
+                out.write_bytes(raw)
+        elif isinstance(value, float):
+            out.write_byte(_T_FLOAT)
+            out.write_double(value)
+        elif isinstance(value, (bytes, bytearray)):
+            out.write_byte(_T_BYTES)
+            out.write_vint(len(value))
+            out.write_bytes(value)
+        elif isinstance(value, tuple):
+            out.write_byte(_T_TUPLE)
+            out.write_vint(len(value))
+            for item in value:
+                self.serialize(item, out)
+        elif isinstance(value, list):
+            out.write_byte(_T_LIST)
+            out.write_vint(len(value))
+            for item in value:
+                self.serialize(item, out)
+        elif isinstance(value, Writable):
+            out.write_byte(_T_WRITABLE)
+            out.write_vint(self._writable_id(type(value)))
+            value.write(out)
+        else:
+            # escape hatch mirroring Hadoop's JavaSerialization fallback
+            out.write_byte(_T_PICKLE)
+            blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            out.write_vint(len(blob))
+            out.write_bytes(blob)
+
+    def deserialize(self, src: DataInput) -> Any:
+        tag = src.read_byte()
+        if tag == _T_NONE:
+            return None
+        if tag == _T_BOOL:
+            return src.read_boolean()
+        if tag == _T_STR:
+            return src.read_utf()
+        if tag == _T_INT:
+            return src.read_vlong()
+        if tag == _T_FLOAT:
+            return src.read_double()
+        if tag == _T_BYTES:
+            return src.read_bytes(src.read_vint())
+        if tag == _T_TUPLE:
+            n = src.read_vint()
+            return tuple(self.deserialize(src) for _ in range(n))
+        if tag == _T_LIST:
+            n = src.read_vint()
+            return [self.deserialize(src) for _ in range(n)]
+        if tag == _T_WRITABLE:
+            cls_id = src.read_vint()
+            try:
+                cls = self._writable_types[cls_id]
+            except IndexError:
+                raise SerializationError(
+                    f"unknown writable class id {cls_id}"
+                ) from None
+            return cls.read(src)
+        if tag == _T_PICKLE:
+            blob = src.read_bytes(src.read_vint())
+            return pickle.loads(blob)
+        if tag == _T_BIGINT:
+            negative = src.read_boolean()
+            raw = src.read_bytes(src.read_vint())
+            magnitude = int.from_bytes(raw, "big")
+            return -magnitude if negative else magnitude
+        raise SerializationError(f"corrupt stream: unknown tag {tag}")
+
+
+class PickleSerializer(Serializer):
+    """Pickle everything — the Java ``Serializable`` analogue."""
+
+    name = "pickle"
+
+    def serialize(self, value: Any, out: DataOutput) -> None:
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        out.write_vint(len(blob))
+        out.write_bytes(blob)
+
+    def deserialize(self, src: DataInput) -> Any:
+        n = src.read_vint()
+        return pickle.loads(src.read_bytes(n))
+
+
+_BACKENDS = {
+    "writable": WritableSerializer,
+    "pickle": PickleSerializer,
+    # the paper calls the JDK mechanism "Java (Serializable)"; pickle plays
+    # that role here
+    "java": PickleSerializer,
+}
+
+
+def get_serializer(name: str = "writable") -> Serializer:
+    """Instantiate a serializer backend by name."""
+    try:
+        return _BACKENDS[name]()
+    except KeyError:
+        raise SerializationError(
+            f"unknown serializer {name!r}; expected one of {sorted(_BACKENDS)}"
+        ) from None

@@ -1,0 +1,233 @@
+"""Hadoop-style Writable value types.
+
+A :class:`Writable` serializes itself to a :class:`~repro.serde.io.DataOutput`
+and reads itself back from a :class:`~repro.serde.io.DataInput`.  The types
+here mirror the ``org.apache.hadoop.io`` classes the paper's benchmarks use
+(Text keys for TeraSort/WordCount, numeric writables for PageRank/K-means).
+
+All writables are ordered and hashable so they can flow through sorting
+shuffles and hash partitioners directly.
+"""
+
+from __future__ import annotations
+
+import functools
+from abc import ABC, abstractmethod
+from typing import Any
+
+from repro.serde.io import DataInput, DataOutput
+
+
+class Writable(ABC):
+    """Abstract self-serializing value."""
+
+    __slots__ = ()
+
+    @abstractmethod
+    def write(self, out: DataOutput) -> None:
+        """Serialize this value onto ``out``."""
+
+    @abstractmethod
+    def read_fields(self, src: DataInput) -> None:
+        """Overwrite this value from ``src``."""
+
+    @classmethod
+    def read(cls, src: DataInput) -> "Writable":
+        obj = cls()
+        obj.read_fields(src)
+        return obj
+
+    def to_bytes(self) -> bytes:
+        out = DataOutput()
+        self.write(out)
+        return out.getvalue()
+
+    def serialized_size(self) -> int:
+        return len(self.to_bytes())
+
+
+@functools.total_ordering
+class _ScalarWritable(Writable):
+    """Shared machinery for single-field writables."""
+
+    __slots__ = ("value",)
+    _default: Any = 0
+
+    def __init__(self, value: Any = None) -> None:
+        self.value = self._default if value is None else self._coerce(value)
+
+    @staticmethod
+    def _coerce(value: Any) -> Any:
+        return value
+
+    def get(self) -> Any:
+        return self.value
+
+    def set(self, value: Any) -> None:
+        self.value = self._coerce(value)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, _ScalarWritable):
+            return self.value == other.value
+        return NotImplemented
+
+    def __lt__(self, other: "_ScalarWritable") -> bool:
+        return self.value < other.value
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.value!r})"
+
+
+class IntWritable(_ScalarWritable):
+    """32-bit signed integer."""
+
+    __slots__ = ()
+    _coerce = staticmethod(int)
+
+    def write(self, out: DataOutput) -> None:
+        out.write_int(self.value)
+
+    def read_fields(self, src: DataInput) -> None:
+        self.value = src.read_int()
+
+
+class VIntWritable(_ScalarWritable):
+    """Variable-length integer (1-5 bytes on the wire)."""
+
+    __slots__ = ()
+    _coerce = staticmethod(int)
+
+    def write(self, out: DataOutput) -> None:
+        out.write_vint(self.value)
+
+    def read_fields(self, src: DataInput) -> None:
+        self.value = src.read_vint()
+
+
+class LongWritable(_ScalarWritable):
+    """64-bit signed integer."""
+
+    __slots__ = ()
+    _coerce = staticmethod(int)
+
+    def write(self, out: DataOutput) -> None:
+        out.write_long(self.value)
+
+    def read_fields(self, src: DataInput) -> None:
+        self.value = src.read_long()
+
+
+class FloatWritable(_ScalarWritable):
+    """32-bit float (values round-trip through single precision)."""
+
+    __slots__ = ()
+    _default = 0.0
+    _coerce = staticmethod(float)
+
+    def write(self, out: DataOutput) -> None:
+        out.write_float(self.value)
+
+    def read_fields(self, src: DataInput) -> None:
+        self.value = src.read_float()
+
+
+class DoubleWritable(_ScalarWritable):
+    """64-bit float."""
+
+    __slots__ = ()
+    _default = 0.0
+    _coerce = staticmethod(float)
+
+    def write(self, out: DataOutput) -> None:
+        out.write_double(self.value)
+
+    def read_fields(self, src: DataInput) -> None:
+        self.value = src.read_double()
+
+
+class BooleanWritable(_ScalarWritable):
+    """Single-byte boolean."""
+
+    __slots__ = ()
+    _default = False
+    _coerce = staticmethod(bool)
+
+    def write(self, out: DataOutput) -> None:
+        out.write_boolean(self.value)
+
+    def read_fields(self, src: DataInput) -> None:
+        self.value = src.read_boolean()
+
+
+class Text(_ScalarWritable):
+    """UTF-8 string, vint-length-prefixed — Hadoop's workhorse key type."""
+
+    __slots__ = ()
+    _default = ""
+    _coerce = staticmethod(str)
+
+    def write(self, out: DataOutput) -> None:
+        out.write_utf(self.value)
+
+    def read_fields(self, src: DataInput) -> None:
+        self.value = src.read_utf()
+
+    def __len__(self) -> int:
+        return len(self.value)
+
+
+class BytesWritable(_ScalarWritable):
+    """Raw byte payload, int-length-prefixed.
+
+    TeraSort records travel as these: a 10-byte key and a 90-byte value.
+    Ordering is lexicographic on the raw bytes, matching Hadoop's
+    ``BytesWritable.Comparator``.
+    """
+
+    __slots__ = ()
+    _default = b""
+    _coerce = staticmethod(bytes)
+
+    def write(self, out: DataOutput) -> None:
+        out.write_int(len(self.value))
+        out.write_bytes(self.value)
+
+    def read_fields(self, src: DataInput) -> None:
+        n = src.read_int()
+        self.value = src.read_bytes(n)
+
+    def __len__(self) -> int:
+        return len(self.value)
+
+
+class NullWritable(Writable):
+    """Zero-byte placeholder; a singleton like Hadoop's NullWritable."""
+
+    __slots__ = ()
+    _instance: "NullWritable | None" = None
+
+    def __new__(cls) -> "NullWritable":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def write(self, out: DataOutput) -> None:
+        pass
+
+    def read_fields(self, src: DataInput) -> None:
+        pass
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, NullWritable)
+
+    def __lt__(self, other: object) -> bool:
+        return False
+
+    def __hash__(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return "NullWritable()"

@@ -1,0 +1,279 @@
+"""Simulated DataMPI execution (§IV-B/C/D mechanisms).
+
+* persistent working processes (tiny task-startup cost, one-time job
+  launch);
+* **O-side pipelined shuffle**: map compute proceeds chunk by chunk, and
+  each chunk's partitions are pushed over MPI *while the next chunk
+  computes* — communication fully overlapped, no map-output disk write;
+* receive side caches intermediate data in memory, spilling only the
+  configured fraction (Fig 12's knob);
+* **data-centric A scheduling**: every A task runs where its partition
+  already is — its only disk traffic is reading back any spilled
+  fraction and writing the job output;
+* optional key-value checkpointing (§IV-E): every emitted byte is also
+  written locally during the O phase; recovery replays it from disk.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Generator
+
+from repro.common.units import MiB
+from repro.simulate.cluster import SimCluster
+from repro.simulate.engine import Event
+from repro.simulate.profiler import ResourceProfiler
+from repro.simulate.profiles import (
+    DATAMPI_CONSTANTS,
+    HDFS_OPEN_COST,
+    PIPELINE_CHUNK,
+    WorkloadProfile,
+)
+from repro.simulate.report import SimJobReport
+
+#: resident set of the DataMPI working processes per node (JVM heap +
+#: direct buffers for the partition lists)
+_PROCESS_BYTES = 2.4e9
+_DAEMON_BYTES = 1.6e9
+#: transient SPL/send-queue buffering as a fraction of intermediate data
+_SEND_BUFFER_RATIO = 0.3
+#: fraction of node RAM the worker heaps may devote to cached
+#: intermediate data; beyond it blocks spill even at cache_fraction=1
+#: (the Figure 8(b) high-concurrency penalty)
+_CACHE_RAM_FRACTION = 0.17
+
+
+@dataclass
+class DataMPISimParams:
+    """One simulated DataMPI job."""
+
+    profile: WorkloadProfile
+    data_bytes: float
+    block_size: float
+    num_a_tasks: int
+    #: fraction of intermediate data cached in memory (Fig 12; 1.0 default)
+    cache_fraction: float = 1.0
+    #: enable the key-value library-level checkpoint (Fig 13)
+    ft_enabled: bool = False
+    #: input already resident in process memory (Iteration rounds > 0):
+    #: skip the HDFS read entirely
+    resident_input: bool = False
+    #: ablation: disable data-centric A scheduling -- A tasks land on
+    #: arbitrary nodes and must pull their partition over the network,
+    #: like Hadoop reducers (§IV-B's counterfactual)
+    data_local_a: bool = True
+    #: ablation: disable the O-side pipeline -- each chunk's send blocks
+    #: the computation instead of overlapping with it (§IV-C's
+    #: counterfactual)
+    pipelined_shuffle: bool = True
+    name: str = "job"
+    constants: "object" = field(default=DATAMPI_CONSTANTS)
+
+
+def simulate_datampi_job(
+    cluster: SimCluster, params: DataMPISimParams, profile_resources: bool = True
+) -> SimJobReport:
+    sim = cluster.sim
+    report = SimJobReport(params.name, "DataMPI")
+    job = _DataMPIJobSim(cluster, params, report)
+    done = sim.process(job.run())
+    if profile_resources:
+        ResourceProfiler(cluster, report, until=done)
+    sim.run()
+    assert done.triggered
+    return report
+
+
+class _DataMPIJobSim:
+    def __init__(
+        self, cluster: SimCluster, params: DataMPISimParams, report: SimJobReport
+    ) -> None:
+        self.cluster = cluster
+        self.params = params
+        self.report = report
+        self.sim = cluster.sim
+        self.consts = params.constants
+        self.num_o_tasks = max(1, math.ceil(params.data_bytes / params.block_size))
+        self.inter_total = params.data_bytes * params.profile.map_output_ratio
+        self.o_completed = 0
+        self.a_completed = 0
+        self._send_events: list[Event] = []
+        self._rr_dest = 0
+        ram = cluster.spec.node.ram_bytes
+        self._cache_budget = [
+            params.cache_fraction * _CACHE_RAM_FRACTION * ram
+            for _ in range(cluster.num_nodes)
+        ]
+        self._spilled_by_node = [0.0] * cluster.num_nodes
+        from repro.common.stats import TimeSeries
+
+        report.progress["O"] = TimeSeries("O %")
+        report.progress["A"] = TimeSeries("A %")
+
+    def _mem_baseline(self) -> float:
+        slots = max(self.cluster.spec.map_slots, self.cluster.spec.reduce_slots)
+        return _DAEMON_BYTES + slots * _PROCESS_BYTES
+
+    def run(self) -> Generator:
+        sim = self.sim
+        for node in self.cluster.nodes:
+            node.mem.allocate(self._mem_baseline())
+        yield sim.timeout(self.consts.job_overhead / 2)
+        o_start = sim.now
+        # ---- O phase: per-node queues, slot-limited, pipelined sends -----------
+        per_node: dict[int, list[int]] = {}
+        for task in range(self.num_o_tasks):
+            per_node.setdefault(task % self.cluster.num_nodes, []).append(task)
+        workers = []
+        for node_idx, queue in per_node.items():
+            for slot in range(self.cluster.spec.map_slots):
+                tasks = queue[slot :: self.cluster.spec.map_slots]
+                if tasks:
+                    workers.append(sim.process(self._o_worker(node_idx, tasks)))
+        # SPL / send-queue working buffers live for the O phase
+        send_buffer = self.inter_total * _SEND_BUFFER_RATIO / self.cluster.num_nodes
+        for node in self.cluster.nodes:
+            node.mem.allocate(send_buffer)
+        yield sim.all_of(workers)
+        # the pipeline drains: wait for in-flight sends
+        if self._send_events:
+            yield sim.all_of(self._send_events)
+        for node in self.cluster.nodes:
+            node.mem.release(send_buffer)
+        o_end = sim.now
+        self.report.phases["O"] = (o_start, o_end)
+
+        # ---- A phase: data-local tasks on every node -----------------------------
+        a_start = sim.now
+        per_node_bytes = self.inter_total / self.cluster.num_nodes
+        a_per_node = max(1, self.params.num_a_tasks // self.cluster.num_nodes)
+        a_workers = []
+        for node_idx in range(self.cluster.num_nodes):
+            a_workers.append(
+                sim.process(self._a_worker(node_idx, a_per_node, per_node_bytes))
+            )
+        yield sim.all_of(a_workers)
+        yield sim.timeout(self.consts.job_overhead / 2)
+        self.report.phases["A"] = (a_start, sim.now)
+        self.report.duration = sim.now
+        for node in self.cluster.nodes:
+            node.mem.release(self._mem_baseline())
+
+    # -- O side ---------------------------------------------------------------------------
+    def _o_worker(self, node_idx: int, tasks: list[int]) -> Generator:
+        sim = self.sim
+        node = self.cluster.nodes[node_idx]
+        profile = self.params.profile
+        for task in tasks:
+            block = min(
+                self.params.block_size,
+                self.params.data_bytes - task * self.params.block_size,
+            )
+            open_cost = 0.0 if self.params.resident_input else HDFS_OPEN_COST
+            yield sim.timeout(self.consts.task_startup + open_cost)
+            remaining = block
+            while remaining > 0:
+                chunk = min(PIPELINE_CHUNK, remaining)
+                remaining -= chunk
+                # read and compute this chunk (prefetched: overlapped)...
+                out = chunk * profile.map_output_ratio
+                cpu_s = (
+                    (chunk / MiB)
+                    * profile.cpu_map_s_per_mb
+                    * self.consts.cpu_factor_map
+                    + (out / MiB) * self.consts.shuffle_cpu_s_per_mb
+                )
+                pending = [node.cpu.compute(cpu_s)]
+                if not self.params.resident_input:
+                    pending.append(node.disk.read(chunk))
+                yield sim.all_of(pending)
+                # ...while its output ships asynchronously (the O-side
+                # pipeline: computation/copy/merge overlapped, §IV-C)
+                if out > 0:
+                    ship = sim.process(self._ship(node_idx, out))
+                    if self.params.pipelined_shuffle:
+                        self._send_events.append(ship)
+                    else:
+                        yield ship  # ablation: communication on the critical path
+                if self.params.ft_enabled and out > 0:
+                    # checkpoint: emitted pairs also persisted locally
+                    self._send_events.append(self._ckpt(node, out))
+            self.o_completed += 1
+            self.report.progress["O"].add(sim.now, self.o_completed / self.num_o_tasks)
+
+    def _ckpt(self, node, nbytes: float) -> Event:
+        return node.disk.write(nbytes)
+
+    def _ship(self, src_idx: int, nbytes: float) -> Generator:
+        """Push one sealed chunk's partitions to their owners."""
+        sim = self.sim
+        src = self.cluster.nodes[src_idx]
+        n = self.cluster.num_nodes
+        # partitions spread uniformly; 1/n stays local and skips the NIC
+        remote = nbytes * (n - 1) / n
+        dst_idx = self._rr_dest = (self._rr_dest + 1) % n
+        dst = self.cluster.nodes[dst_idx]
+        if remote > 0:
+            out_done = src.nic_out.transfer(remote)
+            in_done = dst.nic_in.transfer(remote)
+            yield sim.all_of([out_done, in_done])
+        # receiver caches in memory up to the node's cache budget; the
+        # rest spills to disk (Fig 12 knob and Fig 8b memory pressure)
+        cached = min(nbytes, max(0.0, self._cache_budget[dst_idx]))
+        self._cache_budget[dst_idx] -= cached
+        dst.mem.allocate(cached)
+        spill = nbytes - cached
+        if spill > 0:
+            self._spilled_by_node[dst_idx] += spill
+            yield dst.disk.write(spill)
+
+    # -- A side ------------------------------------------------------------------------------
+    def _a_worker(
+        self, node_idx: int, num_tasks: int, node_bytes: float
+    ) -> Generator:
+        sim = self.sim
+        node = self.cluster.nodes[node_idx]
+        profile = self.params.profile
+        per_task = node_bytes / num_tasks
+        spilled_per_task = self._spilled_by_node[node_idx] / num_tasks
+        slots = self.cluster.spec.reduce_slots
+        waves = math.ceil(num_tasks / slots)
+        for wave in range(waves):
+            in_wave = min(slots, num_tasks - wave * slots)
+            tasks = [
+                sim.process(self._a_task(node, per_task, spilled_per_task))
+                for _ in range(in_wave)
+            ]
+            yield sim.all_of(tasks)
+
+    def _a_task(self, node, task_bytes: float, spilled_bytes: float) -> Generator:
+        sim = self.sim
+        profile = self.params.profile
+        yield sim.timeout(self.consts.task_startup)
+        if not self.params.data_local_a:
+            # ablation: the partition lives on another node -- pull it over
+            # the network first (remote read of the cached+spilled bytes)
+            n = self.cluster.num_nodes
+            src = self.cluster.nodes[(node.node_id + 1) % n]
+            remote = task_bytes * (n - 1) / n
+            if spilled_bytes > 0:
+                yield src.disk.read(spilled_bytes * (n - 1) / n)
+            out_done = src.nic_out.transfer(remote)
+            in_done = node.nic_in.transfer(remote)
+            yield sim.all_of([out_done, in_done])
+            spilled_bytes = 0.0  # already fetched; no local prefetch left
+        cpu_s = (task_bytes / MiB) * profile.cpu_reduce_s_per_mb * self.consts.cpu_factor_reduce
+        # any spilled fraction is prefetched "at the initial stage of the A
+        # phase" (§V-E) — overlapped with the reduce computation, which is
+        # why zero-caching costs only a few percent (Fig 12)
+        pending = [node.cpu.compute(cpu_s)]
+        if spilled_bytes > 0:
+            pending.append(node.disk.read(spilled_bytes))
+        yield sim.all_of(pending)
+        yield node.disk.write(task_bytes * profile.reduce_output_ratio)
+        node.mem.release(max(0.0, task_bytes - spilled_bytes))
+        self.a_completed += 1
+        self.report.progress["A"].add(
+            sim.now, self.a_completed / max(1, self.params.num_a_tasks)
+        )

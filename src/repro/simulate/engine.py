@@ -1,0 +1,168 @@
+"""A generator-based discrete-event simulation core (simpy-lite).
+
+Processes are Python generators that ``yield`` events; the simulator
+advances a virtual clock through a priority queue.  Everything is
+deterministic: same processes + same seed ⇒ identical timelines.
+
+>>> sim = Simulator()
+>>> def proc():
+...     yield sim.timeout(5.0)
+...     return sim.now
+>>> p = sim.process(proc())
+>>> sim.run()
+>>> p.value
+5.0
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Generator, Iterable
+
+from repro.common.errors import SimulationError
+
+
+class Event:
+    """A one-shot occurrence processes can wait on."""
+
+    __slots__ = ("sim", "triggered", "value", "_waiters")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: list[Process] = []
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        self.triggered = True
+        self.value = value
+        for process in self._waiters:
+            self.sim._schedule_step(process, value)
+        self._waiters.clear()
+        return self
+
+    def _wait(self, process: "Process") -> None:
+        if self.triggered:
+            self.sim._schedule_step(process, self.value)
+        else:
+            self._waiters.append(process)
+
+
+class AllOf(Event):
+    """Fires when every child event has fired."""
+
+    __slots__ = ("_remaining",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        events = list(events)
+        self._remaining = len(events)
+        if self._remaining == 0:
+            self.succeed()
+            return
+        for event in events:
+            self._watch(event)
+
+    def _watch(self, event: Event) -> None:
+        def waiter() -> Generator:
+            yield event
+            self._remaining -= 1
+            if self._remaining == 0 and not self.triggered:
+                self.succeed()
+
+        self.sim.process(waiter())
+
+
+class Process(Event):
+    """A running generator; also an event that fires at completion."""
+
+    __slots__ = ("generator",)
+
+    def __init__(self, sim: "Simulator", generator: Generator) -> None:
+        super().__init__(sim)
+        self.generator = generator
+        sim._schedule_step(self, None)
+
+    def _step(self, sent: Any) -> None:
+        try:
+            yielded = self.generator.send(sent)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        if not isinstance(yielded, Event):
+            raise SimulationError(
+                f"process yielded {type(yielded).__name__}, expected an Event"
+            )
+        yielded._wait(self)
+
+
+class Simulator:
+    """The event loop and virtual clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: list[tuple[float, int, Process, Any]] = []
+        self._counter = itertools.count()
+        self._steps = 0
+
+    # -- event constructors ------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        event = Event(self)
+        heapq.heappush(
+            self._queue, (self.now + delay, next(self._counter), _Trigger(event, value), None)
+        )
+        return event
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        return AllOf(self, events)
+
+    # -- scheduling internals -------------------------------------------------------
+    def _schedule_step(self, process: "Process | _Trigger", value: Any) -> None:
+        heapq.heappush(self._queue, (self.now, next(self._counter), process, value))
+
+    # -- the loop ----------------------------------------------------------------------
+    def run(self, until: float | None = None, max_steps: int = 20_000_000) -> None:
+        """Drain the event queue (optionally stopping at virtual ``until``)."""
+        while self._queue:
+            at, _, process, value = heapq.heappop(self._queue)
+            if until is not None and at > until:
+                self.now = until
+                heapq.heappush(self._queue, (at, next(self._counter), process, value))
+                return
+            if at < self.now:
+                raise SimulationError("time went backwards")
+            self.now = at
+            if isinstance(process, _Trigger):
+                if not process.event.triggered:
+                    process.event.succeed(process.value)
+            else:
+                process._step(value)
+            self._steps += 1
+            if self._steps > max_steps:
+                raise SimulationError(
+                    f"simulation exceeded {max_steps} steps (runaway model?)"
+                )
+
+
+class _Trigger:
+    """Internal queue entry that fires a timeout event."""
+
+    __slots__ = ("event", "value")
+
+    def __init__(self, event: Event, value: Any) -> None:
+        self.event = event
+        self.value = value
+
+    def __lt__(self, other: Any) -> bool:  # tie-break stability in the heap
+        return False

@@ -1,0 +1,309 @@
+"""One function per evaluation figure (§V).
+
+The benchmark harness and the shape tests both call these, so the code
+that "regenerates Table/Figure N" lives in exactly one place.  Figures
+1(a)/1(b) live in :mod:`repro.net` (they are primitive-level, not
+cluster-level).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.common.units import GiB, MiB
+from repro.simulate.cluster import TESTBED_A, TESTBED_B, ClusterSpec, SimCluster
+from repro.simulate.datampi_model import DataMPISimParams, simulate_datampi_job
+from repro.simulate.hadoop_model import HadoopSimParams, simulate_hadoop_job
+from repro.simulate.iteration_model import IterationSimResult, iteration_comparison
+from repro.simulate.profiles import KMEANS, PAGERANK, TERASORT, WORDCOUNT
+from repro.simulate.report import SimJobReport
+from repro.simulate.streaming_model import latency_distribution, topk_comparison
+
+GB = 1e9  # the paper reports decimal gigabytes
+
+
+def _terasort_pair(
+    spec: ClusterSpec,
+    data_bytes: float,
+    block_size: float | None = None,
+    reduce_slots: int | None = None,
+    profile_resources: bool = False,
+    cache_fraction: float = 1.0,
+    ft_enabled: bool = False,
+) -> tuple[SimJobReport, SimJobReport]:
+    """Run the Hadoop/DataMPI TeraSort pair under one configuration."""
+    if reduce_slots is not None:
+        spec = spec.with_slots(spec.map_slots, reduce_slots)
+    block = block_size or spec.default_block_size
+    tasks = spec.num_slaves * spec.reduce_slots
+    hadoop = simulate_hadoop_job(
+        SimCluster(spec),
+        HadoopSimParams(TERASORT, data_bytes, block, num_reduces=tasks,
+                        name=f"terasort-{data_bytes / GB:.0f}GB"),
+        profile_resources=profile_resources,
+    )
+    datampi = simulate_datampi_job(
+        SimCluster(spec),
+        DataMPISimParams(
+            TERASORT, data_bytes, block, num_a_tasks=tasks,
+            cache_fraction=cache_fraction, ft_enabled=ft_enabled,
+            name=f"terasort-{data_bytes / GB:.0f}GB",
+        ),
+        profile_resources=profile_resources,
+    )
+    return hadoop, datampi
+
+
+# -- Figure 8(a): HDFS block size tuning ---------------------------------------------
+
+
+def fig8a_block_size_sweep(
+    data_bytes: float = 96 * GB,
+    block_sizes_mb: tuple[int, ...] = (64, 128, 256, 512, 1024),
+) -> dict[int, dict[str, float]]:
+    """TeraSort throughput (MB/s) vs block size; both peak at 256 MB."""
+    out: dict[int, dict[str, float]] = {}
+    for mb in block_sizes_mb:
+        hadoop, datampi = _terasort_pair(TESTBED_A, data_bytes, block_size=mb * MiB)
+        out[mb] = {
+            "Hadoop": hadoop.throughput(data_bytes) / 1e6,
+            "DataMPI": datampi.throughput(data_bytes) / 1e6,
+        }
+    return out
+
+
+# -- Figure 8(b): concurrent A/reduce tasks per node --------------------------------------
+
+
+def fig8b_task_sweep(
+    per_task_bytes: float = 2 * GB,
+    tasks_per_node: tuple[int, ...] = (2, 4, 6, 8),
+) -> dict[int, dict[str, float]]:
+    """Throughput vs reduce/A tasks per node at 2 GB per task; best at 4."""
+    out: dict[int, dict[str, float]] = {}
+    for k in tasks_per_node:
+        data = per_task_bytes * k * TESTBED_A.num_slaves
+        hadoop, datampi = _terasort_pair(TESTBED_A, data, reduce_slots=k)
+        out[k] = {
+            "Hadoop": hadoop.throughput(data) / 1e6,
+            "DataMPI": datampi.throughput(data) / 1e6,
+        }
+    return out
+
+
+# -- Figure 9: progress of 168 GB TeraSort ---------------------------------------------------
+
+
+def fig9_progress(data_bytes: float = 168 * GB) -> dict[str, SimJobReport]:
+    hadoop, datampi = _terasort_pair(TESTBED_A, data_bytes, profile_resources=True)
+    return {"Hadoop": hadoop, "DataMPI": datampi}
+
+
+# -- Figure 10(a): TeraSort across input sizes ------------------------------------------------
+
+
+def fig10a_terasort_sweep(
+    sizes_gb: tuple[int, ...] = (48, 72, 96, 120, 144, 168, 192),
+) -> dict[int, dict[str, float]]:
+    out: dict[int, dict[str, float]] = {}
+    for gb in sizes_gb:
+        hadoop, datampi = _terasort_pair(TESTBED_A, gb * GB)
+        out[gb] = {"Hadoop": hadoop.duration, "DataMPI": datampi.duration}
+    return out
+
+
+def wordcount_comparison(data_bytes: float = 96 * GB) -> dict[str, float]:
+    """The in-text WordCount claim: ~31% improvement."""
+    spec = TESTBED_A
+    tasks = spec.num_slaves * spec.reduce_slots
+    hadoop = simulate_hadoop_job(
+        SimCluster(spec),
+        HadoopSimParams(WORDCOUNT, data_bytes, spec.default_block_size, tasks,
+                        name="wordcount"),
+        profile_resources=False,
+    )
+    datampi = simulate_datampi_job(
+        SimCluster(spec),
+        DataMPISimParams(WORDCOUNT, data_bytes, spec.default_block_size, tasks,
+                         name="wordcount"),
+        profile_resources=False,
+    )
+    return {"Hadoop": hadoop.duration, "DataMPI": datampi.duration}
+
+
+# -- Figure 10(b): PageRank and K-means rounds ---------------------------------------------------
+
+
+def fig10b_iteration(
+    data_bytes: float = 40 * GB, rounds: int = 7
+) -> dict[str, dict[str, IterationSimResult]]:
+    return {
+        "PageRank": iteration_comparison(TESTBED_A, PAGERANK, data_bytes, rounds),
+        "K-means": iteration_comparison(TESTBED_A, KMEANS, data_bytes, rounds),
+    }
+
+
+# -- Figure 10(c): Top-K latency distributions -----------------------------------------------------
+
+
+def fig10c_topk(
+    rate_per_sec: float = 1000.0, duration: float = 120.0
+) -> dict[str, dict]:
+    latencies = topk_comparison(rate_per_sec, duration)
+    return {
+        name: {
+            "latencies": values,
+            "distribution": latency_distribution(values),
+            "min": float(values.min()),
+            "max": float(values.max()),
+            "median": float(np.median(values)),
+        }
+        for name, values in latencies.items()
+    }
+
+
+# -- Figure 11: resource utilization profiles ---------------------------------------------------------
+
+
+def fig11_resource_profiles(data_bytes: float = 168 * GB) -> dict[str, SimJobReport]:
+    return fig9_progress(data_bytes)
+
+
+def active_mean(series, threshold: float = 5e6) -> float:
+    """Mean over samples where the resource was actually active."""
+    values = np.asarray(series.values, dtype=float)
+    active = values[values > threshold]
+    return float(active.mean()) if active.size else 0.0
+
+
+# -- Figure 12: spill-over efficiency ----------------------------------------------------------------
+
+
+def fig12_spill_sweep(
+    data_bytes: float = 168 * GB,
+    fractions: tuple[float, ...] = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0),
+) -> dict[float, float]:
+    """DataMPI job time vs fraction of intermediate data cached in memory."""
+    out: dict[float, float] = {}
+    for fraction in fractions:
+        report = simulate_datampi_job(
+            SimCluster(TESTBED_A),
+            DataMPISimParams(
+                TERASORT, data_bytes, TESTBED_A.default_block_size,
+                num_a_tasks=TESTBED_A.num_slaves * TESTBED_A.reduce_slots,
+                cache_fraction=fraction, name=f"spill-{fraction:.1f}",
+            ),
+            profile_resources=False,
+        )
+        out[fraction] = report.duration
+    return out
+
+
+# -- Figure 13: fault tolerance --------------------------------------------------------------------------
+
+
+@dataclass
+class FtRecoveryReport:
+    """Timing segments of a crash+recovery run (Fig 13)."""
+
+    normal_before_crash: float
+    job_restart: float
+    checkpoint_reload: float
+    normal_after_recover: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.normal_before_crash
+            + self.job_restart
+            + self.checkpoint_reload
+            + self.normal_after_recover
+        )
+
+
+def fig13a_ft_efficiency(
+    data_bytes: float = 100 * GB, nodes: int = 10
+) -> dict[str, float]:
+    """Default vs checkpoint-enabled DataMPI vs Hadoop (10 slaves, 100 GB)."""
+    spec = TESTBED_A.with_slaves(nodes)
+    tasks = spec.num_slaves * spec.reduce_slots
+    base = simulate_datampi_job(
+        SimCluster(spec),
+        DataMPISimParams(TERASORT, data_bytes, spec.default_block_size, tasks,
+                         name="ft-off"),
+        profile_resources=False,
+    )
+    with_ft = simulate_datampi_job(
+        SimCluster(spec),
+        DataMPISimParams(TERASORT, data_bytes, spec.default_block_size, tasks,
+                         ft_enabled=True, name="ft-on"),
+        profile_resources=False,
+    )
+    hadoop = simulate_hadoop_job(
+        SimCluster(spec),
+        HadoopSimParams(TERASORT, data_bytes, spec.default_block_size, tasks,
+                        name="ft-hadoop"),
+        profile_resources=False,
+    )
+    return {
+        "DataMPI": base.duration,
+        "DataMPI-FT": with_ft.duration,
+        "Hadoop": hadoop.duration,
+    }
+
+
+def fig13_recovery(
+    checkpoint_fraction: float,
+    data_bytes: float = 100 * GB,
+    nodes: int = 10,
+) -> FtRecoveryReport:
+    """Kill the FT job once ``checkpoint_fraction`` of the O-phase data is
+    persisted, restart, reload, and finish."""
+    spec = TESTBED_A.with_slaves(nodes)
+    tasks = spec.num_slaves * spec.reduce_slots
+    full = simulate_datampi_job(
+        SimCluster(spec),
+        DataMPISimParams(TERASORT, data_bytes, spec.default_block_size, tasks,
+                         ft_enabled=True, name="ft-full"),
+        profile_resources=False,
+    )
+    o_start, o_end = full.phases["O"]
+    o_time = o_end - o_start
+    before_crash = o_start + o_time * checkpoint_fraction
+    # restart: relaunch the persistent processes ("less than 3 seconds")
+    restart = 2.5
+    # reload: each node re-reads its persisted pairs and resends them; the
+    # disk read dominates (network overlaps with it)
+    per_node = data_bytes * checkpoint_fraction / spec.num_slaves
+    reload_time = per_node / spec.node.disk_rate
+    # remaining O work + the whole A phase
+    after = o_time * (1 - checkpoint_fraction) + (full.duration - o_end)
+    return FtRecoveryReport(before_crash, restart, reload_time, after)
+
+
+# -- Figure 14: scalability ---------------------------------------------------------------------------------
+
+
+def fig14a_strong_scale(
+    data_bytes: float = 256 * GB, node_counts: tuple[int, ...] = (16, 32, 64)
+) -> dict[int, dict[str, float]]:
+    out: dict[int, dict[str, float]] = {}
+    for n in node_counts:
+        spec = TESTBED_B.with_slaves(n)
+        hadoop, datampi = _terasort_pair(spec, data_bytes)
+        out[n] = {"Hadoop": hadoop.duration, "DataMPI": datampi.duration}
+    return out
+
+
+def fig14b_weak_scale(
+    per_task_bytes: float = 2 * GB, node_counts: tuple[int, ...] = (16, 32, 64)
+) -> dict[int, dict[str, float]]:
+    out: dict[int, dict[str, float]] = {}
+    for n in node_counts:
+        spec = TESTBED_B.with_slaves(n)
+        data = per_task_bytes * spec.reduce_slots * n
+        hadoop, datampi = _terasort_pair(spec, data)
+        out[n] = {"Hadoop": hadoop.duration, "DataMPI": datampi.duration}
+    return out

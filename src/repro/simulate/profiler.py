@@ -1,0 +1,61 @@
+"""Resource profiler: samples cluster counters into time series.
+
+Plays the role of the paper's per-node monitoring (Fig 11, Fig 13b):
+every ``interval`` virtual seconds it records per-node average CPU
+utilization, disk read/write throughput, NIC throughput and memory
+footprint.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.simulate.cluster import SimCluster
+from repro.simulate.report import SimJobReport
+
+
+class ResourceProfiler:
+    """Attach to a cluster before running a simulated job."""
+
+    def __init__(
+        self,
+        cluster: SimCluster,
+        report: SimJobReport,
+        interval: float = 2.0,
+        until: "object | None" = None,
+    ) -> None:
+        self.cluster = cluster
+        self.report = report
+        self.interval = interval
+        #: event whose triggering ends sampling (usually the job process);
+        #: without it the sampler would keep the event queue alive forever
+        self.until = until
+        self._last = {
+            "read": 0.0,
+            "write": 0.0,
+            "net": 0.0,
+            "cpu_busy": 0.0,
+        }
+        cluster.sim.process(self._sample_loop())
+
+    def _sample_loop(self) -> Generator:
+        sim = self.cluster.sim
+        n = self.cluster.num_nodes
+        while self.until is None or not self.until.triggered:
+            yield sim.timeout(self.interval)
+            read = self.cluster.total_disk_read()
+            write = self.cluster.total_disk_written()
+            net = self.cluster.total_net_bytes()
+            t = sim.now
+            self.report.disk_read.add(
+                t, (read - self._last["read"]) / self.interval / n
+            )
+            self.report.disk_write.add(
+                t, (write - self._last["write"]) / self.interval / n
+            )
+            self.report.net.add(t, (net - self._last["net"]) / self.interval / n)
+            self.report.cpu_util.add(
+                t, 100.0 * self.cluster.total_cpu_busy() / self.cluster.total_cores()
+            )
+            self.report.mem.add(t, self.cluster.total_mem_used() / n)
+            self._last.update(read=read, write=write, net=net)

@@ -1,0 +1,99 @@
+"""Distributed Grep — the classic MapReduce example from Dean & Ghemawat.
+
+Map emits (matching line, 1) for every line containing the pattern;
+reduce counts occurrences per distinct matching line.  Part of the
+paper's "more applications" future-work direction; included here on both
+engines with a plain-Python reference.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from collections import Counter
+
+from repro.core import mapreduce_job, mpidrun
+from repro.core.metrics import JobResult
+from repro.hadoop.engine import MiniHadoopCluster
+from repro.hadoop.io_formats import TextInputFormat, compute_splits
+from repro.hadoop.job import HadoopJob, HadoopJobResult
+from repro.hdfs.cluster import MiniDFSCluster
+
+
+def grep_reference(lines: list[str], pattern: str) -> dict[str, int]:
+    regex = re.compile(pattern)
+    counts: Counter = Counter(line for line in lines if regex.search(line))
+    return dict(counts)
+
+
+def _make_mapper(pattern: str):
+    regex = re.compile(pattern)
+
+    def mapper(_key, line, emit):
+        if regex.search(line):
+            emit(line, 1)
+
+    return mapper
+
+
+def _reducer(line, counts, emit):
+    emit(line, sum(counts))
+
+
+def grep_datampi(
+    dfs_cluster: MiniDFSCluster,
+    input_path: str,
+    pattern: str,
+    o_tasks: int,
+    a_tasks: int,
+    nprocs: int | None = None,
+) -> tuple[JobResult, dict[str, int]]:
+    """Grep over HDFS text as a MapReduce-mode DataMPI job."""
+    dfs0 = dfs_cluster.client(None)
+    splits = compute_splits(dfs0, input_path)
+    fmt = TextInputFormat()
+    out: dict[str, int] = {}
+    lock = threading.Lock()
+
+    def provider(rank: int, size: int):
+        dfs = dfs_cluster.client(None)
+        for index in range(rank, len(splits), size):
+            yield from fmt.read_split(dfs, splits[index])
+
+    def collector(_rank: int, line: str, count: int) -> None:
+        with lock:
+            out[line] = count
+
+    job = mapreduce_job(
+        "grep",
+        provider,
+        _make_mapper(pattern),
+        _reducer,
+        collector,
+        o_tasks=o_tasks,
+        a_tasks=a_tasks,
+        combiner=lambda line, counts: [sum(counts)],
+    )
+    result = mpidrun(job, nprocs=nprocs, raise_on_error=True)
+    return result, out
+
+
+def grep_hadoop(
+    hadoop: MiniHadoopCluster,
+    input_path: str,
+    output_path: str,
+    pattern: str,
+    num_reduces: int,
+) -> tuple[HadoopJobResult, dict[str, int]]:
+    job = HadoopJob(
+        name="grep",
+        input_path=input_path,
+        output_path=output_path,
+        mapper=_make_mapper(pattern),
+        reducer=_reducer,
+        combiner=lambda line, counts: [sum(counts)],
+        num_reduces=num_reduces,
+    )
+    result = hadoop.run_job(job)
+    counts = {k: int(v) for k, v in hadoop.read_output(job)}
+    return result, counts

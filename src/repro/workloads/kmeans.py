@@ -1,0 +1,185 @@
+"""K-means on both engines (Iteration model), with a NumPy Lloyd reference.
+
+As in Mahout's implementation (the paper's Hadoop baseline), each Hadoop
+round is a full MapReduce job broadcasting current centroids; the DataMPI
+version keeps points in process-local state and only exchanges partial
+cluster sums — the iteration-mode advantage.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+import numpy as np
+
+from repro.core import DataMPIJob, Mode, mpidrun
+from repro.core.metrics import JobResult
+from repro.hadoop.engine import MiniHadoopCluster
+from repro.hadoop.job import HadoopJob
+
+
+def generate_points(
+    num_points: int, num_clusters: int, dims: int = 2, seed: int = 5
+) -> np.ndarray:
+    """Gaussian blobs around ``num_clusters`` well-separated centers."""
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-10, 10, size=(num_clusters, dims))
+    assignments = rng.integers(0, num_clusters, size=num_points)
+    return centers[assignments] + rng.normal(0, 0.5, size=(num_points, dims))
+
+
+def initial_centroids(points: np.ndarray, k: int) -> np.ndarray:
+    """Deterministic init: the first k points (all engines share it)."""
+    return points[:k].copy()
+
+
+def _assign(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Vectorized nearest-centroid assignment."""
+    distances = np.linalg.norm(points[:, None, :] - centroids[None, :, :], axis=2)
+    return distances.argmin(axis=1)
+
+
+def kmeans_reference(
+    points: np.ndarray, k: int, rounds: int
+) -> np.ndarray:
+    """Plain Lloyd iterations from the shared deterministic init."""
+    centroids = initial_centroids(points, k)
+    for _ in range(rounds):
+        labels = _assign(points, centroids)
+        for cluster in range(k):
+            members = points[labels == cluster]
+            if len(members):
+                centroids[cluster] = members.mean(axis=0)
+    return centroids
+
+
+# -- DataMPI Iteration mode -----------------------------------------------------------
+
+
+def kmeans_datampi(
+    points: np.ndarray,
+    k: int,
+    rounds: int,
+    o_tasks: int,
+    a_tasks: int,
+    nprocs: int | None = None,
+) -> tuple[JobResult, np.ndarray]:
+    """One Iteration-mode job; returns (result, final centroids).
+
+    Runs ``rounds + 1`` bipartite rounds: rounds 0..rounds-1 perform the
+    Lloyd updates (partial sums forward, centroids backward); the final
+    extra round only collects the converged centroid set from O-side
+    state — which is where clusters that went *empty* keep their carried-
+    forward centroid, exactly like the reference implementation.
+    """
+    init = initial_centroids(points, k)
+    final = np.zeros_like(init)
+    lock = threading.Lock()
+
+    def partitioner(key: Any, value: Any, num: int) -> int:
+        # fwd keys: cluster ids (int); bwd keys: (o_rank, cluster) tuples
+        if isinstance(key, tuple):
+            return key[0] % num
+        return key % num
+
+    def o_fn(ctx):
+        if ctx.round == 0:
+            centroids = init.copy()
+        else:
+            centroids = ctx.state[("centroids", ctx.rank)].copy()
+            for (_o, cluster), centroid in ctx.recv_iter():
+                centroids[cluster] = np.asarray(centroid)
+        ctx.state[("centroids", ctx.rank)] = centroids
+        if ctx.round == rounds:  # collection round: publish, send nothing
+            if ctx.rank == 0:
+                with lock:
+                    final[:] = centroids
+            return
+        my_points = points[ctx.rank :: ctx.o_size]
+        labels = _assign(my_points, centroids)
+        for cluster in range(k):
+            members = my_points[labels == cluster]
+            if len(members):
+                # pre-aggregated partial sums: one message per cluster
+                ctx.send(cluster, (len(members), tuple(members.sum(axis=0))))
+
+    def a_fn(ctx):
+        counts: dict[int, int] = {}
+        sums: dict[int, np.ndarray] = {}
+        for cluster, (count, partial) in ctx.recv_iter():
+            counts[cluster] = counts.get(cluster, 0) + count
+            sums[cluster] = sums.get(cluster, 0) + np.asarray(partial)
+        centroids = {c: sums[c] / counts[c] for c in counts}
+        # broadcast each new centroid to every O task (clusters with no
+        # members send nothing: their centroid carries forward in O state)
+        for o_rank in range(ctx.o_size):
+            for cluster, centroid in centroids.items():
+                ctx.send((o_rank, cluster), tuple(centroid))
+
+    job = DataMPIJob(
+        name="kmeans",
+        o_fn=o_fn,
+        a_fn=a_fn,
+        o_tasks=o_tasks,
+        a_tasks=a_tasks,
+        mode=Mode.ITERATION,
+        rounds=rounds + 1,
+        partitioner=partitioner,
+    )
+    result = mpidrun(job, nprocs=nprocs, raise_on_error=True)
+    return result, final
+
+
+# -- Hadoop: one MapReduce job per round -------------------------------------------------
+
+
+def kmeans_hadoop(
+    hadoop: MiniHadoopCluster,
+    points: np.ndarray,
+    k: int,
+    rounds: int,
+    num_reduces: int,
+    workdir: str = "/kmeans",
+) -> tuple[list[Any], np.ndarray]:
+    """``rounds`` chained jobs; points live in HDFS, centroids rebroadcast."""
+    dfs = hadoop.dfs_cluster.client(0)
+    lines = [" ".join(f"{x:.17g}" for x in p) for p in points]
+    dfs.write_file(f"{workdir}/points/data", ("\n".join(lines) + "\n").encode())
+    centroids = initial_centroids(points, k)
+    results = []
+    for round_no in range(rounds):
+        frozen = centroids.copy()
+
+        def mapper(_key, line, emit, frozen=frozen):
+            point = np.array([float(x) for x in line.split()])
+            cluster = int(_assign(point[None, :], frozen)[0])
+            emit(cluster, (1, tuple(point)))
+
+        def combiner(cluster, partials):
+            count = sum(c for c, _ in partials)
+            total = np.sum([np.asarray(p) for _, p in partials], axis=0)
+            return [(count, tuple(total))]
+
+        def reducer(cluster, partials, emit):
+            count = sum(c for c, _ in partials)
+            total = np.sum([np.asarray(p) for _, p in partials], axis=0)
+            centroid = total / count
+            emit(cluster, " ".join(f"{x:.17g}" for x in centroid))
+
+        job = HadoopJob(
+            name=f"kmeans-{round_no}",
+            input_path=f"{workdir}/points",
+            output_path=f"{workdir}/round{round_no}",
+            mapper=mapper,
+            reducer=reducer,
+            combiner=combiner,
+            num_reduces=num_reduces,
+        )
+        result = hadoop.run_job(job)
+        results.append(result)
+        if not result.success:
+            return results, centroids
+        for key, value in hadoop.read_output(job):
+            centroids[int(key)] = np.array([float(x) for x in value.split()])
+    return results, centroids

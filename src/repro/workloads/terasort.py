@@ -1,0 +1,160 @@
+"""TeraSort on both engines.
+
+TeraSort = total-order sort of TeraGen records: sample the input to pick
+range-partition boundaries, shuffle each record to its range, sort within
+ranges; the concatenation of the output partitions is globally sorted.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.core import DataMPIJob, Mode, mpidrun
+from repro.core.metrics import JobResult
+from repro.core.partition import range_partitioner
+from repro.hadoop.engine import MiniHadoopCluster
+from repro.hadoop.io_formats import (
+    BytesConcatOutputFormat,
+    FixedLengthRecordFormat,
+    compute_splits,
+)
+from repro.hadoop.job import HadoopJob, HadoopJobResult
+from repro.hdfs.cluster import MiniDFSCluster
+from repro.serde.comparators import bytes_compare
+from repro.workloads.teragen import KEY_LEN, RECORD_LEN
+
+
+def sample_boundaries(
+    dfs: Any, path: str, num_partitions: int, sample_records: int = 1000
+) -> list[bytes]:
+    """TotalOrderPartitioner-style sampling: read a prefix of the input,
+    sort the sampled keys, take ``num_partitions - 1`` quantiles."""
+    if num_partitions < 2:
+        return []
+    blocks = dfs.namenode.get_block_locations(path)
+    keys: list[bytes] = []
+    for i in range(len(blocks)):
+        data = dfs.read_blocks(path, [i])
+        for pos in range(0, len(data), RECORD_LEN):
+            keys.append(data[pos : pos + KEY_LEN])
+            if len(keys) >= sample_records:
+                break
+        if len(keys) >= sample_records:
+            break
+    keys.sort()
+    step = len(keys) / num_partitions
+    return [keys[int(step * (i + 1))] for i in range(num_partitions - 1)]
+
+
+# -- DataMPI ---------------------------------------------------------------------
+
+
+def terasort_datampi(
+    dfs_cluster: MiniDFSCluster,
+    input_path: str,
+    output_path: str,
+    o_tasks: int,
+    a_tasks: int,
+    nprocs: int | None = None,
+    conf: dict | None = None,
+) -> JobResult:
+    """TeraSort as a MapReduce-mode DataMPI job.
+
+    O tasks load HDFS splits "by their ranks and the communicator size"
+    (§IV-B's utility function); A tasks receive their range already
+    key-sorted by the shuffle and write an output part file.
+    """
+    dfs0 = dfs_cluster.client(None)
+    boundaries = sample_boundaries(dfs0, input_path, a_tasks)
+    splits = compute_splits(dfs0, input_path)
+    fmt = FixedLengthRecordFormat(RECORD_LEN, KEY_LEN)
+    write_lock = threading.Lock()
+
+    def o_fn(ctx):
+        dfs = dfs_cluster.client(None)
+        for index in range(ctx.rank, len(splits), ctx.o_size):
+            for key, value in fmt.read_split(dfs, splits[index]):
+                ctx.send(key, value)
+
+    def a_fn(ctx):
+        out = bytearray()
+        for key, value in ctx.recv_iter():
+            out += key + value
+        dfs = dfs_cluster.client(None)
+        with write_lock:
+            dfs.write_file(f"{output_path}/part-{ctx.rank:05d}", bytes(out))
+
+    job = DataMPIJob(
+        name="terasort",
+        o_fn=o_fn,
+        a_fn=a_fn,
+        o_tasks=o_tasks,
+        a_tasks=a_tasks,
+        mode=Mode.MAPREDUCE,
+        conf=dict(conf or {}),
+        partitioner=range_partitioner(boundaries),
+        comparator=bytes_compare,
+    )
+    return mpidrun(job, nprocs=nprocs, raise_on_error=True)
+
+
+# -- Hadoop -----------------------------------------------------------------------
+
+
+def terasort_hadoop(
+    hadoop: MiniHadoopCluster,
+    input_path: str,
+    output_path: str,
+    num_reduces: int,
+) -> HadoopJobResult:
+    """TeraSort as a mini-Hadoop job (identity map/reduce + range partition)."""
+    dfs0 = hadoop.dfs_cluster.client(None)
+    boundaries = sample_boundaries(dfs0, input_path, num_reduces)
+    part = range_partitioner(boundaries)
+
+    def mapper(key, value, emit):
+        emit(key, value)
+
+    def reducer(key, values, emit):
+        for value in values:
+            emit(key, value)
+
+    job = HadoopJob(
+        name="terasort",
+        input_path=input_path,
+        output_path=output_path,
+        mapper=mapper,
+        reducer=reducer,
+        num_reduces=num_reduces,
+        partitioner=part,
+        comparator=bytes_compare,
+        input_format=FixedLengthRecordFormat(RECORD_LEN, KEY_LEN),
+        output_format=BytesConcatOutputFormat(),
+    )
+    return hadoop.run_job(job)
+
+
+# -- verification ---------------------------------------------------------------------
+
+
+def verify_terasort_output(dfs: Any, output_path: str, expected_records: int) -> bool:
+    """Global order check: each part sorted, parts ordered, count exact."""
+    paths = dfs.listdir(output_path)
+    total = 0
+    prev_last: bytes | None = None
+    for path in paths:  # listdir sorts lexicographically = partition order
+        data = dfs.read_file(path)
+        if len(data) % RECORD_LEN:
+            return False
+        keys = [
+            data[pos : pos + KEY_LEN] for pos in range(0, len(data), RECORD_LEN)
+        ]
+        total += len(keys)
+        if keys != sorted(keys):
+            return False
+        if keys:
+            if prev_last is not None and keys[0] < prev_last:
+                return False
+            prev_last = keys[-1]
+    return total == expected_records

@@ -1,0 +1,148 @@
+"""Top-K over a word stream (Streaming model): S4 vs DataMPI Streaming.
+
+The paper's Figure 10(c) compares end-to-end processing latency
+distributions at 1 K msg/sec (100 B messages).  Both functional engines
+record per-event latencies; the distribution-scale comparison is made by
+the DES streaming model (the threaded engines share one Python process,
+so their absolute latencies are not comparable the way two clusters are).
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from collections import Counter
+from typing import Any
+
+import numpy as np
+
+from repro.core import DataMPIJob, Mode, mpidrun
+from repro.core.metrics import JobResult
+from repro.s4.app import S4App
+from repro.s4.pe import Event, ProcessingElement
+
+
+def generate_stream(num_events: int, vocab: int = 50, seed: int = 3) -> list[str]:
+    """Zipf-skewed word stream (hot keys exist, as in real feeds)."""
+    rng = np.random.default_rng(seed)
+    ranks = np.minimum(rng.zipf(1.4, size=num_events) - 1, vocab - 1)
+    return [f"item{r:03d}" for r in ranks]
+
+
+def topk_reference(words: list[str], k: int) -> list[tuple[str, int]]:
+    """Deterministic top-k: count desc, then word asc for ties."""
+    counts = Counter(words)
+    return sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+
+
+def merge_topk(partials: list[tuple[str, int]], k: int) -> list[tuple[str, int]]:
+    return sorted(partials, key=lambda kv: (-kv[1], kv[0]))[:k]
+
+
+# -- S4 ------------------------------------------------------------------------
+
+
+class WordCountPE(ProcessingElement):
+    """Keyed counter: one instance per word."""
+
+    def __init__(self, key: Any) -> None:
+        super().__init__(key)
+        self.count = 0
+
+    def on_event(self, event: Event) -> None:
+        self.count += 1
+        # push the updated count downstream to the aggregator
+        self.emit("counts", "topk", (self.key, self.count))
+
+
+class TopKAggregatorPE(ProcessingElement):
+    """Singleton aggregator holding latest counts; top-k on shutdown."""
+
+    results: list[tuple[str, int]] = []
+    k = 10
+
+    def __init__(self, key: Any) -> None:
+        super().__init__(key)
+        self.latest: dict[str, int] = {}
+
+    def on_event(self, event: Event) -> None:
+        word, count = event.value
+        self.latest[word] = count
+
+    def on_shutdown(self) -> None:
+        TopKAggregatorPE.results = sorted(
+            self.latest.items(), key=lambda kv: (-kv[1], kv[0])
+        )[: self.k]
+
+
+def topk_s4(
+    words: list[str], k: int, num_nodes: int = 2, rate_per_sec: float | None = None
+) -> tuple[list[tuple[str, int]], list[float]]:
+    """Run Top-K on mini-S4; returns (top-k, per-event latencies)."""
+    TopKAggregatorPE.k = k
+    TopKAggregatorPE.results = []
+    app = S4App(num_nodes=num_nodes)
+    latencies: list[float] = []
+    lock = threading.Lock()
+
+    def observe(latency: float) -> None:
+        with lock:
+            latencies.append(latency)
+
+    app.on_latency(observe)
+    app.subscribe("words", WordCountPE)
+    app.subscribe("counts", TopKAggregatorPE)
+    delay = 1.0 / rate_per_sec if rate_per_sec else 0.0
+    for word in words:  # the adapter
+        app.inject("words", word, 1)
+        if delay:
+            time.sleep(delay)
+    app.shutdown()
+    return TopKAggregatorPE.results, latencies
+
+
+# -- DataMPI Streaming mode ---------------------------------------------------------
+
+
+def topk_datampi(
+    words: list[str],
+    k: int,
+    o_tasks: int,
+    a_tasks: int,
+    nprocs: int | None = None,
+    rate_per_sec: float | None = None,
+) -> tuple[JobResult, list[tuple[str, int]], list[float]]:
+    """Streaming-mode Top-K; returns (result, top-k, per-record latencies)."""
+    partials: list[tuple[str, int]] = []
+    latencies: list[float] = []
+    lock = threading.Lock()
+    delay = 1.0 / rate_per_sec if rate_per_sec else 0.0
+
+    def o_fn(ctx):
+        for index in range(ctx.rank, len(words), ctx.o_size):
+            ctx.send(words[index], time.perf_counter())
+            if delay:
+                time.sleep(delay)
+
+    def a_fn(ctx):
+        counts: dict[str, int] = {}
+        local_latencies: list[float] = []
+        for word, sent_at in ctx.recv_iter():
+            counts[word] = counts.get(word, 0) + 1
+            local_latencies.append(time.perf_counter() - sent_at)
+        top = heapq.nsmallest(k, counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        with lock:
+            partials.extend(top)
+            latencies.extend(local_latencies)
+
+    job = DataMPIJob(
+        name="topk",
+        o_fn=o_fn,
+        a_fn=a_fn,
+        o_tasks=o_tasks,
+        a_tasks=a_tasks,
+        mode=Mode.STREAMING,
+    )
+    result = mpidrun(job, nprocs=nprocs, raise_on_error=True)
+    return result, merge_topk(partials, k), latencies

@@ -1,0 +1,75 @@
+"""Tests for the component logging helpers."""
+
+import logging
+
+from repro.common.logging import _apply_env, get_logger, set_level
+
+
+class TestGetLogger:
+    def test_namespacing(self):
+        assert get_logger("core.engine").name == "repro.core.engine"
+        assert get_logger("repro.mpi").name == "repro.mpi"
+
+    def test_silent_by_default(self):
+        logger = get_logger("test.silent")
+        assert not logger.isEnabledFor(logging.DEBUG)
+
+    def test_set_level_programmatic(self):
+        set_level("debug", "repro.test.loud")
+        assert get_logger("test.loud").isEnabledFor(logging.DEBUG)
+        set_level("warning", "repro.test.loud")
+
+    def test_env_spec_bare_level(self):
+        _apply_env("info")
+        assert get_logger("anything").isEnabledFor(logging.INFO)
+        set_level("warning")  # restore
+
+    def test_env_spec_per_component(self):
+        _apply_env("repro.test.x=debug, repro.test.y=error")
+        assert get_logger("test.x").isEnabledFor(logging.DEBUG)
+        assert not get_logger("test.y").isEnabledFor(logging.WARNING)
+
+    def test_env_spec_garbage_ignored(self):
+        _apply_env("repro.test.z=notalevel,,")  # must not raise
+        _apply_env("")
+
+    def _capture(self, component):
+        """Attach a list-collecting handler (the stream handler caches the
+        original stderr, so capsys cannot observe it)."""
+        records = []
+
+        class ListHandler(logging.Handler):
+            def emit(self, record):
+                records.append(record.getMessage())
+
+        handler = ListHandler()
+        get_logger(component).addHandler(handler)
+        return records, handler
+
+    def test_records_reach_handler(self):
+        records, handler = self._capture("test.cap")
+        set_level("debug", "repro.test.cap")
+        try:
+            get_logger("test.cap").debug("traced %d", 42)
+            assert "traced 42" in records
+        finally:
+            set_level("warning", "repro.test.cap")
+            get_logger("test.cap").removeHandler(handler)
+
+    def test_engine_emits_debug_trace(self):
+        from repro.core import DataMPIJob, Mode, mpidrun
+
+        records, handler = self._capture("core.engine")
+        set_level("debug", "repro.core.engine")
+        try:
+            job = DataMPIJob(
+                "traced", lambda ctx: ctx.send("k", 1),
+                lambda ctx: list(ctx.recv_iter()), 1, 1, mode=Mode.MAPREDUCE,
+            )
+            assert mpidrun(job, nprocs=1, raise_on_error=True).success
+            text = "\n".join(records)
+            assert "start O task 0" in text
+            assert "end A task 0" in text
+        finally:
+            set_level("warning", "repro.core.engine")
+            get_logger("core.engine").removeHandler(handler)

@@ -1,0 +1,65 @@
+"""Shared helpers for end-to-end DataMPI engine tests."""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from typing import Any
+
+
+class Collector:
+    """Thread-safe output sink keyed by A-task rank."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.by_task: dict[int, list[tuple[Any, Any]]] = defaultdict(list)
+
+    def __call__(self, rank: int, key: Any, value: Any) -> None:
+        with self._lock:
+            self.by_task[rank].append((key, value))
+
+    def merged(self) -> dict[Any, Any]:
+        out: dict[Any, Any] = {}
+        for pairs in self.by_task.values():
+            out.update(pairs)
+        return out
+
+    def all_pairs(self) -> list[tuple[Any, Any]]:
+        return [kv for pairs in self.by_task.values() for kv in pairs]
+
+
+def int_range_input(n: int):
+    """Input provider: task rank r of size s yields (i, i) for i = r, r+s, ..."""
+
+    def provider(rank: int, size: int):
+        for i in range(rank, n, size):
+            yield (i, i)
+
+    return provider
+
+
+def wordcount_pieces(texts: list[str]):
+    """(input_provider, mapper, reducer) for a classic word count."""
+
+    def provider(rank: int, size: int):
+        for i, line in enumerate(texts):
+            if i % size == rank:
+                yield (i, line)
+
+    def mapper(_key, line, emit):
+        for word in line.split():
+            emit(word, 1)
+
+    def reducer(word, counts, emit):
+        emit(word, sum(counts))
+
+    return provider, mapper, reducer
+
+
+def expected_wordcount(texts: list[str]) -> dict[str, int]:
+    from collections import Counter
+
+    counter: Counter = Counter()
+    for line in texts:
+        counter.update(line.split())
+    return dict(counter)

@@ -1,0 +1,126 @@
+"""Table I / Table II specification conformance of the MPI_D API."""
+
+import pytest
+
+from repro.common.errors import DataMPIError, MPI_D_Exception
+from repro.core import MPI_D, Mode, MPI_D_Constants
+from repro.core.context import BipartiteComm
+
+
+class TestSurface:
+    """The API surface the paper specifies must exist with these names."""
+
+    def test_table_i_functions_exist(self):
+        for name in ("Init", "Finalize", "Comm_rank", "Comm_size", "Send", "Recv"):
+            assert callable(getattr(MPI_D, name))
+
+    def test_builtin_communicator_attributes_exist(self):
+        # outside a task both are None (no context on this thread)
+        assert MPI_D.COMM_BIPARTITE_O is None
+        assert MPI_D.COMM_BIPARTITE_A is None
+
+    def test_four_modes_defined(self):
+        assert {m.name for m in MPI_D.Mode} == {
+            "COMMON",
+            "MAPREDUCE",
+            "ITERATION",
+            "STREAMING",
+        }
+
+    def test_reserved_keys_exist(self):
+        assert MPI_D_Constants.KEY_CLASS
+        assert MPI_D_Constants.VALUE_CLASS
+        assert MPI_D.Constants is MPI_D_Constants
+
+    def test_exception_alias(self):
+        # Listing 1 catches MPI_D_Exception
+        assert issubclass(MPI_D_Exception, Exception)
+        assert MPI_D_Exception is DataMPIError
+
+
+class TestOutsideTaskErrors:
+    """API calls outside a launched task fail loudly, not silently."""
+
+    def test_send_outside_task(self):
+        with pytest.raises(MPI_D_Exception, match="no DataMPI task context"):
+            MPI_D.Send("k", "v")
+
+    def test_recv_outside_task(self):
+        with pytest.raises(MPI_D_Exception):
+            MPI_D.Recv()
+
+    def test_init_outside_task(self):
+        with pytest.raises(MPI_D_Exception):
+            MPI_D.Init(None, Mode.COMMON, {})
+
+    def test_rank_of_null_comm(self):
+        with pytest.raises(MPI_D_Exception):
+            MPI_D.Comm_rank(None)
+        with pytest.raises(MPI_D_Exception):
+            MPI_D.Comm_size(None)
+
+
+class TestBipartiteComm:
+    def test_rank_and_size(self):
+        comm = BipartiteComm("O", rank=3, size=8)
+        assert MPI_D.Comm_rank(comm) == 3
+        assert MPI_D.Comm_size(comm) == 8
+
+    def test_frozen(self):
+        comm = BipartiteComm("A", 0, 2)
+        with pytest.raises(AttributeError):
+            comm.rank = 5
+
+
+class TestInsideTaskSemantics:
+    """Init/Finalize lifecycle rules, checked end to end."""
+
+    def _run(self, o_fn, a_fn=None):
+        from repro.core import common_job, mpidrun
+
+        a_fn = a_fn or (lambda ctx: list(ctx.recv_iter()))
+        job = common_job("spec", o_fn, a_fn, o_tasks=1, a_tasks=1)
+        return mpidrun(job, nprocs=1)
+
+    def test_double_init_rejected(self):
+        def o_fn(ctx):
+            MPI_D.Init()
+            MPI_D.Init()
+
+        result = self._run(o_fn)
+        assert not result.success and "twice" in result.error
+
+    def test_finalize_without_init_rejected(self):
+        def o_fn(ctx):
+            MPI_D.Finalize()
+
+        result = self._run(o_fn)
+        assert not result.success
+
+    def test_dichotomy_inside_tasks(self):
+        observed = {}
+
+        def o_fn(ctx):
+            observed["O"] = (
+                MPI_D.COMM_BIPARTITE_O is not None,
+                MPI_D.COMM_BIPARTITE_A is None,
+            )
+
+        def a_fn(ctx):
+            observed["A"] = (
+                MPI_D.COMM_BIPARTITE_A is not None,
+                MPI_D.COMM_BIPARTITE_O is None,
+            )
+            list(ctx.recv_iter())
+
+        assert self._run(o_fn, a_fn).success
+        assert observed == {"O": (True, True), "A": (True, True)}
+
+    def test_send_recv_have_no_destination_parameters(self):
+        """The dynamic feature: interfaces carry no rank arguments."""
+        import inspect
+
+        send_params = list(inspect.signature(MPI_D.Send).parameters)
+        assert send_params == ["key", "value"]
+        recv_params = list(inspect.signature(MPI_D.Recv).parameters)
+        assert recv_params == []

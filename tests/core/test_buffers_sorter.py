@@ -1,0 +1,225 @@
+"""Tests for SPL/RPL buffer management and the sorter/run store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.buffers import Block, ReceivePartitionList, SendPartitionList
+from repro.core.sorter import (
+    RunStore,
+    combine_run,
+    group_by_key,
+    merge_runs,
+    sort_block,
+    spill_run,
+)
+from repro.serde.comparators import default_compare
+from repro.serde.serialization import WritableSerializer
+
+
+class TestSortBlock:
+    def test_sorts_by_key(self):
+        records = [("b", 1), ("a", 2), ("c", 3)]
+        assert sort_block(records) == [("a", 2), ("b", 1), ("c", 3)]
+
+    def test_stable_for_equal_keys(self):
+        records = [("k", 1), ("k", 2), ("k", 3)]
+        assert sort_block(records) == records
+
+    @given(st.lists(st.tuples(st.integers(), st.integers()), max_size=50))
+    def test_matches_sorted(self, records):
+        assert [k for k, _ in sort_block(records)] == sorted(k for k, _ in records)
+
+
+class TestMergeRuns:
+    def test_merges_in_order(self):
+        r1 = [("a", 1), ("c", 1)]
+        r2 = [("b", 2), ("d", 2)]
+        assert [k for k, _ in merge_runs([r1, r2])] == ["a", "b", "c", "d"]
+
+    def test_empty_runs_skipped(self):
+        assert list(merge_runs([[], [("a", 1)], []])) == [("a", 1)]
+
+    def test_no_runs(self):
+        assert list(merge_runs([])) == []
+
+    def test_ties_break_by_run_index(self):
+        r1 = [("k", "first")]
+        r2 = [("k", "second")]
+        assert [v for _, v in merge_runs([r1, r2])] == ["first", "second"]
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(
+            st.lists(st.tuples(st.integers(-50, 50), st.integers()), max_size=20),
+            max_size=6,
+        )
+    )
+    def test_merge_equals_global_sort(self, runs):
+        sorted_runs = [sort_block(r) for r in runs]
+        merged = [k for k, _ in merge_runs(sorted_runs)]
+        flat = sorted(k for r in runs for k, _ in r)
+        assert merged == flat
+
+    def test_lazy(self):
+        def gen():
+            yield ("a", 1)
+            raise AssertionError("must not be pulled past first record")
+
+        it = merge_runs([gen()])
+        assert next(it) == ("a", 1)
+
+
+class TestGroupCombine:
+    def test_group_by_key(self):
+        stream = [("a", 1), ("a", 2), ("b", 3)]
+        assert list(group_by_key(stream)) == [("a", [1, 2]), ("b", [3])]
+
+    def test_group_empty(self):
+        assert list(group_by_key([])) == []
+
+    def test_single_group(self):
+        assert list(group_by_key([("x", 1)])) == [("x", [1])]
+
+    def test_combine_run_sums(self):
+        run = [("a", 1), ("a", 2), ("b", 5)]
+        combined = combine_run(run, lambda k, vs: [sum(vs)])
+        assert combined == [("a", 3), ("b", 5)]
+
+    def test_combiner_may_emit_multiple(self):
+        run = [("a", 1), ("a", 2)]
+        combined = combine_run(run, lambda k, vs: [min(vs), max(vs)])
+        assert combined == [("a", 1), ("a", 2)]
+
+
+class TestRunStore:
+    def make_store(self, budget, tmp_path, cmp=default_compare):
+        return RunStore(cmp, WritableSerializer(), str(tmp_path), budget)
+
+    def test_all_in_memory_under_budget(self, tmp_path):
+        store = self.make_store(10**9, tmp_path)
+        store.add_run([("a", 1), ("c", 1)])
+        store.add_run([("b", 2)])
+        assert [k for k, _ in store] == ["a", "b", "c"]
+        assert not store.disk_runs
+
+    def test_spills_over_budget(self, tmp_path):
+        store = self.make_store(budget=50, tmp_path=tmp_path)
+        for i in range(10):
+            store.add_run(sorted((f"k{i}-{j}", "v" * 10) for j in range(5)))
+        assert store.disk_runs  # something spilled
+        assert store.spilled_bytes > 0
+        keys = [k for k, _ in store]
+        assert keys == sorted(keys)
+        assert len(keys) == 50
+
+    def test_zero_budget_spills_everything(self, tmp_path):
+        store = self.make_store(budget=0, tmp_path=tmp_path)
+        store.add_run([("b", 1)])
+        store.add_run([("a", 2)])
+        assert not store.memory_runs
+        assert [k for k, _ in store] == ["a", "b"]
+
+    def test_unsorted_mode_concatenates(self, tmp_path):
+        store = self.make_store(10**9, tmp_path, cmp=None)
+        store.add_run([("z", 1)])
+        store.add_run([("a", 2)])
+        assert [k for k, _ in store] == ["z", "a"]
+
+    def test_compact_collapses_runs(self, tmp_path):
+        store = self.make_store(10**9, tmp_path)
+        for i in range(10):
+            store.add_run([(f"k{i}", i)])
+        store.compact(max_runs=3)
+        assert len(store.memory_runs) == 1
+        assert store.total_records == 10
+
+    def test_cleanup_removes_spills(self, tmp_path):
+        import os
+
+        store = self.make_store(budget=0, tmp_path=tmp_path)
+        store.add_run([("a", 1)])
+        paths = [s.path for s in store.disk_runs]
+        store.cleanup()
+        assert all(not os.path.exists(p) for p in paths)
+
+    def test_spill_roundtrip(self, tmp_path):
+        records = [("key", [1, 2]), ("other", "value")]
+        spill = spill_run(records, WritableSerializer(), str(tmp_path), "t")
+        assert list(spill) == records
+        spill.delete()
+
+
+class TestSendPartitionList:
+    def test_seals_on_threshold(self):
+        spl = SendPartitionList(num_partitions=2, flush_bytes=40, cmp=None)
+        blocks = []
+        for i in range(10):
+            block = spl.add(0, f"key{i}", "v" * 10)
+            if block:
+                blocks.append(block)
+        assert blocks, "threshold never triggered"
+        assert all(b.partition_id == 0 for b in blocks)
+
+    def test_flush_all_covers_leftovers(self):
+        spl = SendPartitionList(2, flush_bytes=10**9, cmp=None)
+        spl.add(0, "a", 1)
+        spl.add(1, "b", 2)
+        blocks = spl.flush_all()
+        assert {b.partition_id for b in blocks} == {0, 1}
+        assert spl.records_out == 2
+
+    def test_sorted_blocks_when_cmp(self):
+        spl = SendPartitionList(1, flush_bytes=10**9, cmp=default_compare)
+        for k in ["c", "a", "b"]:
+            spl.add(0, k, None)
+        (block,) = spl.flush_all()
+        assert [k for k, _ in block.records] == ["a", "b", "c"]
+        assert block.sorted
+
+    def test_combiner_shrinks_blocks(self):
+        spl = SendPartitionList(
+            1,
+            flush_bytes=10**9,
+            cmp=default_compare,
+            combiner=lambda k, vs: [sum(vs)],
+        )
+        for _ in range(5):
+            spl.add(0, "w", 1)
+        (block,) = spl.flush_all()
+        assert block.records == (("w", 5),)
+        assert spl.combined_away == 4
+
+    def test_counters(self):
+        spl = SendPartitionList(2, flush_bytes=10**9, cmp=None)
+        spl.add(0, "a", 1)
+        assert spl.records_in == 1
+        spl.flush_all()
+        assert spl.records_out == 1
+        assert spl.bytes_out > 0
+
+
+class TestReceivePartitionList:
+    def _store(self, tmp_path, cmp=default_compare):
+        return RunStore(cmp, WritableSerializer(), str(tmp_path), 10**9)
+
+    def test_accumulates_and_merges(self, tmp_path):
+        rpl = ReceivePartitionList(0, default_compare, self._store(tmp_path), 8)
+        rpl.add_block(Block(0, (("b", 1),), 10, sorted=True))
+        rpl.add_block(Block(0, (("a", 2),), 10, sorted=True))
+        assert [k for k, _ in rpl.merged()] == ["a", "b"]
+        assert rpl.blocks_received == 2
+        assert rpl.records_received == 2
+
+    def test_unsorted_blocks_sorted_on_arrival(self, tmp_path):
+        rpl = ReceivePartitionList(0, default_compare, self._store(tmp_path), 8)
+        rpl.add_block(Block(0, (("z", 1), ("a", 2)), 10, sorted=False))
+        assert [k for k, _ in rpl.merged()] == ["a", "z"]
+
+    def test_background_merge_triggered(self, tmp_path):
+        store = self._store(tmp_path)
+        rpl = ReceivePartitionList(0, default_compare, store, merge_threshold_blocks=3)
+        for i in range(10):
+            rpl.add_block(Block(0, ((f"k{i}", i),), 5, sorted=True))
+        # compaction keeps the run count at/below the threshold
+        assert len(store.memory_runs) <= 3

@@ -1,0 +1,47 @@
+"""Tests for the mpidrun console launcher."""
+
+import pytest
+
+from repro.cli import APPLICATIONS, main
+
+
+class TestCli:
+    def test_sort(self, capsys):
+        assert main(["-O", "3", "-A", "2", "-M", "common",
+                     "-jar", "demos.jar", "Sort", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "sorted 60 keys" in out
+        assert "success=True" in out
+        assert "A-locality=100%" in out
+
+    def test_wordcount(self, capsys):
+        assert main(["-O", "2", "-A", "2", "-M", "mapreduce",
+                     "-jar", "demos.jar", "WordCount", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "distinct" in out
+
+    def test_topk_streaming(self, capsys):
+        assert main(["-O", "2", "-A", "2", "-M", "streaming",
+                     "-jar", "demos.jar", "TopK", "500", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "top-3 of 500" in out
+
+    def test_help(self, capsys):
+        assert main(["--help"]) == 0
+        out = capsys.readouterr().out
+        assert "mpidrun" in out and "Sort" in out
+
+    def test_no_args_prints_help(self, capsys):
+        assert main([]) == 0
+        assert "classnames" in capsys.readouterr().out
+
+    def test_unknown_classname(self, capsys):
+        assert main(["-O", "1", "-A", "1", "-jar", "x.jar", "Missing"]) == 2
+        assert "unknown classname" in capsys.readouterr().err
+
+    def test_bad_flags(self, capsys):
+        assert main(["-O", "1"]) == 2  # missing -A
+        assert "mpidrun:" in capsys.readouterr().err
+
+    def test_registry_mirrors_paper_programs(self):
+        assert {"Sort", "WordCount", "TopK"} <= set(APPLICATIONS)

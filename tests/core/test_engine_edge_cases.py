@@ -1,0 +1,295 @@
+"""Engine edge cases: degenerate geometries, empty data, misuse errors."""
+
+import threading
+
+import pytest
+
+from repro.core import DataMPIJob, Mode, mpidrun
+from repro.core.constants import MPI_D_Constants as K
+
+
+def collect_all(sink, lock):
+    def a_fn(ctx):
+        got = list(ctx.recv_iter())
+        with lock:
+            sink[ctx.rank] = got
+
+    return a_fn
+
+
+class TestEmptyAndDegenerate:
+    def test_o_tasks_emit_nothing(self):
+        sink, lock = {}, threading.Lock()
+        job = DataMPIJob(
+            "empty", lambda ctx: None, collect_all(sink, lock), 3, 2,
+            mode=Mode.MAPREDUCE,
+        )
+        result = mpidrun(job, nprocs=2, raise_on_error=True)
+        assert result.success
+        assert sink == {0: [], 1: []}
+        assert result.metrics.records_sent == 0
+
+    def test_single_everything(self):
+        sink, lock = {}, threading.Lock()
+        job = DataMPIJob(
+            "one", lambda ctx: ctx.send("k", "v"), collect_all(sink, lock),
+            1, 1, mode=Mode.MAPREDUCE,
+        )
+        assert mpidrun(job, nprocs=1, raise_on_error=True).success
+        assert sink == {0: [("k", "v")]}
+
+    def test_more_processes_than_tasks(self):
+        sink, lock = {}, threading.Lock()
+        job = DataMPIJob(
+            "wide", lambda ctx: ctx.send(ctx.rank, None),
+            collect_all(sink, lock), 2, 2, mode=Mode.MAPREDUCE,
+        )
+        result = mpidrun(job, nprocs=6, raise_on_error=True)
+        assert result.success
+        assert sum(len(v) for v in sink.values()) == 2
+
+    def test_one_hot_partition(self):
+        """Every record to one A task; others still terminate cleanly."""
+        sink, lock = {}, threading.Lock()
+
+        def o_fn(ctx):
+            for i in range(50):
+                ctx.send(0, i)  # int key 0 -> partition 0 always
+
+        job = DataMPIJob(
+            "skew", o_fn, collect_all(sink, lock), 2, 4, mode=Mode.MAPREDUCE,
+            partitioner=lambda k, v, n: 0,
+        )
+        assert mpidrun(job, nprocs=2, raise_on_error=True).success
+        assert len(sink[0]) == 100
+        assert sink[1] == sink[2] == sink[3] == []
+
+    def test_large_values_cross_flush_threshold(self):
+        sink, lock = {}, threading.Lock()
+
+        def o_fn(ctx):
+            ctx.send("big", "x" * 500_000)  # single value >> SPL threshold
+
+        job = DataMPIJob(
+            "big", o_fn, collect_all(sink, lock), 1, 1, mode=Mode.MAPREDUCE,
+        )
+        assert mpidrun(job, nprocs=1, raise_on_error=True).success
+        assert len(sink[0][0][1]) == 500_000
+
+    def test_unicode_and_binary_keys(self):
+        sink, lock = {}, threading.Lock()
+
+        def o_fn(ctx):
+            ctx.send("clé-日本語", 1)
+            ctx.send("ascii", 2)
+
+        job = DataMPIJob(
+            "uni", o_fn, collect_all(sink, lock), 1, 1, mode=Mode.MAPREDUCE,
+        )
+        assert mpidrun(job, nprocs=1, raise_on_error=True).success
+        assert dict(sink[0]) == {"clé-日本語": 1, "ascii": 2}
+
+
+class TestMisuseErrors:
+    def test_a_task_send_in_mapreduce_rejected(self):
+        """One-way communication: A tasks cannot Send in MapReduce mode."""
+
+        def a_fn(ctx):
+            list(ctx.recv_iter())
+            ctx.send("illegal", 1)
+
+        job = DataMPIJob(
+            "oneway", lambda ctx: ctx.send("k", 1), a_fn, 1, 1,
+            mode=Mode.MAPREDUCE,
+        )
+        result = mpidrun(job, nprocs=1)
+        assert not result.success
+        assert "cannot Send" in result.error
+
+    def test_o_task_recv_in_mapreduce_rejected(self):
+        def o_fn(ctx):
+            ctx.recv()
+
+        job = DataMPIJob(
+            "norecv", o_fn, lambda ctx: list(ctx.recv_iter()), 1, 1,
+            mode=Mode.MAPREDUCE,
+        )
+        result = mpidrun(job, nprocs=1)
+        assert not result.success
+        assert "nothing to Recv" in result.error
+
+    def test_user_exception_in_a_task_fails_job(self):
+        def a_fn(ctx):
+            raise ValueError("user a-side bug")
+
+        job = DataMPIJob(
+            "abug", lambda ctx: ctx.send(1, 1), a_fn, 1, 1, mode=Mode.MAPREDUCE,
+        )
+        result = mpidrun(job, nprocs=1)
+        assert not result.success and "user a-side bug" in result.error
+
+    def test_raise_on_error_propagates(self):
+        from repro.common.errors import DataMPIError
+
+        job = DataMPIJob(
+            "raise", lambda ctx: ctx.send("k", 1),
+            lambda ctx: (_ for _ in ()).throw(DataMPIError("boom")),
+            1, 1, mode=Mode.MAPREDUCE,
+        )
+        with pytest.raises(Exception, match="boom"):
+            mpidrun(job, nprocs=1, raise_on_error=True)
+
+
+class TestConfPlumbing:
+    def test_pickle_serializer_via_conf(self):
+        sink, lock = {}, threading.Lock()
+
+        def o_fn(ctx):
+            ctx.send("obj", {"nested": {1, 2, 3}})  # set: needs pickle-ish
+
+        job = DataMPIJob(
+            "pickle", o_fn, collect_all(sink, lock), 1, 1, mode=Mode.MAPREDUCE,
+            conf={K.SERIALIZER: "pickle", K.CACHE_FRACTION: 0.0,
+                  K.SPL_PARTITION_BYTES: 16},  # force the spill/serde path
+        )
+        assert mpidrun(job, nprocs=1, raise_on_error=True).success
+        assert sink[0] == [("obj", {"nested": {1, 2, 3}})]
+
+    def test_key_class_enforced(self):
+        sink, lock = {}, threading.Lock()
+
+        def o_fn(ctx):
+            ctx.send("17", "2.5")  # strings coerced per the conf classes
+
+        job = DataMPIJob(
+            "typed", o_fn, collect_all(sink, lock), 1, 1, mode=Mode.MAPREDUCE,
+            conf={K.KEY_CLASS: "java.lang.Integer",
+                  K.VALUE_CLASS: "java.lang.Double"},
+        )
+        assert mpidrun(job, nprocs=1, raise_on_error=True).success
+        assert sink[0] == [(17, 2.5)]
+
+    def test_uncoercible_key_fails(self):
+        job = DataMPIJob(
+            "badtype", lambda ctx: ctx.send(["list"], 1),
+            lambda ctx: list(ctx.recv_iter()), 1, 1, mode=Mode.MAPREDUCE,
+            conf={K.KEY_CLASS: "java.lang.Integer"},
+        )
+        result = mpidrun(job, nprocs=1)
+        assert not result.success
+        assert "cannot be coerced" in result.error
+
+    def test_unknown_serializer_fails_cleanly(self):
+        job = DataMPIJob(
+            "badser", lambda ctx: None, lambda ctx: list(ctx.recv_iter()),
+            1, 1, mode=Mode.MAPREDUCE, conf={K.SERIALIZER: "capnproto"},
+        )
+        result = mpidrun(job, nprocs=1)
+        assert not result.success
+
+    def test_wall_duration_recorded(self):
+        job = DataMPIJob(
+            "timed", lambda ctx: ctx.send(1, 1),
+            lambda ctx: list(ctx.recv_iter()), 1, 1, mode=Mode.MAPREDUCE,
+        )
+        result = mpidrun(job, nprocs=1, raise_on_error=True)
+        assert result.metrics.duration > 0
+
+
+class TestSpillCompression:
+    def test_compressed_spills_smaller_same_output(self):
+        import threading
+
+        def run(compress):
+            sink, lock = {}, threading.Lock()
+
+            def o_fn(ctx):
+                for i in range(200):
+                    ctx.send(i % 10, "payload-" * 8)
+
+            def a_fn(ctx):
+                got = list(ctx.recv_iter())
+                with lock:
+                    sink[ctx.rank] = got
+
+            job = DataMPIJob(
+                "comp", o_fn, a_fn, 2, 2, mode=Mode.MAPREDUCE,
+                conf={K.CACHE_FRACTION: 0.0, K.SPL_PARTITION_BYTES: 128,
+                      K.SPILL_COMPRESS: compress},
+            )
+            result = mpidrun(job, nprocs=2, raise_on_error=True)
+            return result, sink
+
+        plain_result, plain_sink = run(False)
+        comp_result, comp_sink = run(True)
+        assert comp_result.metrics.spilled_bytes < plain_result.metrics.spilled_bytes
+        # identical results per task (multiset + key order)
+        from collections import Counter
+
+        for task_id in plain_sink:
+            assert Counter(plain_sink[task_id]) == Counter(comp_sink[task_id])
+
+    def test_runstore_compression_roundtrip(self, tmp_path):
+        from repro.core.sorter import RunStore
+        from repro.serde.comparators import default_compare
+        from repro.serde.serialization import WritableSerializer
+
+        store = RunStore(
+            default_compare, WritableSerializer(), str(tmp_path),
+            memory_budget=0, compress_spills=True,
+        )
+        run_data = sorted((f"key{i:03d}", "v" * 50) for i in range(100))
+        store.add_run(list(run_data))
+        assert store.disk_runs and store.disk_runs[0].compressed
+        assert list(store) == run_data
+        # compressed on-disk footprint beats the serialized size
+        assert store.spilled_bytes < 100 * 55
+
+
+class TestDiversifiedTopologies:
+    def test_sparse_bipartite_graph(self):
+        """§II-A Diversified: Dryad/S4-style *sparse* bipartite graphs —
+        each O task talks to a small subset of A tasks.  The library must
+        route exactly those edges and nothing else."""
+        import threading
+
+        sink, lock = {}, threading.Lock()
+        edges = {0: [0, 1], 1: [2], 2: [3, 4], 3: [4]}  # O rank -> A tasks
+
+        def o_fn(ctx):
+            for dest in edges[ctx.rank]:
+                ctx.send((dest, ctx.rank), f"edge-{ctx.rank}->{dest}")
+
+        def a_fn(ctx):
+            got = list(ctx.recv_iter())
+            with lock:
+                sink[ctx.rank] = got
+
+        job = DataMPIJob(
+            "sparse", o_fn, collect_all(sink, lock), 4, 5,
+            mode=Mode.MAPREDUCE,
+            partitioner=lambda key, v, n: key[0],  # key carries the A task
+        )
+        assert mpidrun(job, nprocs=3, raise_on_error=True).success
+        senders_by_a = {
+            a: sorted(key[1] for key, _ in got) for a, got in sink.items()
+        }
+        assert senders_by_a == {0: [0], 1: [0], 2: [1], 3: [2], 4: [2, 3]}
+
+    def test_complete_bipartite_graph(self):
+        """The MapReduce extreme: every O task reaches every A task."""
+        import threading
+
+        sink, lock = {}, threading.Lock()
+
+        def o_fn(ctx):
+            for a in range(ctx.a_size):
+                ctx.send(a, ctx.rank)
+
+        job = DataMPIJob(
+            "dense", o_fn, collect_all(sink, lock), 3, 3, mode=Mode.MAPREDUCE,
+            partitioner=lambda key, v, n: key % n,
+        )
+        assert mpidrun(job, nprocs=3, raise_on_error=True).success
+        for a, got in sink.items():
+            assert sorted(v for _, v in got) == [0, 1, 2]

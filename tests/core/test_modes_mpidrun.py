@@ -1,0 +1,108 @@
+"""Tests for mode profiles and the mpidrun launcher surface."""
+
+import pytest
+
+from repro.common.errors import DataMPIError
+from repro.core.constants import Mode, MPI_D_Constants as K
+from repro.core.job import DataMPIJob
+from repro.core.modes import (
+    mode_is_bidirectional,
+    mode_is_pipelined,
+    mode_sorts,
+    profile_for,
+)
+from repro.core.mpidrun import default_process_count, parse_mpidrun_command
+
+
+def _noop(ctx):
+    pass
+
+
+class TestProfiles:
+    def test_mapreduce_sorts_one_way(self):
+        conf = profile_for(Mode.MAPREDUCE)
+        assert mode_sorts(conf)
+        assert not mode_is_bidirectional(conf)
+        assert not mode_is_pipelined(conf)
+
+    def test_streaming_pipelined_unsorted(self):
+        conf = profile_for(Mode.STREAMING)
+        assert not mode_sorts(conf)
+        assert mode_is_pipelined(conf)
+
+    def test_iteration_bidirectional(self):
+        conf = profile_for(Mode.ITERATION)
+        assert mode_is_bidirectional(conf)
+        assert not mode_sorts(conf)
+
+    def test_common_sorts(self):
+        assert mode_sorts(profile_for(Mode.COMMON))
+
+    def test_user_conf_overrides_profile(self):
+        conf = profile_for(Mode.STREAMING, {K.SORT: True})
+        assert mode_sorts(conf)
+
+    def test_shared_defaults_present(self):
+        conf = profile_for(Mode.MAPREDUCE)
+        assert conf.get_str(K.SERIALIZER) == "writable"
+        assert conf.get_bytes(K.SPL_PARTITION_BYTES) > 0
+        assert conf.get_bool(K.FT_ENABLED) is False
+
+    def test_streaming_uses_small_flush(self):
+        streaming = profile_for(Mode.STREAMING).get_bytes(K.SPL_PARTITION_BYTES)
+        mapreduce = profile_for(Mode.MAPREDUCE).get_bytes(K.SPL_PARTITION_BYTES)
+        assert streaming < mapreduce
+
+
+class TestJobValidation:
+    def test_task_counts(self):
+        with pytest.raises(DataMPIError):
+            DataMPIJob("j", _noop, _noop, o_tasks=0, a_tasks=1).validate()
+        with pytest.raises(DataMPIError):
+            DataMPIJob("j", _noop, _noop, o_tasks=1, a_tasks=0).validate()
+
+    def test_rounds_require_iteration(self):
+        job = DataMPIJob("j", _noop, _noop, 1, 1, mode=Mode.MAPREDUCE, rounds=3)
+        with pytest.raises(DataMPIError):
+            job.validate()
+        DataMPIJob("j", _noop, _noop, 1, 1, mode=Mode.ITERATION, rounds=3).validate()
+
+    def test_default_process_count(self):
+        job = DataMPIJob("j", _noop, _noop, o_tasks=4, a_tasks=2)
+        assert default_process_count(job) == 4
+        wide = DataMPIJob("j", _noop, _noop, o_tasks=100, a_tasks=2)
+        assert default_process_count(wide) == 8  # capped
+
+
+class TestMpidrunCli:
+    def test_paper_command_shape(self):
+        opts = parse_mpidrun_command(
+            "mpidrun -f hostfile -O 4 -A 2 -M mapreduce -jar app.jar Sort in out"
+        )
+        assert opts["hostfile"] == "hostfile"
+        assert opts["o_tasks"] == 4 and opts["a_tasks"] == 2
+        assert opts["mode"] is Mode.MAPREDUCE
+        assert opts["jar"] == "app.jar"
+        assert opts["classname"] == "Sort"
+        assert opts["params"] == ["in", "out"]
+
+    def test_all_modes_parse(self):
+        for mode in Mode:
+            opts = parse_mpidrun_command(f"mpidrun -O 1 -A 1 -M {mode.value}")
+            assert opts["mode"] is mode
+
+    def test_missing_task_counts(self):
+        with pytest.raises(DataMPIError):
+            parse_mpidrun_command("mpidrun -f hosts")
+
+    def test_unknown_flag(self):
+        with pytest.raises(DataMPIError):
+            parse_mpidrun_command("mpidrun -O 1 -A 1 -Z whatever")
+
+    def test_unknown_mode(self):
+        with pytest.raises(DataMPIError):
+            parse_mpidrun_command("mpidrun -O 1 -A 1 -M quantum")
+
+    def test_must_start_with_mpidrun(self):
+        with pytest.raises(DataMPIError):
+            parse_mpidrun_command("hadoop jar x.jar")

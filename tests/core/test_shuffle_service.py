@@ -1,0 +1,147 @@
+"""Unit tests for the shuffle service and planes (below the engine)."""
+
+import tempfile
+
+import pytest
+
+from repro.common.errors import DataMPIError
+from repro.core.buffers import Block
+from repro.core.partition import PartitionWindow
+from repro.core.shuffle import PlaneConfig, ShufflePlane, ShuffleService
+from repro.mpi import run_world
+from repro.serde.comparators import default_compare
+from repro.serde.serialization import WritableSerializer
+
+
+def make_config(num_partitions=4, num_processes=2, cmp=default_compare,
+                pipelined=False, budget=1 << 30):
+    return PlaneConfig(
+        num_partitions=num_partitions,
+        window=PartitionWindow(num_partitions, num_processes),
+        cmp=cmp,
+        serializer=WritableSerializer(),
+        spill_dir=tempfile.mkdtemp(prefix="shuffle-test-"),
+        memory_budget=budget,
+        merge_threshold_blocks=4,
+        pipelined=pipelined,
+    )
+
+
+def block(partition, records, sorted_=True):
+    return Block(partition, tuple(records), 10 * len(records), sorted=sorted_)
+
+
+class TestShufflePlane:
+    def test_owned_partitions_follow_window(self):
+        plane = ShufflePlane("p", 0, make_config(5, 2))
+        assert set(plane.rpls) == {0, 2, 4}
+        plane1 = ShufflePlane("p", 1, make_config(5, 2))
+        assert set(plane1.rpls) == {1, 3}
+
+    def test_foreign_partition_rejected(self):
+        plane = ShufflePlane("p", 0, make_config(4, 2))
+        with pytest.raises(DataMPIError, match="Partition Window"):
+            plane.add_block(block(1, [("a", 1)]))  # partition 1 owned by rank 1
+
+    def test_completion_requires_all_eos(self):
+        plane = ShufflePlane("p", 0, make_config(2, 2))
+        plane.add_eos()
+        assert not plane.complete.is_set()
+        plane.add_eos()
+        assert plane.complete.is_set()
+
+    def test_extra_eos_rejected(self):
+        plane = ShufflePlane("p", 0, make_config(2, 1))
+        plane.add_eos()
+        with pytest.raises(DataMPIError, match="extra EOS"):
+            plane.add_eos()
+
+    def test_read_before_complete_rejected(self):
+        plane = ShufflePlane("p", 0, make_config(2, 1))
+        with pytest.raises(DataMPIError, match="before EOS"):
+            plane.merged_iter(0)
+
+    def test_merged_iterator_sorted(self):
+        plane = ShufflePlane("p", 0, make_config(2, 1))
+        plane.add_block(block(0, [("b", 1), ("d", 1)]))
+        plane.add_block(block(0, [("a", 2), ("c", 2)]))
+        plane.add_eos()
+        assert [k for k, _ in plane.merged_iter(0)] == ["a", "b", "c", "d"]
+
+    def test_stats(self):
+        plane = ShufflePlane("p", 0, make_config(2, 1))
+        plane.add_block(block(0, [("a", 1), ("b", 1)]))
+        assert plane.records_received() == 2
+        assert plane.blocks_received() == 1
+
+    def test_streaming_queue_delivery(self):
+        plane = ShufflePlane("p", 0, make_config(2, 1, pipelined=True))
+        plane.add_block(block(0, [("x", 1)], sorted_=False))
+        it = plane.stream_iter(0)
+        assert next(it) == ("x", 1)
+        plane.add_eos()
+        assert list(it) == []
+
+
+class TestShuffleServiceOverMPI:
+    def test_blocks_route_to_owners(self):
+        def main(comm):
+            service = ShuffleService(comm, lambda pid: make_config(4, comm.size))
+            # every rank emits one block per partition
+            for partition in range(4):
+                service.send_block(
+                    "fwd:0", block(partition, [(f"r{comm.rank}", partition)])
+                )
+            service.send_eos("fwd:0")
+            plane = service.plane("fwd:0")
+            plane.wait_complete(30)
+            owned = {p: list(plane.merged_iter(p)) for p in plane.rpls}
+            service.shutdown()
+            return owned
+
+        results = run_world(2, main)
+        # rank 0 owns partitions 0 and 2; rank 1 owns 1 and 3
+        assert set(results[0]) == {0, 2}
+        assert set(results[1]) == {1, 3}
+        for owned in results:
+            for partition, records in owned.items():
+                assert sorted(v for _, v in records) == [partition, partition]
+
+    def test_stats_account_traffic(self):
+        def main(comm):
+            service = ShuffleService(comm, lambda pid: make_config(2, comm.size))
+            if comm.rank == 0:
+                for _ in range(5):
+                    service.send_block("fwd:0", block(1, [("k", 1)]))
+            service.send_eos("fwd:0")
+            service.plane("fwd:0").wait_complete(30)
+            service.drain_sends()
+            stats = service.stats()
+            service.shutdown()
+            return stats
+
+        results = run_world(2, main)
+        assert results[0]["blocks_sent"] == 5
+        assert results[1]["records_received"] == 5
+
+    def test_multiple_planes_isolated(self):
+        def main(comm):
+            service = ShuffleService(comm, lambda pid: make_config(1, comm.size))
+            service.send_block("fwd:0", block(0, [("first", 0)]))
+            service.send_block("bwd:0", block(0, [("second", 0)]))
+            service.send_eos("fwd:0")
+            service.send_eos("bwd:0")
+            fwd, bwd = service.plane("fwd:0"), service.plane("bwd:0")
+            fwd.wait_complete(30)
+            bwd.wait_complete(30)
+            out = (
+                [k for k, _ in fwd.merged_iter(0)],
+                [k for k, _ in bwd.merged_iter(0)],
+            )
+            service.shutdown()
+            return out
+
+        # bwd planes use a window over o_tasks; with 1 partition + 1 process
+        # both land on rank 0
+        results = run_world(1, main)
+        assert results[0] == (["first"], ["second"])

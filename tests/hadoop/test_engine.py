@@ -1,0 +1,156 @@
+"""End-to-end mini-Hadoop jobs: scheduling, shuffle, counters."""
+
+import pytest
+
+from repro.hadoop import HadoopJob, MiniHadoopCluster
+from repro.hadoop.shuffle_http import ShuffleDirectory, ShuffleServer
+from repro.hdfs.cluster import MiniDFSCluster
+
+
+def word_mapper(_k, line, emit):
+    for word in line.split():
+        emit(word, 1)
+
+
+def sum_reducer(key, values, emit):
+    emit(key, sum(values))
+
+
+@pytest.fixture()
+def cluster():
+    dfs_cluster = MiniDFSCluster(num_nodes=3, block_size=256)
+    return MiniHadoopCluster(dfs_cluster)
+
+
+def write_input(cluster, lines):
+    dfs = cluster.dfs_cluster.client(0)
+    dfs.write_file("/in/part0", ("\n".join(lines) + "\n").encode())
+
+
+class TestWordCountJob:
+    LINES = ["a b a", "c a b", "b c c c"] * 15
+
+    def expected(self):
+        from collections import Counter
+
+        counter = Counter()
+        for line in self.LINES:
+            counter.update(line.split())
+        return {k: str(v) for k, v in counter.items()}
+
+    def test_end_to_end(self, cluster):
+        write_input(cluster, self.LINES)
+        job = HadoopJob("wc", "/in", "/out", word_mapper, sum_reducer, num_reduces=2)
+        result = cluster.run_job(job)
+        assert result.success
+        assert dict(cluster.read_output(job)) == self.expected()
+
+    def test_counters_consistent(self, cluster):
+        write_input(cluster, self.LINES)
+        job = HadoopJob("wc", "/in", "/out", word_mapper, sum_reducer, num_reduces=2)
+        result = cluster.run_job(job)
+        c = result.counters
+        total_words = sum(len(line.split()) for line in self.LINES)
+        assert c.map_output_records == total_words
+        assert c.reduce_input_records == total_words  # no combiner
+        assert c.reduce_output_records == 3  # distinct words
+        assert c.shuffle_fetches == 2 * c.data_local_maps + 2 * c.rack_remote_maps
+
+    def test_combiner_cuts_shuffle(self, cluster):
+        write_input(cluster, self.LINES)
+        plain = HadoopJob("p", "/in", "/out-p", word_mapper, sum_reducer, 2)
+        combined = HadoopJob(
+            "c", "/in", "/out-c", word_mapper, sum_reducer, 2,
+            combiner=lambda k, vs: [sum(vs)],
+        )
+        r_plain = cluster.run_job(plain)
+        r_comb = cluster.run_job(combined)
+        assert dict(cluster.read_output(plain)) == dict(cluster.read_output(combined))
+        assert (
+            r_comb.counters.reduce_shuffle_bytes
+            < r_plain.counters.reduce_shuffle_bytes
+        )
+
+    def test_output_one_file_per_reduce(self, cluster):
+        write_input(cluster, self.LINES)
+        job = HadoopJob("wc", "/in", "/out", word_mapper, sum_reducer, num_reduces=4)
+        result = cluster.run_job(job)
+        assert len(result.output_files) == 4
+        assert result.output_files == sorted(result.output_files)
+
+    def test_timelines_recorded(self, cluster):
+        write_input(cluster, self.LINES)
+        job = HadoopJob("wc", "/in", "/out", word_mapper, sum_reducer, num_reduces=2)
+        result = cluster.run_job(job)
+        assert len(result.map_timeline.ends) >= 1
+        assert len(result.reduce_timeline.ends) == 2
+        # the proxy-based shuffle: no reduce starts before the last map ends
+        assert min(result.reduce_timeline.starts.values()) >= max(
+            result.map_timeline.ends.values()
+        )
+
+
+class TestSchedulingAndFailures:
+    def test_map_locality_preferred(self):
+        """With replication=3 on 3 nodes every split can run locally."""
+        dfs_cluster = MiniDFSCluster(num_nodes=3, block_size=128, replication=3)
+        cluster = MiniHadoopCluster(dfs_cluster)
+        write_input(cluster, ["x y z"] * 30)
+        job = HadoopJob("loc", "/in", "/out", word_mapper, sum_reducer, 1)
+        result = cluster.run_job(job)
+        assert result.counters.map_locality == 1.0
+
+    def test_empty_input_fails_cleanly(self, cluster):
+        job = HadoopJob("none", "/missing", "/out", word_mapper, sum_reducer, 1)
+        result = cluster.run_job(job)
+        assert not result.success
+        assert "no input" in result.error
+
+    def test_mapper_exception_fails_job(self, cluster):
+        write_input(cluster, ["boom"])
+
+        def bad_mapper(_k, _v, _emit):
+            raise ValueError("mapper exploded")
+
+        job = HadoopJob("bad", "/in", "/out", bad_mapper, sum_reducer, 1)
+        result = cluster.run_job(job)
+        assert not result.success
+        assert "mapper exploded" in result.error
+
+    def test_reducer_exception_fails_job(self, cluster):
+        write_input(cluster, ["ok data"])
+
+        def bad_reducer(_k, _vs, _emit):
+            raise RuntimeError("reducer exploded")
+
+        job = HadoopJob("bad", "/in", "/out", word_mapper, bad_reducer, 1)
+        result = cluster.run_job(job)
+        assert not result.success
+
+    def test_invalid_job_config(self, cluster):
+        job = HadoopJob("inv", "/in", "/out", word_mapper, sum_reducer, num_reduces=0)
+        with pytest.raises(Exception):
+            cluster.run_job(job)
+
+
+class TestShuffleServer:
+    def test_register_and_fetch(self):
+        server = ShuffleServer(0)
+        server.register_map_output(3, {0: [("a", 1)], 1: [("b", 2)]})
+        assert server.fetch(3, 0) == [("a", 1)]
+        assert server.fetch(3, 9) == []  # empty partitions are a valid GET
+        assert server.requests_served == 2
+        assert server.bytes_served > 0
+
+    def test_directory_resolves_hosts(self):
+        servers = [ShuffleServer(0), ShuffleServer(1)]
+        servers[1].register_map_output(7, {0: [("k", "v")]})
+        directory = ShuffleDirectory(servers)
+        directory.announce_completion(7, 1)
+        run, host = directory.fetch(7, 0)
+        assert host == 1 and run == [("k", "v")]
+
+    def test_fetch_before_completion_raises(self):
+        directory = ShuffleDirectory([ShuffleServer(0)])
+        with pytest.raises(Exception):
+            directory.host_of(0)

@@ -1,0 +1,148 @@
+"""Tests for the map-side spill buffer and I/O formats."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import DataMPIError
+from repro.core.partition import hash_partitioner
+from repro.hadoop.io_formats import (
+    BytesConcatOutputFormat,
+    FixedLengthRecordFormat,
+    KeyValueTextOutputFormat,
+    TextInputFormat,
+    compute_splits,
+)
+from repro.hadoop.map_output import MapOutputBuffer
+from repro.hdfs.cluster import MiniDFSCluster
+
+
+class TestMapOutputBuffer:
+    def make(self, **kwargs):
+        defaults = dict(
+            num_partitions=2,
+            partitioner=hash_partitioner,
+            sort_buffer_bytes=10**9,
+        )
+        defaults.update(kwargs)
+        return MapOutputBuffer(**defaults)
+
+    def test_collect_and_finish(self):
+        buf = self.make()
+        for word in ["b", "a", "c", "a"]:
+            buf.collect(word, 1)
+        outputs = buf.finish()
+        all_records = [kv for run in outputs.values() for kv in run]
+        assert sorted(all_records) == [("a", 1), ("a", 1), ("b", 1), ("c", 1)]
+        for run in outputs.values():
+            assert [k for k, _ in run] == sorted(k for k, _ in run)
+
+    def test_spills_on_budget(self):
+        buf = self.make(sort_buffer_bytes=100)
+        for i in range(50):
+            buf.collect(f"key{i}", "v" * 10)
+        assert buf.num_spills > 1
+        outputs = buf.finish()
+        total = sum(len(run) for run in outputs.values())
+        assert total == 50
+
+    def test_multi_spill_merge_is_sorted(self):
+        buf = self.make(sort_buffer_bytes=64, num_partitions=1)
+        import random
+
+        rng = random.Random(0)
+        keys = [f"{rng.randint(0, 999):03d}" for _ in range(100)]
+        for k in keys:
+            buf.collect(k, None)
+        (run,) = buf.finish().values()
+        assert [k for k, _ in run] == sorted(keys)
+
+    def test_combiner_applied_per_spill_and_merge(self):
+        buf = self.make(
+            sort_buffer_bytes=80, num_partitions=1,
+            combiner=lambda k, vs: [sum(vs)],
+        )
+        for _ in range(40):
+            buf.collect("hot", 1)
+        (run,) = buf.finish().values()
+        assert run == [("hot", 40)]
+        assert buf.combined_records > 0
+
+    def test_partitions_respected(self):
+        buf = self.make(num_partitions=3, partitioner=lambda k, v, n: k % n)
+        for i in range(30):
+            buf.collect(i, None)
+        outputs = buf.finish()
+        for partition, run in outputs.items():
+            assert all(k % 3 == partition for k, _ in run)
+
+    @settings(max_examples=25)
+    @given(st.lists(st.text(min_size=1, max_size=8), max_size=60))
+    def test_no_records_lost(self, keys):
+        buf = self.make(sort_buffer_bytes=128, num_partitions=4)
+        for k in keys:
+            buf.collect(k, 1)
+        outputs = buf.finish()
+        assert sum(len(r) for r in outputs.values()) == len(keys)
+
+
+class TestTextInputFormat:
+    def test_basic_lines(self):
+        fmt = TextInputFormat()
+        records = list(fmt.read_records(b"alpha\nbeta\n"))
+        assert records == [(0, "alpha"), (6, "beta")]
+
+    def test_line_stitching_across_blocks(self):
+        """LineRecordReader semantics: no line lost or duplicated."""
+        cluster = MiniDFSCluster(num_nodes=2, block_size=17)
+        dfs = cluster.client(0)
+        lines = [f"line-{i:04d}" for i in range(40)]
+        dfs.write_file("/t", ("\n".join(lines) + "\n").encode())
+        fmt = TextInputFormat()
+        collected = []
+        for split in compute_splits(dfs, "/t"):
+            collected.extend(v for _, v in fmt.read_split(dfs, split))
+        assert collected == lines
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(st.text(alphabet="abcxyz", min_size=1, max_size=30), min_size=1,
+                 max_size=30),
+        st.integers(min_value=5, max_value=64),
+    )
+    def test_stitching_property(self, lines, block_size):
+        cluster = MiniDFSCluster(num_nodes=1, block_size=block_size)
+        dfs = cluster.client(0)
+        dfs.write_file("/p", ("\n".join(lines) + "\n").encode())
+        fmt = TextInputFormat()
+        collected = []
+        for split in compute_splits(dfs, "/p"):
+            collected.extend(v for _, v in fmt.read_split(dfs, split))
+        assert collected == lines
+
+
+class TestFixedAndOutputFormats:
+    def test_fixed_records(self):
+        fmt = FixedLengthRecordFormat(record_len=10, key_len=3)
+        data = b"aaa0000000bbb1111111"
+        records = list(fmt.read_records(data))
+        assert records == [(b"aaa", b"0000000"), (b"bbb", b"1111111")]
+
+    def test_fixed_misaligned_raises(self):
+        fmt = FixedLengthRecordFormat(record_len=10, key_len=3)
+        with pytest.raises(DataMPIError):
+            list(fmt.read_records(b"short"))
+
+    def test_fixed_validation(self):
+        with pytest.raises(DataMPIError):
+            FixedLengthRecordFormat(record_len=10, key_len=10)
+
+    def test_kv_text_roundtrip(self):
+        fmt = KeyValueTextOutputFormat()
+        blob = fmt.serialize([("a", 1), ("b", "x y")])
+        assert fmt.parse(blob) == [("a", "1"), ("b", "x y")]
+
+    def test_bytes_concat(self):
+        fmt = BytesConcatOutputFormat()
+        blob = fmt.serialize([(b"key", b"val")])
+        assert blob == b"keyval"

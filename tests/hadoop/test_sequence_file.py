@@ -1,0 +1,104 @@
+"""Tests for the mini-SequenceFile format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import SerializationError
+from repro.hadoop.sequence_file import (
+    SYNC_INTERVAL,
+    SYNC_MARKER,
+    SequenceFileReader,
+    SequenceFileWriter,
+    read_sequence_file,
+    write_sequence_file,
+)
+from repro.hdfs import MiniDFSCluster
+
+
+@pytest.fixture()
+def dfs():
+    return MiniDFSCluster(num_nodes=2, block_size=4096).client(0)
+
+
+class TestRoundTrip:
+    def test_basic(self, dfs):
+        records = [(f"k{i}", [i, i * 2]) for i in range(50)]
+        assert write_sequence_file(dfs, "/seq", records) == 50
+        assert read_sequence_file(dfs, "/seq") == records
+
+    def test_empty_file(self, dfs):
+        write_sequence_file(dfs, "/empty", [])
+        assert read_sequence_file(dfs, "/empty") == []
+
+    def test_pickle_backend(self, dfs):
+        records = [({"complex": {1, 2}}, None)]
+        write_sequence_file(dfs, "/p", records, serializer="pickle")
+        assert read_sequence_file(dfs, "/p") == records
+
+    def test_heterogeneous_records(self, dfs):
+        records = [(1, "a"), ("two", 2.5), (b"three", (3, 3))]
+        write_sequence_file(dfs, "/h", records)
+        assert read_sequence_file(dfs, "/h") == records
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.text(max_size=12), st.integers(-1000, 1000)),
+            max_size=40,
+        )
+    )
+    def test_roundtrip_property(self, records):
+        dfs = MiniDFSCluster(num_nodes=1, block_size=512).client(0)
+        write_sequence_file(dfs, "/prop", records)
+        assert read_sequence_file(dfs, "/prop") == records
+
+    def test_writer_context_manager_closes(self, dfs):
+        with SequenceFileWriter(dfs, "/cm") as writer:
+            writer.append("a", 1)
+        with pytest.raises(SerializationError):
+            writer.append("b", 2)
+
+    def test_not_a_sequence_file(self, dfs):
+        dfs.write_file("/junk", b"plain text, definitely not MSEQ")
+        with pytest.raises(SerializationError, match="not a mini-SequenceFile"):
+            SequenceFileReader(dfs, "/junk")
+
+
+class TestSyncMarkersAndSplits:
+    def _write_big(self, dfs, n=2000):
+        records = [(f"key-{i:05d}", "v" * 20) for i in range(n)]
+        write_sequence_file(dfs, "/big", records)
+        return records
+
+    def test_sync_markers_present(self, dfs):
+        self._write_big(dfs)
+        data = dfs.read_file("/big")
+        # at least one marker beyond the header for a multi-interval file
+        assert data.count(SYNC_MARKER) >= len(data) // SYNC_INTERVAL
+
+    def test_resync_from_arbitrary_offset(self, dfs):
+        records = self._write_big(dfs)
+        reader = SequenceFileReader(dfs, "/big")
+        # start in the middle of nowhere: reader skips to the next marker
+        midpoint_records = list(reader.records_from(len(dfs.read_file("/big")) // 2))
+        assert 0 < len(midpoint_records) < len(records)
+        # and what it returns is a suffix of the record stream
+        assert midpoint_records == records[-len(midpoint_records):]
+
+    def test_splits_partition_records_exactly(self, dfs):
+        """Reading by byte ranges yields every record exactly once."""
+        records = self._write_big(dfs)
+        reader = SequenceFileReader(dfs, "/big")
+        size = len(dfs.read_file("/big"))
+        n_splits = 5
+        bounds = [size * i // n_splits for i in range(n_splits + 1)]
+        collected = []
+        for i in range(n_splits):
+            collected.extend(reader.split_records(bounds[i], bounds[i + 1]))
+        assert collected == records
+
+    def test_single_split_covers_all(self, dfs):
+        records = self._write_big(dfs, n=100)
+        reader = SequenceFileReader(dfs, "/big")
+        assert list(reader.split_records(0, 10**9)) == records

@@ -1,0 +1,187 @@
+"""Collective operations across a range of world sizes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import MAX, MIN, PROD, SUM, run_world
+from repro.mpi.datatypes import MAXLOC_OP, Op
+
+SIZES = [1, 2, 3, 4, 7, 8]
+
+
+@pytest.mark.parametrize("size", SIZES)
+class TestBcast:
+    def test_bcast_from_root0(self, size):
+        def main(comm):
+            obj = {"data": list(range(10))} if comm.rank == 0 else None
+            return comm.bcast(obj, root=0)
+
+        results = run_world(size, main)
+        assert all(r == {"data": list(range(10))} for r in results)
+
+    def test_bcast_from_last_rank(self, size):
+        def main(comm):
+            obj = "payload" if comm.rank == comm.size - 1 else None
+            return comm.bcast(obj, root=comm.size - 1)
+
+        assert run_world(size, main) == ["payload"] * size
+
+
+@pytest.mark.parametrize("size", SIZES)
+class TestGatherScatter:
+    def test_gather(self, size):
+        def main(comm):
+            return comm.gather((comm.rank + 1) ** 2, root=0)
+
+        results = run_world(size, main)
+        assert results[0] == [(i + 1) ** 2 for i in range(size)]
+        assert all(r is None for r in results[1:])
+
+    def test_gather_nonzero_root(self, size):
+        root = size - 1
+
+        def main(comm):
+            return comm.gather(comm.rank, root=root)
+
+        results = run_world(size, main)
+        assert results[root] == list(range(size))
+
+    def test_scatter(self, size):
+        def main(comm):
+            objs = [i * 10 for i in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(objs, root=0)
+
+        assert run_world(size, main) == [i * 10 for i in range(size)]
+
+    def test_allgather(self, size):
+        def main(comm):
+            return comm.allgather(comm.rank * 2)
+
+        expected = [i * 2 for i in range(size)]
+        assert run_world(size, main) == [expected] * size
+
+
+@pytest.mark.parametrize("size", SIZES)
+class TestReductions:
+    def test_allreduce_sum(self, size):
+        def main(comm):
+            return comm.allreduce(comm.rank, SUM)
+
+        expected = sum(range(size))
+        assert run_world(size, main) == [expected] * size
+
+    def test_reduce_max_at_root(self, size):
+        def main(comm):
+            return comm.reduce(comm.rank * 3, MAX, root=0)
+
+        results = run_world(size, main)
+        assert results[0] == (size - 1) * 3
+
+    def test_reduce_min(self, size):
+        def main(comm):
+            return comm.reduce(100 - comm.rank, MIN, root=0)
+
+        assert run_world(size, main)[0] == 100 - (size - 1)
+
+    def test_allreduce_prod(self, size):
+        def main(comm):
+            return comm.allreduce(comm.rank + 1, PROD)
+
+        import math
+
+        assert run_world(size, main)[0] == math.factorial(size)
+
+    def test_maxloc(self, size):
+        def main(comm):
+            return comm.allreduce((comm.rank % 3, comm.rank), MAXLOC_OP)
+
+        value, loc = run_world(size, main)[0]
+        expected = max((i % 3, i) for i in range(size))[0]
+        assert value == expected
+
+    def test_scan_inclusive(self, size):
+        def main(comm):
+            return comm.scan(comm.rank + 1, SUM)
+
+        assert run_world(size, main) == [
+            sum(range(1, i + 2)) for i in range(size)
+        ]
+
+    def test_non_commutative_op_rank_order(self, size):
+        concat = Op(lambda a, b: a + b, "CONCAT", commutative=False)
+
+        def main(comm):
+            return comm.reduce(f"[{comm.rank}]", concat, root=0)
+
+        assert run_world(size, main)[0] == "".join(f"[{i}]" for i in range(size))
+
+
+@pytest.mark.parametrize("size", SIZES)
+class TestAlltoallBarrier:
+    def test_alltoall(self, size):
+        def main(comm):
+            row = [f"{comm.rank}->{dst}" for dst in range(comm.size)]
+            return comm.alltoall(row)
+
+        results = run_world(size, main)
+        for dst, row in enumerate(results):
+            assert row == [f"{src}->{dst}" for src in range(size)]
+
+    def test_barrier_orders_phases(self, size):
+        import threading
+
+        counter = {"n": 0}
+        lock = threading.Lock()
+
+        def main(comm):
+            with lock:
+                counter["n"] += 1
+            comm.barrier()
+            # after the barrier every rank must observe all increments
+            with lock:
+                seen = counter["n"]
+            return seen
+
+        assert run_world(size, main) == [size] * size
+
+    def test_alltoall_wrong_length_raises(self, size):
+        from repro.common.errors import MPIError
+
+        def main(comm):
+            comm.alltoall([0] * (comm.size + 1))
+
+        with pytest.raises(MPIError):
+            run_world(size, main, timeout=30)
+
+
+class TestCollectiveSequences:
+    def test_many_collectives_in_order(self):
+        """Back-to-back collectives must not cross-match."""
+
+        def main(comm):
+            total = 0
+            for i in range(20):
+                total += comm.allreduce(i + comm.rank, SUM)
+                comm.barrier()
+            return total
+
+        results = run_world(4, main)
+        assert len(set(results)) == 1
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.integers(-100, 100), min_size=4, max_size=4))
+    def test_allreduce_matches_python_sum(self, values):
+        def main(comm):
+            return comm.allreduce(values[comm.rank], SUM)
+
+        assert run_world(4, main) == [sum(values)] * 4
+
+    def test_scatter_requires_exact_length(self):
+        from repro.common.errors import MPIError
+
+        def main(comm):
+            comm.scatter([1, 2, 3], root=0)  # size is 2 -> error
+
+        with pytest.raises(MPIError):
+            run_world(2, main, timeout=30)

@@ -1,0 +1,67 @@
+"""Tests for exscan and reduce_scatter."""
+
+import pytest
+
+from repro.common.errors import MPIError
+from repro.mpi import MAX, SUM, run_world
+from repro.mpi.datatypes import Op
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 5, 8])
+class TestExscan:
+    def test_exclusive_prefix_sum(self, size):
+        def main(comm):
+            return comm.exscan(comm.rank + 1, SUM)
+
+        results = run_world(size, main)
+        assert results[0] is None
+        for rank in range(1, size):
+            assert results[rank] == sum(range(1, rank + 1))
+
+    def test_exscan_max(self, size):
+        def main(comm):
+            return comm.exscan((comm.rank * 7) % 5, MAX)
+
+        results = run_world(size, main)
+        values = [(r * 7) % 5 for r in range(size)]
+        for rank in range(1, size):
+            assert results[rank] == max(values[:rank])
+
+    def test_exscan_then_scan_consistent(self, size):
+        def main(comm):
+            ex = comm.exscan(comm.rank + 1, SUM)
+            inc = comm.scan(comm.rank + 1, SUM)
+            return (ex or 0) + comm.rank + 1 == inc
+
+        assert all(run_world(size, main))
+
+
+@pytest.mark.parametrize("size", [1, 2, 4, 6])
+class TestReduceScatter:
+    def test_elementwise_sum(self, size):
+        def main(comm):
+            vector = [comm.rank * 100 + i for i in range(comm.size)]
+            return comm.reduce_scatter(vector, SUM)
+
+        results = run_world(size, main)
+        for i in range(size):
+            assert results[i] == sum(r * 100 + i for r in range(size))
+
+    def test_non_commutative_rank_order(self, size):
+        concat = Op(lambda a, b: a + b, "CONCAT", commutative=False)
+
+        def main(comm):
+            vector = [f"[{comm.rank}->{i}]" for i in range(comm.size)]
+            return comm.reduce_scatter(vector, concat)
+
+        results = run_world(size, main)
+        for i in range(size):
+            assert results[i] == "".join(f"[{r}->{i}]" for r in range(size))
+
+
+def test_reduce_scatter_wrong_length():
+    def main(comm):
+        comm.reduce_scatter([1], SUM)  # size is 2
+
+    with pytest.raises(MPIError):
+        run_world(2, main, timeout=30)

@@ -1,0 +1,210 @@
+"""Point-to-point semantics of the from-scratch MPI substrate."""
+
+import pytest
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, Status, run_world
+from repro.mpi.datatypes import TAG_UB
+
+
+class TestBasicSendRecv:
+    def test_two_rank_roundtrip(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send({"a": 7, "b": 3.14}, dest=1, tag=11)
+                return None
+            return comm.recv(source=0, tag=11)
+
+        results = run_world(2, main)
+        assert results[1] == {"a": 7, "b": 3.14}
+
+    def test_ring(self):
+        def main(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            comm.send(comm.rank, dest=right, tag=5)
+            return comm.recv(source=left, tag=5)
+
+        assert run_world(5, main) == [4, 0, 1, 2, 3]
+
+    def test_status_reports_source_and_tag(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(b"xyz", dest=1, tag=9)
+                return None
+            status = Status()
+            comm.recv(source=ANY_SOURCE, tag=ANY_TAG, status=status)
+            return (status.Get_source(), status.Get_tag(), status.Get_count() > 0)
+
+        assert run_world(2, main)[1] == (0, 9, True)
+
+    def test_sendrecv(self):
+        def main(comm):
+            partner = 1 - comm.rank
+            return comm.sendrecv(
+                f"from{comm.rank}", dest=partner, sendtag=1, source=partner, recvtag=1
+            )
+
+        assert run_world(2, main) == ["from1", "from0"]
+
+    def test_negative_tag_rejected(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(1, dest=1, tag=-5)
+            else:
+                comm.recv(source=0)
+
+        from repro.common.errors import MPIError
+
+        with pytest.raises(MPIError):
+            run_world(2, main)
+
+    def test_large_tag_ok(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("big", dest=1, tag=TAG_UB - 1)
+                return None
+            return comm.recv(source=0, tag=TAG_UB - 1)
+
+        assert run_world(2, main)[1] == "big"
+
+
+class TestMatching:
+    def test_tag_selectivity(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("t1", dest=1, tag=1)
+                comm.send("t2", dest=1, tag=2)
+                return None
+            second = comm.recv(source=0, tag=2)
+            first = comm.recv(source=0, tag=1)
+            return (first, second)
+
+        assert run_world(2, main)[1] == ("t1", "t2")
+
+    def test_non_overtaking_same_tag(self):
+        def main(comm):
+            if comm.rank == 0:
+                for i in range(50):
+                    comm.send(i, dest=1, tag=7)
+                return None
+            return [comm.recv(source=0, tag=7) for _ in range(50)]
+
+        assert run_world(2, main)[1] == list(range(50))
+
+    def test_any_source_collects_all(self):
+        def main(comm):
+            if comm.rank == 0:
+                got = sorted(comm.recv(source=ANY_SOURCE, tag=3) for _ in range(3))
+                return got
+            comm.send(comm.rank * 10, dest=0, tag=3)
+            return None
+
+        assert run_world(4, main)[0] == [10, 20, 30]
+
+    def test_source_selectivity_with_interleaving(self):
+        def main(comm):
+            if comm.rank == 0:
+                # rank 2's message arrives but rank 0 asks for rank 1 first
+                a = comm.recv(source=1, tag=0)
+                b = comm.recv(source=2, tag=0)
+                return (a, b)
+            comm.send(f"r{comm.rank}", dest=0, tag=0)
+            return None
+
+        assert run_world(3, main)[0] == ("r1", "r2")
+
+
+class TestNonBlocking:
+    def test_isend_irecv(self):
+        def main(comm):
+            if comm.rank == 0:
+                req = comm.isend([1, 2, 3], dest=1, tag=4)
+                req.wait()
+                return None
+            req = comm.irecv(source=0, tag=4)
+            return req.wait()
+
+        assert run_world(2, main)[1] == [1, 2, 3]
+
+    def test_irecv_test_polls(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.recv(source=1, tag=99)  # handshake: wait until 1 is ready
+                comm.send("payload", dest=1, tag=5)
+                return None
+            req = comm.irecv(source=0, tag=5)
+            done, _ = req.test()
+            assert not done  # nothing sent yet
+            comm.send(None, dest=0, tag=99)
+            return req.wait()
+
+        assert run_world(2, main)[1] == "payload"
+
+    def test_issend_completes_on_consumption(self):
+        def main(comm):
+            if comm.rank == 0:
+                req = comm.issend("sync", dest=1, tag=1)
+                done_before, _ = req.test()
+                comm.send(done_before, dest=1, tag=2)
+                req.wait()
+                return None
+            done_before = comm.recv(source=0, tag=2)
+            assert done_before is False  # not consumed yet
+            return comm.recv(source=0, tag=1)
+
+        assert run_world(2, main)[1] == "sync"
+
+    def test_waitall(self):
+        from repro.mpi.request import waitall
+
+        def main(comm):
+            if comm.rank == 0:
+                reqs = [comm.isend(i, dest=1, tag=i) for i in range(5)]
+                waitall(reqs)
+                return None
+            reqs = [comm.irecv(source=0, tag=i) for i in range(5)]
+            return waitall(reqs)
+
+        assert run_world(2, main)[1] == [0, 1, 2, 3, 4]
+
+    def test_probe_then_recv(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("probed", dest=1, tag=8)
+                return None
+            status = comm.probe(source=ANY_SOURCE, tag=ANY_TAG)
+            return comm.recv(source=status.source, tag=status.tag)
+
+        assert run_world(2, main)[1] == "probed"
+
+    def test_iprobe_nonblocking(self):
+        def main(comm):
+            if comm.rank == 1:
+                assert comm.iprobe(source=0, tag=42) is None
+                comm.send(None, dest=0, tag=1)  # ready
+                return comm.recv(source=0, tag=42)
+            comm.recv(source=1, tag=1)
+            comm.send("later", dest=1, tag=42)
+            return None
+
+        assert run_world(2, main)[1] == "later"
+
+
+class TestFailurePropagation:
+    def test_exception_aborts_world(self):
+        def main(comm):
+            if comm.rank == 0:
+                raise RuntimeError("boom")
+            comm.recv(source=0)  # would block forever without abort
+
+        with pytest.raises(RuntimeError, match="boom"):
+            run_world(3, main, timeout=30)
+
+    def test_timeout_on_missing_message(self):
+        def main(comm):
+            if comm.rank == 1:
+                with pytest.raises(TimeoutError):
+                    comm.recv(source=0, tag=1, timeout=0.2)
+            return "done"
+
+        assert run_world(2, main) == ["done", "done"]

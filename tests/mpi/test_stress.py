@@ -1,0 +1,96 @@
+"""Concurrency stress tests for the MPI substrate."""
+
+import random
+
+import pytest
+
+from repro.mpi import ANY_SOURCE, SUM, run_world
+from repro.mpi.request import waitall
+
+
+class TestMessageStorm:
+    def test_all_pairs_random_order(self):
+        """Every rank sends many tagged messages to every other rank in a
+        shuffled order; all must arrive exactly once, per-pair FIFO."""
+        world, per_pair = 5, 30
+
+        def main(comm):
+            rng = random.Random(comm.rank)
+            sends = [
+                (dst, seq)
+                for dst in range(comm.size)
+                if dst != comm.rank
+                for seq in range(per_pair)
+            ]
+            rng.shuffle(sends)
+            # sequence numbers per destination must stay ordered for the
+            # FIFO check, so re-sort per destination but interleave dests
+            per_dest: dict[int, int] = {d: 0 for d in range(comm.size)}
+            for dst, _ in sends:
+                seq = per_dest[dst]
+                per_dest[dst] += 1
+                comm.send((comm.rank, seq), dest=dst, tag=7)
+            got: dict[int, list[int]] = {}
+            expected = (comm.size - 1) * per_pair
+            for _ in range(expected):
+                src, seq = comm.recv(source=ANY_SOURCE, tag=7)
+                got.setdefault(src, []).append(seq)
+            return got
+
+        results = run_world(world, main, timeout=120)
+        for rank, got in enumerate(results):
+            assert set(got) == set(range(world)) - {rank}
+            for src, seqs in got.items():
+                assert seqs == list(range(per_pair))  # per-pair FIFO
+
+    def test_nonblocking_storm(self):
+        def main(comm):
+            reqs = [
+                comm.isend(f"{comm.rank}:{i}", dest=(comm.rank + 1) % comm.size,
+                           tag=i % 8)
+                for i in range(100)
+            ]
+            waitall(reqs)
+            left = (comm.rank - 1) % comm.size
+            recvs = [comm.irecv(source=left, tag=i % 8) for i in range(100)]
+            payloads = waitall(recvs)
+            # within each tag class, arrival order matches send order
+            by_tag: dict[int, list[int]] = {}
+            for payload in payloads:
+                _, idx = payload.split(":")
+                by_tag.setdefault(int(idx) % 8, []).append(int(idx))
+            return all(seq == sorted(seq) for seq in by_tag.values())
+
+        assert all(run_world(4, main, timeout=120))
+
+    def test_interleaved_collectives_and_p2p(self):
+        def main(comm):
+            total = 0
+            for i in range(15):
+                comm.send(i, dest=(comm.rank + 1) % comm.size, tag=99)
+                total += comm.allreduce(i, SUM)
+                got = comm.recv(source=(comm.rank - 1) % comm.size, tag=99)
+                assert got == i
+            return total
+
+        results = run_world(6, main, timeout=120)
+        assert len(set(results)) == 1
+
+    @pytest.mark.parametrize("size", [2, 7])
+    def test_repeated_split_storm(self, size):
+        """Six rounds of split+allreduce; each rank always lands in the
+        group of its own parity, so its total is 6x that group's size."""
+
+        def main(comm):
+            acc = 0
+            for round_no in range(6):
+                color = (comm.rank + round_no) % 2
+                sub = comm.split(color, key=comm.rank)
+                acc += sub.allreduce(1, SUM)
+            return acc
+
+        results = run_world(size, main, timeout=120)
+        evens = len(range(0, size, 2))
+        odds = size - evens
+        for rank, acc in enumerate(results):
+            assert acc == 6 * (evens if rank % 2 == 0 else odds)

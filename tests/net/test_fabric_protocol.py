@@ -1,0 +1,85 @@
+"""Tests for fabric descriptors and protocol stack cost models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.units import KiB, MiB
+from repro.net.fabric import FABRICS, GIGE1, GIGE10, IB_16G
+from repro.net.protocol import (
+    PROTOCOLS,
+    DataMPIStack,
+    JettyHTTPStack,
+    NativeMPIStack,
+)
+
+
+class TestFabric:
+    def test_link_rates(self):
+        assert GIGE1.link_rate == pytest.approx(125e6)
+        assert GIGE10.link_rate == pytest.approx(1250e6)
+        assert IB_16G.link_rate == pytest.approx(2000e6)
+
+    def test_goodput_below_link_rate(self):
+        for fabric in FABRICS.values():
+            assert fabric.tcp_goodput < fabric.link_rate
+
+    def test_only_ib_has_rdma(self):
+        assert IB_16G.has_rdma
+        assert not GIGE1.has_rdma
+        assert not GIGE10.has_rdma
+
+    def test_rdma_faster_than_ipoib(self):
+        assert IB_16G.rdma_latency < IB_16G.base_latency
+        assert IB_16G.rdma_goodput > IB_16G.tcp_goodput
+
+    def test_latency_ordering(self):
+        assert GIGE10.base_latency < GIGE1.base_latency
+
+
+class TestProtocolStacks:
+    def test_transfer_time_zero(self):
+        assert NativeMPIStack.transfer_time(0, 1024, GIGE1) == 0.0
+
+    def test_transfer_time_monotone_in_total(self):
+        t1 = JettyHTTPStack.transfer_time(1 * MiB, 64 * KiB, GIGE1)
+        t2 = JettyHTTPStack.transfer_time(2 * MiB, 64 * KiB, GIGE1)
+        assert t2 > t1
+
+    def test_small_packets_slower(self):
+        # fixed per-chunk costs dominate at tiny packets
+        slow = JettyHTTPStack.throughput(16 * MiB, 4 * KiB, GIGE10)
+        fast = JettyHTTPStack.throughput(16 * MiB, 1 * MiB, GIGE10)
+        assert fast > slow
+
+    def test_partial_last_chunk_counted(self):
+        t_exact = NativeMPIStack.transfer_time(2 * KiB, 1 * KiB, GIGE1)
+        t_ragged = NativeMPIStack.transfer_time(2 * KiB + 1, 1 * KiB, GIGE1)
+        assert t_ragged > t_exact
+
+    def test_chunk_larger_than_total_clamped(self):
+        t = NativeMPIStack.transfer_time(1 * KiB, 1 * MiB, GIGE1)
+        assert t == pytest.approx(NativeMPIStack.chunk_time(1 * KiB, GIGE1))
+
+    def test_mpi_uses_rdma_on_ib(self):
+        assert NativeMPIStack.wire_rate(IB_16G) == IB_16G.rdma_goodput
+        assert JettyHTTPStack.wire_rate(IB_16G) == IB_16G.tcp_goodput
+
+    @given(
+        total=st.integers(min_value=1, max_value=64 * MiB),
+        chunk=st.integers(min_value=1, max_value=4 * MiB),
+    )
+    def test_throughput_positive_and_bounded(self, total, chunk):
+        bw = NativeMPIStack.throughput(total, chunk, GIGE10)
+        assert 0 < bw <= GIGE10.link_rate
+
+    def test_registry_complete(self):
+        assert set(PROTOCOLS) == {"Hadoop Jetty", "DataMPI", "MVAPICH2"}
+
+    def test_stack_ordering_per_byte(self):
+        """At large chunks: MVAPICH2 >= DataMPI > Jetty on every fabric."""
+        for fabric in FABRICS.values():
+            j = JettyHTTPStack.throughput(256 * MiB, 4 * MiB, fabric)
+            d = DataMPIStack.throughput(256 * MiB, 4 * MiB, fabric)
+            m = NativeMPIStack.throughput(256 * MiB, 4 * MiB, fabric)
+            assert m >= d > j

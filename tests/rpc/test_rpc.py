@@ -1,0 +1,194 @@
+"""Tests for the functional RPC engines."""
+
+import threading
+
+import pytest
+
+from repro.common.errors import RPCError
+from repro.rpc.client import DataMPIRpcClient, HadoopRpcClient, RpcProxy
+from repro.rpc.protocol import RpcCall, RpcResponse, decode_message, encode_message
+from repro.rpc.server import DataMPIRpcServer, HadoopRpcServer
+from repro.mpi import run_world
+
+
+class Calculator:
+    """Sample RPC target."""
+
+    def add(self, a, b):
+        return a + b
+
+    def echo(self, obj):
+        return obj
+
+    def fail(self):
+        raise ValueError("intentional")
+
+    def _secret(self):
+        return "hidden"
+
+
+class TestProtocolFraming:
+    def test_call_roundtrip(self):
+        call = RpcCall(7, "add", (1, 2.5, "x", [1, 2]))
+        back = decode_message(encode_message(call))
+        assert back == call
+
+    def test_response_roundtrip_ok(self):
+        resp = RpcResponse(9, True, {"r": [1, 2]})
+        assert decode_message(encode_message(resp)) == resp
+
+    def test_response_roundtrip_error(self):
+        resp = RpcResponse(9, False, error="ValueError: bad")
+        back = decode_message(encode_message(resp))
+        with pytest.raises(RPCError, match="bad"):
+            back.unwrap()
+
+    def test_corrupt_frame(self):
+        with pytest.raises(RPCError):
+            decode_message(b"\x07\x00")
+
+
+class TestHadoopRpc:
+    @pytest.fixture()
+    def server(self):
+        server = HadoopRpcServer(Calculator(), num_handlers=2).start()
+        yield server
+        server.stop()
+
+    def test_basic_call(self, server):
+        client = HadoopRpcClient(server)
+        assert client.call("add", 2, 3) == 5
+        client.close()
+
+    def test_proxy_sugar(self, server):
+        proxy = RpcProxy(HadoopRpcClient(server))
+        assert proxy.add(10, 20) == 30
+        assert proxy.echo(["deep", {"k": 1}]) == ["deep", {"k": 1}]
+
+    def test_handler_exception_propagates(self, server):
+        client = HadoopRpcClient(server)
+        with pytest.raises(RPCError, match="intentional"):
+            client.call("fail")
+
+    def test_unknown_method(self, server):
+        client = HadoopRpcClient(server)
+        with pytest.raises(RPCError, match="no such RPC method"):
+            client.call("nonexistent")
+
+    def test_private_methods_hidden(self, server):
+        client = HadoopRpcClient(server)
+        with pytest.raises(RPCError):
+            client.call("_secret")
+
+    def test_concurrent_clients(self, server):
+        results = {}
+
+        def worker(i):
+            client = HadoopRpcClient(server)
+            results[i] = client.call("add", i, i)
+            client.close()
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results == {i: 2 * i for i in range(8)}
+
+    def test_concurrent_calls_one_client(self, server):
+        client = HadoopRpcClient(server)
+        results = {}
+
+        def worker(i):
+            results[i] = client.call("echo", i)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(10)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results == {i: i for i in range(10)}
+
+    def test_dict_target(self):
+        server = HadoopRpcServer({"double": lambda x: 2 * x}).start()
+        try:
+            assert HadoopRpcClient(server).call("double", 21) == 42
+        finally:
+            server.stop()
+
+    def test_connect_after_stop_raises(self):
+        server = HadoopRpcServer(Calculator()).start()
+        server.stop()
+        with pytest.raises(RPCError):
+            server.connect()
+
+
+class TestDataMPIRpc:
+    def test_rpc_over_intracomm(self):
+        def main(comm):
+            if comm.rank == 0:
+                server = DataMPIRpcServer(comm, Calculator())
+                return server.serve_forever()
+            client = DataMPIRpcClient(comm, server_rank=0)
+            total = sum(client.call("add", comm.rank, i) for i in range(5))
+            # coordinate shutdown between the clients only: rank 0 is busy
+            # serving and cannot join a collective
+            if comm.rank == 2:
+                comm.send(None, dest=1, tag=555)
+            else:
+                comm.recv(source=2, tag=555)
+                client.shutdown_server()
+            return total
+
+        results = run_world(3, main)
+        assert results[0] == 10  # calls served: 2 clients x 5 calls
+        assert results[1] == 5 * 1 + sum(range(5))
+        assert results[2] == 5 * 2 + sum(range(5))
+
+    def test_rpc_over_intercomm(self):
+        """mpidrun-style: parent serves control RPC to spawned workers."""
+
+        def worker(comm):
+            parent = comm.Get_parent()
+            client = DataMPIRpcClient(parent, server_rank=0)
+            task = client.call("get_task", comm.rank)
+            return task
+
+        def main(comm):
+            inter = comm.spawn(worker, nprocs=3)
+            server = DataMPIRpcServer(inter, {"get_task": lambda r: f"task-{r}"})
+            served = 0
+            while served < 3:
+                # serve exactly 3 calls then stop
+                from repro.mpi.datatypes import ANY_SOURCE, Status
+                from repro.rpc.protocol import decode_message, encode_message
+                from repro.rpc.server import RPC_REQUEST_TAG, _response_tag
+
+                status = Status()
+                frame = inter.recv(ANY_SOURCE, RPC_REQUEST_TAG, status=status)
+                call = decode_message(frame)
+                resp = server.registry.invoke(call)
+                inter.send(
+                    encode_message(resp), dest=status.source,
+                    tag=_response_tag(call.call_id),
+                )
+                served += 1
+            return served
+
+        results = run_world(1, main)
+        assert results == [3]
+
+    def test_error_propagates_over_mpi(self):
+        def main(comm):
+            if comm.rank == 0:
+                DataMPIRpcServer(comm, Calculator()).serve_forever()
+                return None
+            client = DataMPIRpcClient(comm, server_rank=0)
+            try:
+                client.call("fail")
+            except RPCError as exc:
+                result = str(exc)
+            client.shutdown_server()
+            return result
+
+        assert "intentional" in run_world(2, main)[1]

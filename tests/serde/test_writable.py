@@ -1,0 +1,102 @@
+"""Tests for Writable value types."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.serde.io import DataInput, DataOutput
+from repro.serde.writable import (
+    BooleanWritable,
+    BytesWritable,
+    DoubleWritable,
+    IntWritable,
+    LongWritable,
+    NullWritable,
+    Text,
+    VIntWritable,
+)
+
+ALL_SCALARS = [
+    (IntWritable, 42),
+    (VIntWritable, -7),
+    (LongWritable, 2**40),
+    (DoubleWritable, 3.25),
+    (BooleanWritable, True),
+    (Text, "hello"),
+    (BytesWritable, b"\x00\x01binary"),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("cls,value", ALL_SCALARS)
+    def test_roundtrip(self, cls, value):
+        out = DataOutput()
+        cls(value).write(out)
+        back = cls.read(DataInput(out.getvalue()))
+        assert back == cls(value)
+        assert back.get() == value
+
+    def test_null_writable_is_zero_bytes(self):
+        out = DataOutput()
+        NullWritable().write(out)
+        assert len(out) == 0
+        assert NullWritable.read(DataInput(b"")) == NullWritable()
+
+    def test_null_writable_singleton(self):
+        assert NullWritable() is NullWritable()
+
+    @given(st.binary(max_size=200))
+    def test_bytes_writable_property(self, payload):
+        out = DataOutput()
+        BytesWritable(payload).write(out)
+        assert BytesWritable.read(DataInput(out.getvalue())).get() == payload
+
+    @given(st.text(max_size=100))
+    def test_text_property(self, s):
+        out = DataOutput()
+        Text(s).write(out)
+        assert Text.read(DataInput(out.getvalue())).get() == s
+
+
+class TestOrderingAndHashing:
+    def test_int_ordering(self):
+        assert IntWritable(1) < IntWritable(2)
+        assert IntWritable(2) >= IntWritable(2)
+
+    def test_text_ordering_is_lexicographic(self):
+        assert Text("apple") < Text("banana")
+
+    def test_bytes_ordering_unsigned(self):
+        assert BytesWritable(b"\x01") < BytesWritable(b"\xff")
+
+    def test_hashable_in_dict(self):
+        counts = {Text("a"): 1}
+        counts[Text("a")] += 1
+        assert counts[Text("a")] == 2
+
+    def test_sortable_list(self):
+        keys = [Text("c"), Text("a"), Text("b")]
+        assert [k.get() for k in sorted(keys)] == ["a", "b", "c"]
+
+    def test_null_sorts_equal(self):
+        assert not (NullWritable() < NullWritable())
+
+
+class TestSizes:
+    def test_serialized_size_int(self):
+        assert IntWritable(5).serialized_size() == 4
+
+    def test_serialized_size_vint_small(self):
+        assert VIntWritable(5).serialized_size() == 1
+
+    def test_terasort_record_shape(self):
+        # 10-byte key / 90-byte value: BytesWritable adds a 4-byte length
+        key = BytesWritable(b"k" * 10)
+        value = BytesWritable(b"v" * 90)
+        assert key.serialized_size() == 14
+        assert value.serialized_size() == 94
+
+    def test_set_coerces(self):
+        w = IntWritable()
+        w.set("17")
+        assert w.get() == 17

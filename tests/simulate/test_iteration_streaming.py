@@ -1,0 +1,111 @@
+"""Unit tests for the iteration and streaming models, and the profiler."""
+
+import numpy as np
+import pytest
+
+from repro.simulate.cluster import TESTBED_A
+from repro.simulate.iteration_model import (
+    iteration_comparison,
+    simulate_iteration_datampi,
+    simulate_iteration_hadoop,
+)
+from repro.simulate.profiles import KMEANS, PAGERANK
+from repro.simulate.streaming_model import (
+    DATAMPI_MODEL,
+    S4_MODEL,
+    latency_distribution,
+    simulate_stream_latencies,
+)
+
+GB = 1e9
+
+
+class TestIterationModel:
+    @pytest.fixture(scope="class")
+    def pagerank(self):
+        return iteration_comparison(TESTBED_A, PAGERANK, 10 * GB, rounds=4)
+
+    def test_round_counts(self, pagerank):
+        assert len(pagerank["Hadoop"].round_times) == 4
+        assert len(pagerank["DataMPI"].round_times) == 4
+
+    def test_hadoop_rounds_identical(self, pagerank):
+        times = pagerank["Hadoop"].round_times
+        assert max(times) - min(times) < 1e-6  # same job every round
+
+    def test_datampi_first_round_pays_the_load(self, pagerank):
+        times = pagerank["DataMPI"].round_times
+        assert times[0] > times[1]
+        # middle rounds are identical (resident state, same work)
+        assert abs(times[1] - times[2]) < 1e-6
+
+    def test_totals_and_means(self, pagerank):
+        result = pagerank["DataMPI"]
+        assert result.total == pytest.approx(sum(result.round_times))
+        assert result.mean_round == pytest.approx(result.total / 4)
+
+    def test_kmeans_gap_larger_than_pagerank(self):
+        """K-means (compact resident arrays) saves more per round than
+        PageRank (object-graph traversal each round)."""
+        pr = iteration_comparison(TESTBED_A, PAGERANK, 10 * GB, 3)
+        km = iteration_comparison(TESTBED_A, KMEANS, 10 * GB, 3)
+
+        def later_round_ratio(pair):
+            return pair["DataMPI"].round_times[1] / pair["Hadoop"].round_times[1]
+
+        assert later_round_ratio(km) < later_round_ratio(pr)
+
+    def test_more_rounds_widen_datampi_advantage(self):
+        short = iteration_comparison(TESTBED_A, KMEANS, 10 * GB, 2)
+        long = iteration_comparison(TESTBED_A, KMEANS, 10 * GB, 6)
+
+        def improvement(pair):
+            h, d = pair["Hadoop"].total, pair["DataMPI"].total
+            return (h - d) / h
+
+        assert improvement(long) > improvement(short)
+
+
+class TestStreamingModel:
+    def test_deterministic_given_seed(self):
+        a = simulate_stream_latencies(S4_MODEL, duration=20, seed=1)
+        b = simulate_stream_latencies(S4_MODEL, duration=20, seed=1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seed_different_latencies(self):
+        a = simulate_stream_latencies(S4_MODEL, duration=20, seed=1)
+        b = simulate_stream_latencies(S4_MODEL, duration=20, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_event_count_matches_rate_and_duration(self):
+        latencies = simulate_stream_latencies(
+            DATAMPI_MODEL, rate_per_sec=500, duration=10
+        )
+        assert len(latencies) == 5000
+
+    def test_all_latencies_positive(self):
+        latencies = simulate_stream_latencies(DATAMPI_MODEL, duration=30)
+        assert (latencies > 0).all()
+
+    def test_queue_is_stable(self):
+        """Effective capacity exceeds the arrival rate: latencies must not
+        grow over the run (no unbounded backlog)."""
+        latencies = simulate_stream_latencies(S4_MODEL, duration=120)
+        first_half = latencies[: len(latencies) // 2]
+        second_half = latencies[len(latencies) // 2 :]
+        assert np.median(second_half) < 2 * np.median(first_half)
+
+    def test_gc_pauses_create_the_tail(self):
+        from dataclasses import replace
+
+        no_gc = replace(S4_MODEL, gc_duration=0.0)
+        with_gc = S4_MODEL
+        quiet = simulate_stream_latencies(no_gc, duration=60)
+        noisy = simulate_stream_latencies(with_gc, duration=60)
+        assert noisy.max() > quiet.max() + 1.0
+
+    def test_distribution_buckets(self):
+        latencies = simulate_stream_latencies(DATAMPI_MODEL, duration=30)
+        buckets = latency_distribution(latencies)
+        assert len(buckets) == 12
+        assert sum(r for _, _, r in buckets) == pytest.approx(1.0, abs=0.02)

@@ -1,0 +1,121 @@
+"""Invariant tests on the framework models (structure, not calibration)."""
+
+import pytest
+
+from repro.common.units import MiB
+from repro.simulate.cluster import TESTBED_A, SimCluster
+from repro.simulate.datampi_model import DataMPISimParams, simulate_datampi_job
+from repro.simulate.hadoop_model import HadoopSimParams, simulate_hadoop_job
+from repro.simulate.profiles import TERASORT, WORDCOUNT
+
+GB = 1e9
+SMALL = 8 * GB  # keep model tests fast
+
+
+def small_spec():
+    return TESTBED_A.with_slaves(4)
+
+
+def run_hadoop(data=SMALL, profile=TERASORT, **kw):
+    spec = small_spec()
+    defaults = dict(num_reduces=spec.num_slaves * spec.reduce_slots, name="t")
+    defaults.update(kw)
+    return simulate_hadoop_job(
+        SimCluster(spec),
+        HadoopSimParams(profile, data, spec.default_block_size, **defaults),
+    )
+
+
+def run_datampi(data=SMALL, profile=TERASORT, **kw):
+    spec = small_spec()
+    defaults = dict(num_a_tasks=spec.num_slaves * spec.reduce_slots, name="t")
+    defaults.update(kw)
+    return simulate_datampi_job(
+        SimCluster(spec),
+        DataMPISimParams(profile, data, spec.default_block_size, **defaults),
+    )
+
+
+class TestHadoopModelStructure:
+    def test_phases_ordered(self):
+        report = run_hadoop()
+        map_start, map_end = report.phases["map"]
+        red_start, red_end = report.phases["reduce"]
+        assert map_start < map_end
+        assert red_start < red_end
+        assert red_end <= report.duration
+        # slow-start: reducers launch during the map phase...
+        assert red_start < map_end
+        # ...but cannot finish before it (two-phase proxy shuffle)
+        assert red_end > map_end
+
+    def test_progress_curves_monotone_and_complete(self):
+        report = run_hadoop()
+        for name in ("map", "reduce"):
+            series = report.progress[name]
+            assert series.values == sorted(series.values)
+            assert series.values[-1] == pytest.approx(1.0)
+
+    def test_disk_traffic_includes_map_output(self):
+        report = run_hadoop()
+        # Hadoop writes intermediate to disk: writes >= input bytes
+        total_written = report.disk_write.integral() * 4  # per-node avg * nodes
+        assert total_written > SMALL * 0.9
+
+    def test_more_data_takes_longer(self):
+        assert run_hadoop(data=12 * GB).duration > run_hadoop(data=6 * GB).duration
+
+    def test_wordcount_shuffles_less_than_terasort(self):
+        ts = run_hadoop(profile=TERASORT)
+        wc = run_hadoop(profile=WORDCOUNT)
+        assert wc.net.integral() < 0.3 * ts.net.integral()
+
+    def test_deterministic(self):
+        assert run_hadoop().duration == run_hadoop().duration
+
+
+class TestDataMPIModelStructure:
+    def test_phases_strictly_sequential(self):
+        report = run_datampi()
+        o_start, o_end = report.phases["O"]
+        a_start, a_end = report.phases["A"]
+        assert o_start < o_end <= a_start < a_end
+
+    def test_progress_complete(self):
+        report = run_datampi()
+        for name in ("O", "A"):
+            assert report.progress[name].values[-1] == pytest.approx(1.0)
+
+    def test_no_intermediate_disk_write_by_default(self):
+        """DataMPI caches intermediate data in memory (§IV-C)."""
+        report = run_datampi()
+        written = report.disk_write.integral() * 4
+        # only the final output is written (~= input size for terasort)
+        assert written < SMALL * 1.25
+
+    def test_zero_cache_spills_everything(self):
+        spilled = run_datampi(cache_fraction=0.0)
+        cached = run_datampi(cache_fraction=1.0)
+        assert spilled.disk_write.integral() > 1.6 * cached.disk_write.integral()
+        # ...but the prefetch overlap keeps the slowdown moderate (Fig 12)
+        assert spilled.duration < 1.6 * cached.duration
+
+    def test_ft_adds_checkpoint_writes_and_time(self):
+        base = run_datampi()
+        with_ft = run_datampi(ft_enabled=True)
+        assert with_ft.duration > base.duration
+        assert with_ft.disk_write.integral() > base.disk_write.integral()
+
+    def test_resident_input_skips_disk_reads(self):
+        fresh = run_datampi()
+        resident = run_datampi(resident_input=True)
+        assert resident.disk_read.integral() < 0.05 * fresh.disk_read.integral()
+        assert resident.duration < fresh.duration
+
+    def test_faster_than_hadoop_at_every_size(self):
+        for data in (4 * GB, 8 * GB, 16 * GB):
+            assert run_datampi(data=data).duration < run_hadoop(data=data).duration
+
+    def test_memory_peak_below_capacity(self):
+        report = run_datampi()
+        assert report.mem.max() < TESTBED_A.node.ram_bytes

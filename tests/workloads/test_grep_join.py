@@ -1,0 +1,89 @@
+"""Tests for the Grep and Join workloads (both engines vs references)."""
+
+import pytest
+
+from repro.hadoop import MiniHadoopCluster
+from repro.hdfs import MiniDFSCluster
+from repro.workloads.grep import grep_datampi, grep_hadoop, grep_reference
+from repro.workloads.join import (
+    generate_relations,
+    join_datampi,
+    join_hadoop,
+    join_reference,
+)
+from repro.workloads.wordcount import generate_text, write_text_to_dfs
+
+PATTERN = r"word0(0[1-4]|1[0-2])"
+
+
+class TestGrep:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        lines = generate_text(150, seed=13)
+        cluster = MiniDFSCluster(num_nodes=3, block_size=700)
+        write_text_to_dfs(cluster.client(0), "/grep/in", lines)
+        return cluster, lines
+
+    def test_datampi_matches_reference(self, setup):
+        cluster, lines = setup
+        result, counts = grep_datampi(cluster, "/grep/in", PATTERN, 3, 2, nprocs=3)
+        assert result.success
+        assert counts == grep_reference(lines, PATTERN)
+
+    def test_hadoop_matches_reference(self, setup):
+        cluster, lines = setup
+        hadoop = MiniHadoopCluster(cluster)
+        result, counts = grep_hadoop(hadoop, "/grep/in", "/grep/out", PATTERN, 2)
+        assert result.success
+        assert counts == grep_reference(lines, PATTERN)
+
+    def test_pattern_with_no_matches(self, setup):
+        cluster, _ = setup
+        result, counts = grep_datampi(cluster, "/grep/in", "zebra", 2, 1, nprocs=2)
+        assert result.success
+        assert counts == {}
+
+    def test_reference_counts_duplicate_lines(self):
+        lines = ["match a", "match a", "other"]
+        assert grep_reference(lines, "match") == {"match a": 2}
+
+
+class TestJoin:
+    @pytest.fixture(scope="class")
+    def relations(self):
+        return generate_relations(250, 180, key_space=30)
+
+    def test_datampi_matches_reference(self, relations):
+        r_rows, s_rows = relations
+        result, out = join_datampi(r_rows, s_rows, o_tasks=4, a_tasks=3, nprocs=4)
+        assert result.success
+        assert out == join_reference(r_rows, s_rows)
+
+    def test_hadoop_matches_reference(self, relations):
+        r_rows, s_rows = relations
+        cluster = MiniDFSCluster(num_nodes=3, block_size=1024)
+        hadoop = MiniHadoopCluster(cluster)
+        result, out = join_hadoop(hadoop, r_rows, s_rows, num_reduces=2)
+        assert result.success
+        assert out == join_reference(r_rows, s_rows)
+
+    def test_odd_o_task_count(self, relations):
+        """Heterogeneous O communicator with unequal R/S scanner counts."""
+        r_rows, s_rows = relations
+        _, out = join_datampi(r_rows, s_rows, o_tasks=5, a_tasks=2, nprocs=3)
+        assert out == join_reference(r_rows, s_rows)
+
+    def test_disjoint_keys_join_empty(self):
+        r_rows = [(1, "r0"), (2, "r1")]
+        s_rows = [(10, "s0"), (11, "s1")]
+        _, out = join_datampi(r_rows, s_rows, o_tasks=2, a_tasks=2, nprocs=2)
+        assert out == set()
+
+    def test_many_to_many_keys(self):
+        r_rows = [(7, "ra"), (7, "rb")]
+        s_rows = [(7, "sa"), (7, "sb"), (7, "sc")]
+        _, out = join_datampi(r_rows, s_rows, o_tasks=2, a_tasks=1, nprocs=2)
+        assert len(out) == 6  # full cross product per key
+
+    def test_reference_semantics(self):
+        assert join_reference([(1, "r")], [(1, "s"), (2, "x")]) == {(1, "r", "s")}
