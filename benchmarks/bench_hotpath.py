@@ -1,0 +1,239 @@
+"""Hot-path microbenchmarks: p2p, shuffle, and RunStore throughput.
+
+Unlike the figure benches (which reproduce the paper's *modelled*
+numbers), this file measures the **real threaded runtime**: transport
+matching latency, end-to-end shuffle records/s, and RunStore
+spill-and-merge throughput.  It writes ``BENCH_HOTPATH.json`` at the
+repo root so successive PRs accumulate a perf trajectory.
+
+Run standalone (preferred for stable numbers)::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py [--quick] [--out PATH]
+
+or under pytest (quick mode, shape assertions only)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_hotpath.py -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.core.buffers import SendPartitionList  # noqa: E402
+from repro.core.partition import PartitionWindow  # noqa: E402
+from repro.core.shuffle import PlaneConfig, ShuffleService  # noqa: E402
+from repro.core.sorter import RunStore  # noqa: E402
+from repro.mpi import run_world  # noqa: E402
+from repro.serde.comparators import default_compare  # noqa: E402
+from repro.serde.serialization import WritableSerializer  # noqa: E402
+
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_HOTPATH.json")
+
+
+# -- p2p -----------------------------------------------------------------------
+def bench_p2p(quick: bool) -> dict:
+    """Ping-pong latency and one-way message throughput, 2 ranks."""
+    rounds = 500 if quick else 3000
+    burst = 2000 if quick else 20000
+    payload = b"x" * 1024
+
+    def main(comm):
+        partner = 1 - comm.rank
+        # latency: strict ping-pong
+        comm.barrier()
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            if comm.rank == 0:
+                comm.send(payload, dest=partner, tag=1)
+                comm.recv(source=partner, tag=1)
+            else:
+                comm.recv(source=partner, tag=1)
+                comm.send(payload, dest=partner, tag=1)
+        latency = time.perf_counter() - t0
+        # throughput: rank 0 blasts, rank 1 drains (exact-match receive)
+        comm.barrier()
+        t0 = time.perf_counter()
+        if comm.rank == 0:
+            for i in range(burst):
+                comm.send(payload, dest=1, tag=2)
+            comm.recv(source=1, tag=3)  # ack
+        else:
+            for i in range(burst):
+                comm.recv(source=0, tag=2)
+            comm.send(None, dest=0, tag=3)
+        burst_s = time.perf_counter() - t0
+        return latency, burst_s
+
+    results = run_world(2, main)
+    latency_s = max(r[0] for r in results)
+    burst_s = max(r[1] for r in results)
+    return {
+        "rounds": rounds,
+        "burst_msgs": burst,
+        "payload_bytes": len(payload),
+        "latency_us_roundtrip": round(latency_s / rounds * 1e6, 2),
+        "throughput_msgs_per_s": round(burst / burst_s),
+    }
+
+
+# -- shuffle -------------------------------------------------------------------
+def _shuffle_config(num_partitions, num_processes, spill_dir, pipelined):
+    return PlaneConfig(
+        num_partitions=num_partitions,
+        window=PartitionWindow(num_partitions, num_processes),
+        cmp=None if pipelined else default_compare,
+        serializer=WritableSerializer(),
+        spill_dir=spill_dir,
+        memory_budget=1 << 30,
+        merge_threshold_blocks=64,
+        pipelined=pipelined,
+    )
+
+
+def bench_shuffle(quick: bool, pipelined: bool) -> dict:
+    """End-to-end shuffle records/s: SPL sealing, sender/receiver threads,
+    many small blocks (the per-block-overhead regime the coalescing fast
+    path targets)."""
+    nprocs = 2
+    records_per_rank = 4000 if quick else 40000
+    flush_bytes = 512  # small blocks: per-envelope overhead dominates
+    num_partitions = 2 * nprocs
+
+    def main(comm):
+        spill_dir = tempfile.mkdtemp(prefix="bench-shuffle-")
+        service = ShuffleService(
+            comm,
+            lambda pid: _shuffle_config(
+                num_partitions, comm.size, spill_dir, pipelined
+            ),
+        )
+        plane = service.plane("fwd:0")
+        spl = SendPartitionList(
+            num_partitions, flush_bytes, cmp=None if pipelined else default_compare
+        )
+        comm.barrier()
+        t0 = time.perf_counter()
+        for i in range(records_per_rank):
+            block = spl.add(i % num_partitions, f"key-{i:08d}", i)
+            if block is not None:
+                service.send_block("fwd:0", block)
+        for block in spl.flush_all():
+            service.send_block("fwd:0", block)
+        service.send_eos("fwd:0")
+        if pipelined:
+            consumed = 0
+            for p in plane.rpls:
+                for _ in plane.stream_iter(p):
+                    consumed += 1
+        else:
+            plane.wait_complete(120)
+            consumed = 0
+            for p in plane.rpls:
+                for _ in plane.merged_iter(p):
+                    consumed += 1
+        elapsed = time.perf_counter() - t0
+        comm.barrier()
+        stats = service.stats()
+        service.shutdown()
+        return elapsed, consumed, stats
+
+    results = run_world(nprocs, main)
+    elapsed = max(r[0] for r in results)
+    consumed = sum(r[1] for r in results)
+    total_records = records_per_rank * nprocs
+    assert consumed == total_records, (consumed, total_records)
+    return {
+        "mode": "streaming" if pipelined else "mapreduce",
+        "nprocs": nprocs,
+        "records": total_records,
+        "flush_bytes": flush_bytes,
+        "blocks_sent": sum(r[2]["blocks_sent"] for r in results),
+        "records_per_s": round(total_records / elapsed),
+        "elapsed_s": round(elapsed, 3),
+    }
+
+
+# -- RunStore ------------------------------------------------------------------
+def bench_runstore(quick: bool) -> dict:
+    """Spill + k-way merge throughput with a deliberately tight budget."""
+    runs = 40 if quick else 120
+    run_len = 500 if quick else 1500
+    store = RunStore(
+        default_compare,
+        WritableSerializer(),
+        tempfile.mkdtemp(prefix="bench-runstore-"),
+        memory_budget=64 * 1024,  # forces most runs to disk
+        compress_spills=True,
+    )
+    total = runs * run_len
+    t0 = time.perf_counter()
+    for r in range(runs):
+        run = [(f"k{r:04d}-{i:06d}", "v" * 16) for i in range(run_len)]
+        store.add_run(run)
+    spill_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    merged = sum(1 for _ in store)
+    merge_s = time.perf_counter() - t0
+    store.cleanup()
+    assert merged == total, (merged, total)
+    return {
+        "runs": runs,
+        "records": total,
+        "spilled_bytes": store.spilled_bytes,
+        "spill_records_per_s": round(total / spill_s),
+        "merge_records_per_s": round(total / merge_s),
+    }
+
+
+def run_all(quick: bool) -> dict:
+    report = {
+        "meta": {
+            "quick": quick,
+            "python": platform.python_version(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        },
+        "p2p": bench_p2p(quick),
+        "shuffle": bench_shuffle(quick, pipelined=False),
+        "shuffle_streaming": bench_shuffle(quick, pipelined=True),
+        "runstore": bench_runstore(quick),
+    }
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizes")
+    parser.add_argument("--out", default=DEFAULT_OUT, help="JSON output path")
+    args = parser.parse_args(argv)
+    report = run_all(args.quick)
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+# -- pytest entry (quick mode, shape assertions only) ---------------------------
+def test_bench_hotpath_quick(emit):
+    report = run_all(quick=True)
+    emit("hotpath", json.dumps(report, indent=2))
+    assert report["p2p"]["throughput_msgs_per_s"] > 0
+    assert report["shuffle"]["records_per_s"] > 0
+    assert report["shuffle_streaming"]["records_per_s"] > 0
+    assert report["runstore"]["merge_records_per_s"] > 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator
 
-from repro.common.records import kv_bytes
+from repro.common.records import kv_bytes, kv_run_bytes
 from repro.core.sorter import RunStore, combine_run, sort_block
 from repro.serde.comparators import Compare
 
@@ -85,6 +85,10 @@ class SendPartitionList:
         return None
 
     def _seal(self, part: DataPartition) -> Block:
+        # sorting permutes records but never resizes them, so the running
+        # total kept by DataPartition.add is already exact — only a
+        # combiner (which rewrites the payload) forces a re-count
+        nbytes = part.nbytes
         records = part.drain()
         if self.cmp is not None:
             records = sort_block(records, self.cmp)
@@ -92,7 +96,7 @@ class SendPartitionList:
                 before = len(records)
                 records = combine_run(records, self.combiner)
                 self.combined_away += before - len(records)
-        nbytes = sum(kv_bytes(k, v) for k, v in records)
+                nbytes = kv_run_bytes(records)
         self.records_out += len(records)
         self.bytes_out += nbytes
         return Block(

@@ -48,6 +48,9 @@ class MPI_D_Constants:
     LOCAL_DIR = "mpi.d.local.dir"
     #: zlib-compress spilled runs (trade CPU for disk bandwidth)
     SPILL_COMPRESS = "mpi.d.spill.compress"
+    #: sender-side coalescing cap: blocks bound for one destination ride in
+    #: a single MPI envelope until the batch reaches this many bytes
+    SHUFFLE_BATCH_BYTES = "mpi.d.shuffle.batch.bytes"
 
     # -- semantics toggles (mode profile defaults) --------------------------------
     #: sort key-value pairs by key during the exchange
@@ -75,6 +78,9 @@ class MPI_D_Constants:
     #: rank of the O task that crashes (with the above)
     INJECT_CRASH_TASK = "mpi.d.inject.crash.task"
 
+
+#: default sender-side coalescing cap (see ``SHUFFLE_BATCH_BYTES``)
+SHUFFLE_BATCH_BYTES_DEFAULT = 256 * 1024
 
 #: internal shuffle tag on the worker world communicator
 SHUFFLE_TAG = 900_001

@@ -78,7 +78,11 @@ class WorkerEngine:
         self.window_bwd = PartitionWindow(job.o_tasks, nprocs)
         self.metrics = WorkerMetrics(process_rank=self.rank)
         self.state: dict = {}  # process-local cross-round state (Iteration)
-        self.shuffle = ShuffleService(world, self._plane_config)
+        self.shuffle = ShuffleService(
+            world,
+            self._plane_config,
+            batch_bytes=self.conf.get_bytes(K.SHUFFLE_BATCH_BYTES),
+        )
         self._checkpoints = self._build_checkpoint_manager()
         from repro.serde.registry import resolve_type
 

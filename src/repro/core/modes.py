@@ -20,6 +20,7 @@ from repro.core.constants import Mode, MPI_D_Constants as K
 _SHARED_DEFAULTS: dict[str, Any] = {
     K.SERIALIZER: "writable",
     K.SPL_PARTITION_BYTES: 32 * KiB,
+    K.SHUFFLE_BATCH_BYTES: 256 * KiB,
     K.MERGE_THRESHOLD_BLOCKS: 8,
     K.MEMORY_CACHE_BYTES: 64 * MiB,
     K.SPILL_COMPRESS: False,

@@ -13,6 +13,13 @@ A *plane* is one logical exchange (forward O→A, or backward A→O per
 Iteration round).  A plane completes when an end-of-stream marker has
 arrived from every process; Streaming mode delivers records to per-
 partition queues as blocks land instead of waiting for completion.
+
+The sender thread *coalesces*: consecutive sealed blocks bound for the
+same ``(plane, destination)`` ride in one MPI envelope (size-capped by
+``batch_bytes``), and the per-plane EOS marker folds into the last batch
+for each destination instead of costing ``nprocs`` extra messages.
+Batches flush when the send queue runs dry, so an idle pipeline never
+holds data back.
 """
 
 from __future__ import annotations
@@ -21,9 +28,9 @@ import queue
 import threading
 from typing import Any, Callable, Iterator
 
-from repro.common.errors import DataMPIError
+from repro.common.errors import DataMPIError, MPIAbort
 from repro.core.buffers import Block, ReceivePartitionList
-from repro.core.constants import SHUFFLE_TAG
+from repro.core.constants import SHUFFLE_BATCH_BYTES_DEFAULT, SHUFFLE_TAG
 from repro.core.partition import PartitionWindow
 from repro.core.sorter import RunStore
 from repro.mpi.datatypes import ANY_SOURCE
@@ -103,9 +110,8 @@ class ShufflePlane:
             )
         rpl.add_block(block)
         if self.config.pipelined:
-            stream = self.streams[block.partition_id]
-            for record in block.records:
-                stream.put(record)
+            # one queue op per block, not per record; stream_iter unpacks
+            self.streams[block.partition_id].put(block.records)
 
     def add_eos(self) -> None:
         with self._lock:
@@ -127,13 +133,18 @@ class ShufflePlane:
         return self.rpls[partition].merged()
 
     def stream_iter(self, partition: int) -> Iterator[KV]:
-        """Live iterator (Streaming mode): yields pairs as they arrive."""
+        """Live iterator (Streaming mode): yields pairs as they arrive.
+
+        The queue carries whole blocks (tuples of records); per-partition
+        record order is preserved because the receiver thread enqueues
+        blocks in arrival order and each block is unpacked in order here.
+        """
         stream = self.streams[partition]
         while True:
             item = stream.get()
             if item is _STREAM_EOS:
                 return
-            yield item
+            yield from item
 
     def wait_complete(self, timeout: float | None = None) -> None:
         if not self.complete.wait(timeout):
@@ -154,6 +165,19 @@ class ShufflePlane:
         return sum(r.store.spilled_bytes for r in self.rpls.values())
 
 
+class _Batch:
+    """Blocks coalescing toward one (plane, destination) envelope."""
+
+    __slots__ = ("blocks", "nbytes", "eos", "items")
+
+    def __init__(self) -> None:
+        self.blocks: list[Block] = []
+        self.nbytes = 0
+        self.eos = False
+        #: send-queue items folded in (for task_done accounting)
+        self.items = 0
+
+
 class ShuffleService:
     """Sender + receiver threads of one worker process."""
 
@@ -161,6 +185,7 @@ class ShuffleService:
         self,
         world: Any,  # worker Intracomm
         plane_config_factory: Callable[[str], PlaneConfig],
+        batch_bytes: int = SHUFFLE_BATCH_BYTES_DEFAULT,
     ) -> None:
         self.world = world
         self.rank = world.rank
@@ -169,8 +194,10 @@ class ShuffleService:
         self._planes: dict[str, ShufflePlane] = {}
         self._planes_lock = threading.Lock()
         self._send_queue: "queue.Queue[tuple | None]" = queue.Queue()
+        self.batch_bytes = batch_bytes
         self.blocks_sent = 0
         self.bytes_sent = 0
+        self.envelopes_sent = 0
         self._sender = threading.Thread(
             target=self._sender_loop, daemon=True, name=f"shuffle-send-{self.rank}"
         )
@@ -202,32 +229,91 @@ class ShuffleService:
             self._send_queue.put(("eos", plane_id, dest, None))
 
     def _sender_loop(self) -> None:
-        from repro.common.errors import MPIAbort
-
+        pending: dict[tuple[str, int], _Batch] = {}
         while True:
-            item = self._send_queue.get()
+            if pending:
+                # more batching is only worthwhile while items are already
+                # waiting; the moment the queue runs dry, flush everything
+                try:
+                    item = self._send_queue.get_nowait()
+                except queue.Empty:
+                    if not self._flush_pending(pending):
+                        return  # aborted
+                    continue
+            else:
+                item = self._send_queue.get()
             if item is None:
+                self._flush_pending(pending)
                 self._send_queue.task_done()
                 return
             kind, plane_id, dest, block = item
-            try:
-                self.world.send((kind, plane_id, block), dest=dest, tag=SHUFFLE_TAG)
-            except MPIAbort:
-                # the job is dead; drain quietly so the worker can unwind
-                self._send_queue.task_done()
-                return
+            key = (plane_id, dest)
+            batch = pending.get(key)
+            if batch is None:
+                pending[key] = batch = _Batch()
+            batch.items += 1
             if kind == "block":
-                self.blocks_sent += 1
-                self.bytes_sent += block.nbytes
+                batch.blocks.append(block)
+                batch.nbytes += block.nbytes
+                if batch.nbytes >= self.batch_bytes:
+                    del pending[key]
+                    if not self._transmit(key, batch):
+                        self._drain_aborted(pending)
+                        return
+            else:  # eos: nothing more can follow for this (plane, dest)
+                batch.eos = True
+                del pending[key]
+                if not self._transmit(key, batch):
+                    self._drain_aborted(pending)
+                    return
+
+    def _flush_pending(self, pending: dict[tuple[str, int], _Batch]) -> bool:
+        """Transmit every held batch; False when the job aborted."""
+        for key in list(pending):
+            batch = pending.pop(key)
+            if not self._transmit(key, batch):
+                self._drain_aborted(pending)
+                return False
+        return True
+
+    def _transmit(self, key: tuple[str, int], batch: _Batch) -> bool:
+        plane_id, dest = key
+        try:
+            self.world.send(
+                ("batch", plane_id, (batch.blocks, batch.eos)),
+                dest=dest,
+                tag=SHUFFLE_TAG,
+            )
+        except MPIAbort:
+            # the job is dead; account the items so drain_sends unblocks
+            for _ in range(batch.items):
+                self._send_queue.task_done()
+            return False
+        self.envelopes_sent += 1
+        self.blocks_sent += len(batch.blocks)
+        self.bytes_sent += batch.nbytes
+        for _ in range(batch.items):
+            self._send_queue.task_done()
+        return True
+
+    def _drain_aborted(self, pending: dict[tuple[str, int], _Batch]) -> None:
+        """After an abort: release every queued item so joiners unblock."""
+        for batch in pending.values():
+            for _ in range(batch.items):
+                self._send_queue.task_done()
+        pending.clear()
+        while True:
+            try:
+                self._send_queue.get_nowait()
+            except queue.Empty:
+                return
             self._send_queue.task_done()
 
     # -- receive path ------------------------------------------------------------
     def _receiver_loop(self) -> None:
-        from repro.common.errors import MPIAbort
-
         while True:
             try:
-                kind, plane_id, block = self.world.recv(
+                kind, plane_id, payload = self.world.recv(
                     source=ANY_SOURCE, tag=SHUFFLE_TAG
                 )
             except MPIAbort:
@@ -235,8 +321,14 @@ class ShuffleService:
             if kind == "shutdown":
                 return
             plane = self.plane(plane_id)
-            if kind == "block":
-                plane.add_block(block)
+            if kind == "batch":
+                blocks, eos = payload
+                for block in blocks:
+                    plane.add_block(block)
+                if eos:
+                    plane.add_eos()
+            elif kind == "block":  # un-coalesced single block (direct callers)
+                plane.add_block(payload)
             elif kind == "eos":
                 plane.add_eos()
             else:
@@ -248,8 +340,6 @@ class ShuffleService:
         self._send_queue.join()
 
     def shutdown(self) -> None:
-        from repro.common.errors import MPIAbort
-
         self._send_queue.put(None)
         self._sender.join(timeout=10)
         try:
@@ -266,6 +356,7 @@ class ShuffleService:
         return {
             "blocks_sent": self.blocks_sent,
             "bytes_sent": self.bytes_sent,
+            "envelopes_sent": self.envelopes_sent,
             "records_received": sum(
                 p.records_received() for p in self._planes.values()
             ),

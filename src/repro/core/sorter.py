@@ -9,21 +9,52 @@ their arrival order — which MapReduce semantics rely on.
 from __future__ import annotations
 
 import heapq
+import operator
 import os
 import tempfile
+import zlib
 from typing import Any, Callable, Iterable, Iterator
 
-from repro.common.records import kv_bytes
+from repro.common.records import kv_run_bytes
 from repro.serde.comparators import Compare, default_compare, sort_key
-from repro.serde.io import DataInput, DataOutput
+from repro.serde.io import ChunkedDataInput, DataOutput
 from repro.serde.serialization import Serializer
 
 KV = tuple[Any, Any]
 
+_key_of = operator.itemgetter(0)
+
+
+def _native_class(key: Any) -> type | None:
+    """The native comparison class of ``key``, or None when key ordering
+    must go through the total-order comparator.
+
+    Keys whose class is returned here sort identically under Python's
+    built-in ``<`` and under :func:`default_compare` (which also only uses
+    ``<``), so ``sorted``/``heapq`` can compare them directly — C-speed —
+    instead of bouncing every comparison through a Python-level
+    ``cmp_to_key`` wrapper.  int/float/bool are mutually comparable and
+    share one class.
+    """
+    t = type(key)
+    if t is str:
+        return str
+    if t is int or t is float or t is bool:
+        return float
+    if t is bytes:
+        return bytes
+    return None
+
 
 def sort_block(records: list[KV], cmp: Compare | None = None) -> list[KV]:
     """Stable in-memory sort of one block by key."""
-    key_fn = sort_key(cmp or default_compare)
+    cmp = cmp or default_compare
+    if cmp is default_compare:
+        try:
+            return sorted(records, key=_key_of)
+        except TypeError:
+            pass  # heterogeneous/unorderable keys: total-order path below
+    key_fn = sort_key(cmp)
     return sorted(records, key=lambda kv: key_fn(kv[0]))
 
 
@@ -33,16 +64,64 @@ def merge_runs(
     """Lazy stable k-way merge of key-sorted runs.
 
     Ties break by run index then arrival order, so the merge is stable
-    with respect to the order runs were produced.
+    with respect to the order runs were produced.  When the default
+    comparator is in play and every key shares one native comparison
+    class, heap comparisons run on the raw keys (C speed); the merge
+    downgrades itself to the wrapped-comparator path the moment a
+    non-conforming key shows up.
     """
     cmp = cmp or default_compare
-    key_fn = sort_key(cmp)
-    heap: list[tuple[Any, int, int, KV, Iterator[KV]]] = []
+    heads: list[tuple[KV, int, Iterator[KV]]] = []
+    native_class: type | None = None
+    native = cmp is default_compare
     for idx, run in enumerate(runs):
         it = iter(run)
         first = next(it, None)
-        if first is not None:
-            heap.append((key_fn(first[0]), idx, 0, first, it))
+        if first is None:
+            continue
+        heads.append((first, idx, it))
+        if native:
+            cls = _native_class(first[0])
+            if cls is None or (native_class is not None and cls is not native_class):
+                native = False
+            else:
+                native_class = cls
+    key_fn = sort_key(cmp)
+    if native and native_class is not None:
+        return _merge_native(heads, native_class, key_fn)
+    return _drain_wrapped(
+        [(key_fn(rec[0]), idx, 0, rec, it) for rec, idx, it in heads], key_fn
+    )
+
+
+def _merge_native(
+    heads: list[tuple[KV, int, Iterator[KV]]],
+    native_class: type,
+    key_fn: Callable[[Any], Any],
+) -> Iterator[KV]:
+    """Merge with raw-key comparisons; every key is type-checked *before*
+    entering the heap so heap operations can never raise mid-sift."""
+    heap = [(rec[0], idx, 0, rec, it) for rec, idx, it in heads]
+    heapq.heapify(heap)
+    while heap:
+        _, idx, seq, record, it = heapq.heappop(heap)
+        yield record
+        nxt = next(it, None)
+        if nxt is None:
+            continue
+        if _native_class(nxt[0]) is not native_class:
+            # downgrade: re-wrap the surviving entries and continue stably
+            wrapped = [(key_fn(r[0]), i, s, r, i2) for (_, i, s, r, i2) in heap]
+            wrapped.append((key_fn(nxt[0]), idx, seq + 1, nxt, it))
+            yield from _drain_wrapped(wrapped, key_fn)
+            return
+        heapq.heappush(heap, (nxt[0], idx, seq + 1, nxt, it))
+
+
+def _drain_wrapped(
+    heap: list[tuple[Any, int, int, KV, Iterator[KV]]],
+    key_fn: Callable[[Any], Any],
+) -> Iterator[KV]:
     heapq.heapify(heap)
     while heap:
         _, idx, seq, record, it = heapq.heappop(heap)
@@ -84,6 +163,10 @@ def combine_run(
     return out
 
 
+#: read granularity when streaming a spill back in
+_SPILL_CHUNK_BYTES = 64 * 1024
+
+
 class SpillFile:
     """One on-disk serialized (optionally compressed) run."""
 
@@ -103,15 +186,36 @@ class SpillFile:
         self.compressed = compressed
 
     def __iter__(self) -> Iterator[KV]:
-        with open(self.path, "rb") as f:
-            data = f.read()
-        if self.compressed:
-            import zlib
+        """Stream the run back with buffered incremental reads.
 
-            data = zlib.decompress(data)
-        src = DataInput(data)
-        for _ in range(self.count):
-            yield self.serializer.deserialize_kv(src)
+        The k-way merge holds one iterator per spill; slurping whole
+        files here would momentarily resident the entire spilled dataset,
+        defeating the memory budget that caused the spill.
+        """
+        with open(self.path, "rb") as f:
+            src = ChunkedDataInput(self._chunks(f))
+            for _ in range(self.count):
+                yield self.serializer.deserialize_kv(src)
+
+    def _chunks(self, f) -> Iterator[bytes]:
+        if not self.compressed:
+            while True:
+                raw = f.read(_SPILL_CHUNK_BYTES)
+                if not raw:
+                    return
+                yield raw
+        else:
+            decomp = zlib.decompressobj()
+            while True:
+                raw = f.read(_SPILL_CHUNK_BYTES)
+                if not raw:
+                    break
+                out = decomp.decompress(raw)
+                if out:
+                    yield out
+            tail = decomp.flush()
+            if tail:
+                yield tail
 
     def delete(self) -> None:
         try:
@@ -138,8 +242,6 @@ def spill_run(
         serializer.serialize_kv(key, value, out)
     payload = out.getvalue()
     if compress:
-        import zlib
-
         payload = zlib.compress(payload, level=1)
     fd, path = tempfile.mkstemp(prefix=f"{stem}-", suffix=".spill", dir=directory)
     with os.fdopen(fd, "wb") as f:
@@ -171,27 +273,36 @@ class RunStore:
         self.stem = stem
         self.compress_spills = compress_spills
         self.memory_runs: list[list[KV]] = []
+        #: cached payload estimate per in-memory run, parallel to
+        #: ``memory_runs`` — sized once on entry, never re-scanned
+        self.run_nbytes: list[int] = []
         self.disk_runs: list[SpillFile] = []
         self.memory_bytes = 0
         self.spilled_bytes = 0
         self.total_records = 0
 
     def add_run(self, run: list[KV], nbytes: int | None = None) -> None:
-        """Add a key-sorted run (or unsorted when cmp is None)."""
+        """Add a key-sorted run (or unsorted when cmp is None).
+
+        Callers that already know the run's size (sealed blocks carry it)
+        pass ``nbytes``; otherwise the run is sized exactly once here.
+        """
         if nbytes is None:
-            nbytes = sum(kv_bytes(k, v) for k, v in run)
+            nbytes = kv_run_bytes(run)
         self.memory_runs.append(run)
+        self.run_nbytes.append(nbytes)
         self.memory_bytes += nbytes
         self.total_records += len(run)
         while self.memory_bytes > self.memory_budget and self.memory_runs:
             self._spill_largest()
 
     def _spill_largest(self) -> None:
-        idx = max(
-            range(len(self.memory_runs)), key=lambda i: len(self.memory_runs[i])
-        )
+        """Spill the largest-by-bytes in-memory run (frees the most budget
+        per disk write; the old largest-by-count pick could spill a long
+        run of tiny records while a few huge pairs stayed resident)."""
+        idx = max(range(len(self.run_nbytes)), key=self.run_nbytes.__getitem__)
         run = self.memory_runs.pop(idx)
-        nbytes = sum(kv_bytes(k, v) for k, v in run)
+        nbytes = self.run_nbytes.pop(idx)
         self.memory_bytes = max(0, self.memory_bytes - nbytes)
         spill = spill_run(
             run, self.serializer, self.directory, self.stem,
@@ -212,7 +323,10 @@ class RunStore:
         merged = list(merge_runs(self.memory_runs, self.cmp)) if self.cmp else [
             record for run in self.memory_runs for record in run
         ]
+        # merging permutes records but never changes their payload size
+        total = sum(self.run_nbytes)
         self.memory_runs = [merged]
+        self.run_nbytes = [total]
 
     def __iter__(self) -> Iterator[KV]:
         runs: list[Iterable[KV]] = list(self.memory_runs) + list(self.disk_runs)
@@ -227,4 +341,5 @@ class RunStore:
             spill.delete()
         self.disk_runs.clear()
         self.memory_runs.clear()
+        self.run_nbytes.clear()
         self.memory_bytes = 0

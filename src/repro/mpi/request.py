@@ -10,6 +10,7 @@ actual matching on the caller's thread, so no progress thread is needed.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable, Sequence
 
 from repro.mpi.datatypes import Status
@@ -135,8 +136,6 @@ def waitany(requests: Sequence[Request]) -> tuple[int, Any]:
     MPI's waitany blocks in the library; here we poll with a short sleep,
     which is adequate for the coarse-grained messages DataMPI exchanges.
     """
-    import time
-
     poll: Callable[[], tuple[int, Any] | None] = lambda: next(
         (
             (idx, payload)

@@ -3,9 +3,23 @@
 Each global rank owns an :class:`Endpoint`.  Senders deposit
 :class:`Envelope` objects directly into the destination endpoint (eager
 protocol); receivers match against ``(context, source, tag)`` with
-wildcard support.  Matching preserves MPI's non-overtaking rule: for a
-given (source, context, tag) pair, messages are matched in send order,
-because both the unexpected-message queue and the scan are FIFO.
+wildcard support.
+
+The mailbox is indexed: every distinct ``(context, source, tag)`` triple
+gets its own FIFO sub-queue, so the exact-match common case (shuffle
+blocks, collective traffic) is an O(1) dict hit + ``popleft`` instead of
+a linear scan.  Wildcard receives (``ANY_SOURCE``/``ANY_TAG``) pick the
+lowest-``seq`` head across the matching sub-queues, which preserves MPI's
+non-overtaking rule between the indexed and wildcard paths: for a given
+(source, context, tag) pair messages are matched in send order, and a
+wildcard receive sees candidates in the same global arrival order the
+old single-FIFO scan did.
+
+Wakeups are targeted: an exact-match waiter sleeps on a per-key
+condition that only deposits for that key notify; wildcard waiters share
+one condition.  A deposit therefore never wakes receivers blocked on
+unrelated (source, tag) pairs — the old single-condition ``notify_all``
+thundering herd is gone.
 
 A runtime-wide abort flag wakes every blocked receiver so one failing
 rank cannot deadlock the world.
@@ -16,6 +30,7 @@ from __future__ import annotations
 import itertools
 import threading
 from collections import deque
+from time import monotonic as _now
 from typing import Any, Callable
 
 from repro.common.errors import MPIAbort
@@ -75,18 +90,30 @@ class AbortFlag:
 
 
 class Endpoint:
-    """Mailbox of one global rank."""
+    """Mailbox of one global rank.
+
+    All state is guarded by one lock; the sub-queue index maps each
+    ``(context, source, tag)`` key to a FIFO deque of envelopes (removed
+    from the index when drained, so wildcard scans only visit keys with
+    pending traffic).
+    """
 
     #: Condition-wait slice; short enough to notice aborts promptly without
-    #: a hot loop (aborts also notify the condition directly).
+    #: a hot loop (aborts also notify the conditions directly).
     WAIT_SLICE = 0.1
 
     def __init__(self, rank: int, abort: AbortFlag) -> None:
         self.rank = rank
         self.abort = abort
         self._lock = threading.Lock()
-        self._arrived = threading.Condition(self._lock)
-        self._queue: deque[Envelope] = deque()
+        #: exact-match sub-queues: (context, source, tag) -> FIFO of envelopes
+        self._queues: dict[tuple[int, int, int], deque[Envelope]] = {}
+        #: per-key conditions for blocked exact-match waiters;
+        #: value is [condition, waiter_refcount] so idle keys are pruned
+        self._key_waiters: dict[tuple[int, int, int], list] = {}
+        #: shared condition for wildcard (ANY_SOURCE/ANY_TAG) waiters
+        self._wild_cond = threading.Condition(self._lock)
+        self._num_wild_waiters = 0
         # monotonically increasing count of messages ever enqueued; lets
         # waiters detect arrivals without re-scanning spuriously
         self._arrivals = 0
@@ -94,23 +121,92 @@ class Endpoint:
     # -- sender side --------------------------------------------------------
     def deposit(self, envelope: Envelope) -> None:
         """Called by the *sender's* thread to deliver a message."""
+        key = (envelope.context, envelope.source, envelope.tag)
         with self._lock:
-            self._queue.append(envelope)
+            q = self._queues.get(key)
+            if q is None:
+                self._queues[key] = q = deque()
+            q.append(envelope)
             self._arrivals += 1
-            self._arrived.notify_all()
+            entry = self._key_waiters.get(key)
+            if entry is not None:
+                entry[0].notify_all()
+            if self._num_wild_waiters:
+                self._wild_cond.notify_all()
 
     def wake(self) -> None:
-        """Wake blocked receivers (used on abort)."""
+        """Wake every blocked receiver (used on abort)."""
         with self._lock:
-            self._arrived.notify_all()
+            for entry in self._key_waiters.values():
+                entry[0].notify_all()
+            self._wild_cond.notify_all()
+
+    # -- matching (all called with the lock held) ----------------------------
+    def _match(
+        self, context: int, source: int, tag: int, pop: bool
+    ) -> Envelope | None:
+        """Find (and optionally remove) the first matching envelope."""
+        if source != ANY_SOURCE and tag != ANY_TAG:
+            key = (context, source, tag)
+            q = self._queues.get(key)
+            if not q:
+                return None
+            if not pop:
+                return q[0]
+            envelope = q.popleft()
+            if not q:
+                del self._queues[key]
+            return envelope
+        # wildcard path: the earliest matching message is the lowest-seq
+        # head among matching sub-queues (each sub-queue is seq-ordered)
+        best_q: deque[Envelope] | None = None
+        best: Envelope | None = None
+        best_key = None
+        for key, q in self._queues.items():
+            if key[0] != context:
+                continue
+            if source != ANY_SOURCE and key[1] != source:
+                continue
+            if tag != ANY_TAG and key[2] != tag:
+                continue
+            head = q[0]
+            if best is None or head.seq < best.seq:
+                best, best_q, best_key = head, q, key
+        if best is None or not pop:
+            return best
+        assert best_q is not None
+        best_q.popleft()
+        if not best_q:
+            del self._queues[best_key]
+        return best
+
+    def _find(self, context: int, source: int, tag: int) -> Envelope | None:
+        """Peek at the first matching envelope (kept for introspection)."""
+        return self._match(context, source, tag, pop=False)
+
+    # -- waiter bookkeeping (lock held) ---------------------------------------
+    def _waiter_for(self, context: int, source: int, tag: int):
+        """The condition a blocked receive/probe should sleep on."""
+        if source == ANY_SOURCE or tag == ANY_TAG:
+            self._num_wild_waiters += 1
+            return self._wild_cond, None
+        key = (context, source, tag)
+        entry = self._key_waiters.get(key)
+        if entry is None:
+            self._key_waiters[key] = entry = [threading.Condition(self._lock), 0]
+        entry[1] += 1
+        return entry[0], key
+
+    def _release_waiter(self, key) -> None:
+        if key is None:
+            self._num_wild_waiters -= 1
+            return
+        entry = self._key_waiters[key]
+        entry[1] -= 1
+        if entry[1] == 0:
+            del self._key_waiters[key]
 
     # -- receiver side -------------------------------------------------------
-    def _find(self, context: int, source: int, tag: int) -> Envelope | None:
-        for envelope in self._queue:
-            if envelope.matches(context, source, tag):
-                return envelope
-        return None
-
     def receive(
         self,
         context: int,
@@ -126,25 +222,33 @@ class Endpoint:
         """
         deadline = None if timeout is None else _now() + timeout
         with self._lock:
-            while True:
-                self.abort.check()
-                if cancelled is not None and cancelled():
-                    raise _Cancelled()
-                envelope = self._find(context, source, tag)
-                if envelope is not None:
-                    self._queue.remove(envelope)
-                    envelope.delivered.set()
-                    return envelope
-                wait = Endpoint.WAIT_SLICE
-                if deadline is not None:
-                    remaining = deadline - _now()
-                    if remaining <= 0:
-                        raise TimeoutError(
-                            f"recv(context={context}, source={source}, tag={tag})"
-                            f" timed out on rank {self.rank}"
-                        )
-                    wait = min(wait, remaining)
-                self._arrived.wait(wait)
+            self.abort.check()
+            envelope = self._match(context, source, tag, pop=True)
+            if envelope is not None:
+                envelope.delivered.set()
+                return envelope
+            cond, key = self._waiter_for(context, source, tag)
+            try:
+                while True:
+                    self.abort.check()
+                    if cancelled is not None and cancelled():
+                        raise _Cancelled()
+                    envelope = self._match(context, source, tag, pop=True)
+                    if envelope is not None:
+                        envelope.delivered.set()
+                        return envelope
+                    wait = Endpoint.WAIT_SLICE
+                    if deadline is not None:
+                        remaining = deadline - _now()
+                        if remaining <= 0:
+                            raise TimeoutError(
+                                f"recv(context={context}, source={source}, "
+                                f"tag={tag}) timed out on rank {self.rank}"
+                            )
+                        wait = min(wait, remaining)
+                    cond.wait(wait)
+            finally:
+                self._release_waiter(key)
 
     def try_receive(
         self, context: int, source: int = ANY_SOURCE, tag: int = ANY_TAG
@@ -152,9 +256,8 @@ class Endpoint:
         """Non-blocking matched receive (returns None when nothing matches)."""
         with self._lock:
             self.abort.check()
-            envelope = self._find(context, source, tag)
+            envelope = self._match(context, source, tag, pop=True)
             if envelope is not None:
-                self._queue.remove(envelope)
                 envelope.delivered.set()
             return envelope
 
@@ -167,25 +270,27 @@ class Endpoint:
     ) -> Status | None:
         """Peek for a matching message without consuming it."""
         with self._lock:
-            while True:
-                self.abort.check()
-                envelope = self._find(context, source, tag)
-                if envelope is not None:
-                    return envelope.status()
-                if not block:
-                    return None
-                self._arrived.wait(Endpoint.WAIT_SLICE)
+            self.abort.check()
+            envelope = self._match(context, source, tag, pop=False)
+            if envelope is not None:
+                return envelope.status()
+            if not block:
+                return None
+            cond, key = self._waiter_for(context, source, tag)
+            try:
+                while True:
+                    self.abort.check()
+                    envelope = self._match(context, source, tag, pop=False)
+                    if envelope is not None:
+                        return envelope.status()
+                    cond.wait(Endpoint.WAIT_SLICE)
+            finally:
+                self._release_waiter(key)
 
     def pending_count(self) -> int:
         with self._lock:
-            return len(self._queue)
+            return sum(len(q) for q in self._queues.values())
 
 
 class _Cancelled(Exception):
     """Internal: a cancelled request backed out of a blocking receive."""
-
-
-def _now() -> float:
-    import time
-
-    return time.monotonic()

@@ -223,3 +223,109 @@ class TestReceivePartitionList:
             rpl.add_block(Block(0, ((f"k{i}", i),), 5, sorted=True))
         # compaction keeps the run count at/below the threshold
         assert len(store.memory_runs) <= 3
+
+
+class TestSinglePassAccounting:
+    """The spill/seal paths must size each record exactly once."""
+
+    def _counting_kv_bytes(self, monkeypatch):
+        import repro.common.records as records
+
+        calls = [0]
+        real = records.kv_bytes
+
+        def counting(key, value):
+            calls[0] += 1
+            return real(key, value)
+
+        # kv_run_bytes resolves kv_bytes through the module global, so
+        # patching the records module counts every per-record sizing
+        monkeypatch.setattr(records, "kv_bytes", counting)
+        return calls
+
+    def test_kv_bytes_once_per_record_despite_spills(self, tmp_path, monkeypatch):
+        calls = self._counting_kv_bytes(monkeypatch)
+        store = RunStore(
+            default_compare, WritableSerializer(), str(tmp_path), memory_budget=64
+        )
+        total = 0
+        for i in range(20):
+            run = sorted((f"key{i}-{j}", "v" * 8) for j in range(10))
+            store.add_run(run)
+            total += len(run)
+        assert store.disk_runs, "budget never forced a spill"
+        # spilling and compaction reuse the cached sizes — no re-scan
+        store.compact(max_runs=1)
+        assert calls[0] == total
+
+    def test_presized_runs_never_rescanned(self, tmp_path, monkeypatch):
+        calls = self._counting_kv_bytes(monkeypatch)
+        store = RunStore(
+            default_compare, WritableSerializer(), str(tmp_path), memory_budget=0
+        )
+        store.add_run([("a", 1)], nbytes=25)
+        store.add_run([("b", 2)], nbytes=25)
+        assert calls[0] == 0  # sealed blocks carry their size already
+
+    def test_spill_picks_largest_by_bytes(self, tmp_path):
+        store = RunStore(
+            default_compare, WritableSerializer(), str(tmp_path),
+            memory_budget=1200,
+        )
+        many_tiny = sorted((f"k{j}", "") for j in range(50))  # ~550 bytes total
+        store.add_run(many_tiny)
+        store.add_run([("huge", "x" * 2000)])
+        assert len(store.disk_runs) == 1
+        # the single huge-payload record frees the most budget per write;
+        # a largest-by-count pick would have evicted the 50 tiny records
+        assert store.disk_runs[0].count == 1
+        assert len(store.memory_runs[0]) == 50
+
+    def test_seal_reuses_partition_running_total(self, monkeypatch):
+        import repro.core.buffers as buffers
+
+        kv_calls = [0]
+        run_calls = [0]
+        real_kv = buffers.kv_bytes
+
+        def counting_kv(key, value):
+            kv_calls[0] += 1
+            return real_kv(key, value)
+
+        def counting_run(records):
+            run_calls[0] += 1
+            return sum(real_kv(k, v) for k, v in records)
+
+        # buffers binds both names at import time; patch its namespace
+        monkeypatch.setattr(buffers, "kv_bytes", counting_kv)
+        monkeypatch.setattr(buffers, "kv_run_bytes", counting_run)
+
+        spl = SendPartitionList(1, flush_bytes=10**9, cmp=default_compare)
+        for i in range(10):
+            spl.add(0, f"k{i}", i)
+        (block_,) = spl.flush_all()
+        assert len(block_.records) == 10
+        assert kv_calls[0] == 10  # once per record, in add()
+        assert run_calls[0] == 0  # sealing reuses the running total
+
+    def test_seal_recounts_only_after_combiner(self, monkeypatch):
+        import repro.core.buffers as buffers
+
+        run_calls = [0]
+        real = buffers.kv_run_bytes
+
+        def counting_run(records):
+            run_calls[0] += 1
+            return real(records)
+
+        monkeypatch.setattr(buffers, "kv_run_bytes", counting_run)
+        spl = SendPartitionList(
+            1, flush_bytes=10**9, cmp=default_compare,
+            combiner=lambda k, vs: [sum(vs)],
+        )
+        for _ in range(5):
+            spl.add(0, "w", 1)
+        (block_,) = spl.flush_all()
+        assert block_.records == (("w", 5),)
+        assert run_calls[0] == 1  # combiner rewrote payloads: one re-count
+        assert block_.nbytes == real(block_.records)

@@ -1,0 +1,191 @@
+"""Sender-side block coalescing: batching, EOS folding, exact stats.
+
+The deterministic tests use a stub world whose first ``send`` parks on a
+gate; while the sender thread is stuck there the send queue backs up, so
+we control exactly which items coalesce into which envelope.
+"""
+
+import tempfile
+import threading
+
+from repro.core.buffers import Block
+from repro.core.constants import SHUFFLE_TAG
+from repro.core.partition import PartitionWindow
+from repro.core.shuffle import PlaneConfig, ShufflePlane, ShuffleService
+from repro.mpi import run_world
+from repro.serde.comparators import default_compare
+from repro.serde.serialization import WritableSerializer
+
+
+def _config(num_partitions=1, num_processes=1, pipelined=False):
+    return PlaneConfig(
+        num_partitions=num_partitions,
+        window=PartitionWindow(num_partitions, num_processes),
+        cmp=default_compare,
+        serializer=WritableSerializer(),
+        spill_dir=tempfile.mkdtemp(prefix="coalesce-test-"),
+        memory_budget=1 << 30,
+        merge_threshold_blocks=4,
+        pipelined=pipelined,
+    )
+
+
+def block(partition, records):
+    return Block(partition, tuple(records), 10 * len(records), sorted=True)
+
+
+class _GatedWorld:
+    """Intracomm stand-in: the first ``send`` parks until the gate opens,
+    so everything enqueued meanwhile coalesces deterministically."""
+
+    def __init__(self):
+        self.rank = 0
+        self.size = 1
+        self.envelopes = []
+        self.in_send = threading.Event()
+        self.gate = threading.Event()
+
+    def send(self, obj, dest, tag=0):
+        self.in_send.set()
+        assert self.gate.wait(10), "test gate never released"
+        self.envelopes.append((obj, dest))
+
+    def recv(self, source=None, tag=None):
+        threading.Event().wait()  # parks the receiver thread (daemon)
+
+
+def _gated_service(batch_bytes):
+    world = _GatedWorld()
+    service = ShuffleService(world, lambda pid: _config(), batch_bytes=batch_bytes)
+    # primer: one block the sender flushes immediately (queue runs dry),
+    # sticking it in world.send until the gate opens
+    service.send_block("pl", block(0, [("primer", 0)]))
+    assert world.in_send.wait(10), "sender never reached send()"
+    return world, service
+
+
+class TestCoalescing:
+    def test_backlog_coalesces_into_one_envelope_with_eos_folded(self):
+        world, service = _gated_service(batch_bytes=1 << 20)
+        for i in range(5):
+            service.send_block("pl", block(0, [(f"k{i}", i)]))
+        service.send_eos("pl")
+        world.gate.set()
+        service.drain_sends()
+
+        assert len(world.envelopes) == 2  # primer + one coalesced batch
+        (kind, plane_id, (blocks, eos)), dest = world.envelopes[1]
+        assert (kind, plane_id, dest) == ("batch", "pl", 0)
+        assert len(blocks) == 5
+        assert eos is True  # EOS rode along, no extra message
+
+    def test_batch_bytes_cap_splits_envelopes(self):
+        # blocks are 10 "bytes" each; a 25-byte cap flushes after 3
+        world, service = _gated_service(batch_bytes=25)
+        for i in range(5):
+            service.send_block("pl", block(0, [(f"k{i}", i)]))
+        service.send_eos("pl")
+        world.gate.set()
+        service.drain_sends()
+
+        payloads = [env for env, _ in world.envelopes]
+        sizes = [len(blocks) for _, _, (blocks, _) in payloads]
+        assert sizes == [1, 3, 2]  # primer, capped batch, remainder+eos
+        assert [eos for _, _, (_, eos) in payloads] == [False, False, True]
+
+    def test_stats_stay_record_accurate_under_batching(self):
+        world, service = _gated_service(batch_bytes=25)
+        for i in range(5):
+            service.send_block("pl", block(0, [(f"k{i}", i)]))
+        service.send_eos("pl")
+        world.gate.set()
+        service.drain_sends()
+
+        stats = service.stats()
+        assert stats["blocks_sent"] == 6  # primer + 5, independent of batching
+        assert stats["bytes_sent"] == 60
+        assert stats["envelopes_sent"] == 3
+        assert stats["envelopes_sent"] < stats["blocks_sent"]
+
+    def test_separate_destinations_never_share_a_batch(self):
+        world = _GatedWorld()
+        world.size = 2
+        service = ShuffleService(
+            world, lambda pid: _config(num_partitions=2, num_processes=2),
+            batch_bytes=1 << 20,
+        )
+        service.send_block("pl", block(0, [("mine", 0)]))  # dest 0
+        assert world.in_send.wait(10)
+        service.send_block("pl", block(0, [("mine2", 0)]))   # dest 0
+        service.send_block("pl", block(1, [("theirs", 1)]))  # dest 1
+        world.gate.set()
+        service.drain_sends()
+
+        by_dest = {}
+        for (kind, _, (blocks, _)), dest in world.envelopes:
+            by_dest.setdefault(dest, []).extend(b.partition_id for b in blocks)
+        assert by_dest[0] == [0, 0]
+        assert by_dest[1] == [1]
+
+
+class TestCoalescingOverMPI:
+    def test_stats_record_accurate_end_to_end(self):
+        def main(comm):
+            service = ShuffleService(
+                comm, lambda pid: _config(2, comm.size)
+            )
+            nbytes_total = 0
+            if comm.rank == 0:
+                for i in range(60):
+                    b = block(1, [(f"k{i}", i)])
+                    nbytes_total += b.nbytes
+                    service.send_block("fwd:0", b)
+            service.send_eos("fwd:0")
+            service.plane("fwd:0").wait_complete(30)
+            service.drain_sends()
+            stats = service.stats()
+            service.shutdown()
+            return stats, nbytes_total
+
+        results = run_world(2, main)
+        stats0, nbytes0 = results[0]
+        assert stats0["blocks_sent"] == 60
+        assert stats0["bytes_sent"] == nbytes0
+        assert 1 <= stats0["envelopes_sent"] <= 62  # 60 blocks + 2 eos worst case
+        assert results[1][0]["records_received"] == 60
+
+    def test_legacy_single_block_wire_format_still_understood(self):
+        def main(comm):
+            service = ShuffleService(comm, lambda pid: _config(1, comm.size))
+            plane = service.plane("fwd:0")
+            comm.send(("block", "fwd:0", block(0, [("a", 1)])),
+                      dest=0, tag=SHUFFLE_TAG)
+            comm.send(("eos", "fwd:0", None), dest=0, tag=SHUFFLE_TAG)
+            plane.wait_complete(30)
+            out = [k for k, _ in plane.merged_iter(0)]
+            service.shutdown()
+            return out
+
+        assert run_world(1, main)[0] == ["a"]
+
+
+class TestStreamingBlockGranularity:
+    def test_stream_queue_carries_whole_blocks_in_order(self):
+        plane = ShufflePlane("p", 0, _config(pipelined=True))
+        plane.add_block(block(0, [("a", 1), ("b", 2)]))
+        plane.add_block(block(0, [("c", 3)]))
+        plane.add_block(block(0, [("d", 4), ("e", 5)]))
+        # one queue op per block, not one per record
+        assert plane.streams[0].qsize() == 3
+        plane.add_eos()
+        assert list(plane.stream_iter(0)) == [
+            ("a", 1), ("b", 2), ("c", 3), ("d", 4), ("e", 5)
+        ]
+
+    def test_stream_iter_yields_before_completion(self):
+        plane = ShufflePlane("p", 0, _config(num_processes=1, pipelined=True))
+        plane.add_block(block(0, [("x", 1)]))
+        it = plane.stream_iter(0)
+        assert next(it) == ("x", 1)  # no EOS yet
+        plane.add_eos()
+        assert list(it) == []

@@ -1,0 +1,188 @@
+"""MPI matching semantics the indexed-mailbox transport must preserve.
+
+The transport keeps one FIFO sub-queue per (context, source, tag) and a
+wildcard path that picks the earliest arrival across sub-queues; these
+tests pin down the observable contract: non-overtaking per (source,
+tag), exact/wildcard interleaving, probe consistency, and abort wakeups.
+"""
+
+import time
+
+import pytest
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, run_world
+
+
+def _await_arrivals(comm, source, tag):
+    """Handshake: block until the message sent *last* by ``source`` has
+    arrived; eager deposits from one sender are ordered, so everything
+    sent before it is then in the mailbox too."""
+    while comm.iprobe(source=source, tag=tag) is None:
+        time.sleep(0.001)
+
+
+class TestNonOvertaking:
+    def test_per_source_tag_order_with_many_tags(self):
+        """Messages interleaved across tags stay FIFO within each tag."""
+
+        def main(comm):
+            if comm.rank == 0:
+                for i in range(30):
+                    comm.send(("t1", i), dest=1, tag=1)
+                    comm.send(("t2", i), dest=1, tag=2)
+                return None
+            t2 = [comm.recv(source=0, tag=2)[1] for _ in range(30)]
+            t1 = [comm.recv(source=0, tag=1)[1] for _ in range(30)]
+            return (t1, t2)
+
+        assert run_world(2, main)[1] == (list(range(30)), list(range(30)))
+
+    def test_wildcard_and_exact_interleaved(self):
+        """A mix of exact and wildcard receives still sees each
+        (source, tag) stream in send order, and wildcards match the
+        earliest pending message."""
+
+        def main(comm):
+            if comm.rank == 0:
+                for i in range(6):
+                    comm.send(i, dest=1, tag=7)
+                comm.send("x", dest=1, tag=9)
+                return None
+            _await_arrivals(comm, source=0, tag=9)
+            out = [
+                comm.recv(source=0, tag=7),            # exact       -> 0
+                comm.recv(source=ANY_SOURCE, tag=ANY_TAG),  # earliest -> 1
+                comm.recv(source=0, tag=7),            # exact       -> 2
+                comm.recv(source=ANY_SOURCE, tag=7),   # tag-only    -> 3
+                comm.recv(source=0, tag=ANY_TAG),      # source-only -> 4
+                comm.recv(source=0, tag=7),            # exact       -> 5
+                comm.recv(source=0, tag=9),            # exact       -> "x"
+            ]
+            return out
+
+        assert run_world(2, main)[1] == [0, 1, 2, 3, 4, 5, "x"]
+
+    def test_wildcard_sees_global_arrival_order_per_sender(self):
+        """With every message already deposited, pure-wildcard receives
+        drain one sender's stream in its send order."""
+
+        def main(comm):
+            if comm.rank == 0:
+                for i in range(5):
+                    comm.send(i, dest=1, tag=10 + i)  # five distinct tags
+                comm.send(None, dest=1, tag=99)
+                return None
+            _await_arrivals(comm, source=0, tag=99)
+            got = [comm.recv(source=ANY_SOURCE, tag=ANY_TAG) for _ in range(5)]
+            comm.recv(source=0, tag=99)
+            return got
+
+        assert run_world(2, main)[1] == [0, 1, 2, 3, 4]
+
+
+class TestProbeConsistency:
+    def test_probe_then_receive_gets_probed_message(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(b"payload-a", dest=1, tag=4)
+                return None
+            status = comm.probe(source=ANY_SOURCE, tag=ANY_TAG)
+            # probing twice must be idempotent (nothing consumed)
+            again = comm.probe(source=ANY_SOURCE, tag=ANY_TAG)
+            assert (status.source, status.tag) == (again.source, again.tag)
+            msg = comm.recv(source=status.source, tag=status.tag)
+            return (status.source, status.tag, status.count > 0, msg)
+
+        assert run_world(2, main)[1] == (0, 4, True, b"payload-a")
+
+    def test_probe_reports_earliest_of_a_stream(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("first", dest=1, tag=1)
+                comm.send("second", dest=1, tag=2)
+                comm.send(None, dest=1, tag=99)
+                return None
+            _await_arrivals(comm, source=0, tag=99)
+            status = comm.probe(source=0, tag=ANY_TAG)
+            first = comm.recv(source=0, tag=status.tag)
+            return (status.tag, first)
+
+        assert run_world(2, main)[1] == (1, "first")
+
+    def test_iprobe_exact_does_not_see_other_tags(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("x", dest=1, tag=5)
+                comm.send(None, dest=1, tag=99)
+                return None
+            _await_arrivals(comm, source=0, tag=99)
+            assert comm.iprobe(source=0, tag=6) is None
+            assert comm.iprobe(source=0, tag=5) is not None
+            comm.recv(source=0, tag=5)
+            comm.recv(source=0, tag=99)
+            return "ok"
+
+        assert run_world(2, main)[1] == "ok"
+
+
+class TestAbortWakesReceivers:
+    def test_abort_wakes_exact_match_receiver(self):
+        """A receiver parked on a per-key condition must observe abort."""
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.recv(source=1, tag=123)  # nothing ever sent
+            else:
+                time.sleep(0.1)
+                raise RuntimeError("peer died")
+
+        start = time.monotonic()
+        with pytest.raises(RuntimeError, match="peer died"):
+            run_world(2, main, timeout=60)
+        # woken by the abort notification, not the 60 s runtime timeout
+        assert time.monotonic() - start < 30
+
+    def test_abort_wakes_wildcard_receiver(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.recv(source=ANY_SOURCE, tag=ANY_TAG)
+            else:
+                time.sleep(0.1)
+                raise RuntimeError("peer died")
+
+        start = time.monotonic()
+        with pytest.raises(RuntimeError, match="peer died"):
+            run_world(2, main, timeout=60)
+        assert time.monotonic() - start < 30
+
+    def test_abort_wakes_blocked_probe(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.probe(source=1, tag=7)  # blocking peek, never satisfied
+            else:
+                time.sleep(0.1)
+                raise RuntimeError("peer died")
+
+        start = time.monotonic()
+        with pytest.raises(RuntimeError, match="peer died"):
+            run_world(2, main, timeout=60)
+        assert time.monotonic() - start < 30
+
+
+class TestIndexedMailboxHousekeeping:
+    def test_pending_count_spans_subqueues(self):
+        def main(comm):
+            if comm.rank == 0:
+                for tag in (1, 2, 3):
+                    comm.send(tag, dest=1, tag=tag)
+                comm.send(None, dest=1, tag=99)
+                return None
+            _await_arrivals(comm, source=0, tag=99)
+            endpoint = comm.runtime.endpoint(comm.group[comm.rank])
+            before = endpoint.pending_count()
+            for tag in (1, 2, 3):
+                comm.recv(source=0, tag=tag)
+            comm.recv(source=0, tag=99)
+            return (before, endpoint.pending_count())
+
+        assert run_world(2, main)[1] == (4, 0)
