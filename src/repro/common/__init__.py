@@ -14,6 +14,7 @@ from repro.common.errors import (
     CheckpointError,
     ConfigurationError,
     DataMPIError,
+    FailureRecord,
     HDFSError,
     JobFailedError,
     MPIError,
@@ -21,6 +22,7 @@ from repro.common.errors import (
     RPCError,
     SerializationError,
     TaskFailedError,
+    WorkerLostError,
 )
 from repro.common.records import KeyValue, kv_bytes
 from repro.common.units import (
@@ -50,6 +52,8 @@ __all__ = [
     "CheckpointError",
     "JobFailedError",
     "TaskFailedError",
+    "FailureRecord",
+    "WorkerLostError",
     "KeyValue",
     "kv_bytes",
     "KB",

@@ -7,6 +7,40 @@ an alias of :class:`DataMPIError` to mirror the paper's Listing 1.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
+
+@dataclass
+class FailureRecord:
+    """Structured description of one detected failure.
+
+    Produced by the MPI runtime (a rank thread dying), the worker engine
+    (a task attempt failing), or the supervising driver (a heartbeat
+    deadline expiring); collected into ``JobResult.failures`` so a caller
+    can see exactly which worker, task and attempt went down and why.
+    """
+
+    kind: str = "error"  # "task" | "rank" | "heartbeat" | "timeout" | "abort"
+    worker: int = -1  # worker/rank index within its world (-1 unknown)
+    phase: str = ""  # "O" / "A" for task failures, world name otherwise
+    task_id: int = -1
+    round_no: int = -1
+    attempt: int = 0  # job attempt (1-based) the failure happened on
+    error: str = ""
+    traceback: str = ""
+    where: str = ""  # thread/world name for rank-level failures
+
+    def describe(self) -> str:
+        parts = [self.kind]
+        if self.worker >= 0:
+            parts.append(f"worker {self.worker}")
+        if self.task_id >= 0:
+            parts.append(f"{self.phase or '?'} task {self.task_id}")
+        if self.attempt > 0:
+            parts.append(f"attempt {self.attempt}")
+        head = " ".join(parts)
+        return f"[{head}] {self.error}" if self.error else f"[{head}]"
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
@@ -62,7 +96,33 @@ class TaskFailedError(ReproError):
 
 
 class JobFailedError(ReproError):
-    """A whole job failed after exhausting retries."""
+    """A whole job failed after exhausting retries.
+
+    ``failures`` carries the :class:`FailureRecord` objects describing the
+    precise cause(s) — which worker, which task, which attempt.
+    """
+
+    def __init__(self, message: str = "", failures: list | None = None):
+        super().__init__(message)
+        self.failures: list[FailureRecord] = list(failures or [])
+
+
+class WorkerLostError(ReproError):
+    """A working process went silent past the heartbeat deadline."""
+
+    def __init__(
+        self,
+        worker: int,
+        silent_for: float,
+        deadline: float,
+        record: "FailureRecord | None" = None,
+    ):
+        super().__init__(
+            f"worker {worker} missed the heartbeat deadline "
+            f"(silent {silent_for:.1f}s > {deadline:.1f}s)"
+        )
+        self.worker = worker
+        self.failures: list[FailureRecord] = [record] if record is not None else []
 
 
 class SimulationError(ReproError):

@@ -8,21 +8,39 @@ visible.  On recovery the library replays all complete rounds straight
 from disk (the "Job Reload Checkpoint" phase of Figure 13) and the
 re-executed task skips that many records — transparent for
 deterministic applications, exactly as the paper requires.
+
+Round files are integrity-checked: the payload (vint record count +
+serialized pairs) is prefixed with its CRC32, verified before replay.  A
+round that fails the check is *quarantined* — renamed to ``*.ckpt.bad``
+along with every higher-numbered round of the task (replay semantics
+need a contiguous prefix: the skip counter assumes rounds reload in emit
+order with no holes) — and recovery proceeds from the surviving prefix,
+so a corrupted checkpoint degrades to re-execution instead of wrong
+output or a crash loop.
 """
 
 from __future__ import annotations
 
 import os
 import re
+import struct
+import zlib
 from typing import Any, Iterator
 
 from repro.common.errors import CheckpointError
+from repro.common.logging import get_logger
 from repro.serde.io import DataInput, DataOutput
 from repro.serde.serialization import Serializer
 
 KV = tuple[Any, Any]
 
+_log = get_logger("core.checkpoint")
+
 _ROUND_RE = re.compile(r"^cp_(?P<task>.+)_(?P<round>\d{6})\.ckpt$")
+
+_CRC = struct.Struct(">I")
+#: CRC prefix + the longest possible vlong encoding of the record count
+_HEADER_MAX_BYTES = _CRC.size + 9
 
 
 def _round_path(directory: str, task: str, round_no: int) -> str:
@@ -64,10 +82,12 @@ class CheckpointWriter:
         out.write_vint(len(self._buffer))
         for key, value in self._buffer:
             self.serializer.serialize_kv(key, value, out)
+        payload = out.getvalue()
         final = _round_path(self.directory, self.task, self.round_no)
         tmp = final + ".tmp"
         with open(tmp, "wb") as f:
-            f.write(out.getvalue())
+            f.write(_CRC.pack(zlib.crc32(payload)))
+            f.write(payload)
         os.replace(tmp, final)
         self.records_persisted += len(self._buffer)
         self._buffer.clear()
@@ -87,7 +107,13 @@ class CheckpointReader:
         self.serializer = serializer
 
     def complete_rounds(self) -> list[int]:
-        """Round numbers with a successfully persisted file, sorted."""
+        """Round numbers with a verified persisted file, sorted.
+
+        Verification quarantines as a side effect: a round whose CRC32
+        fails is renamed ``*.ckpt.bad``, together with every
+        higher-numbered round of this task (replay needs a contiguous
+        prefix), and only the surviving verified prefix is returned.
+        """
         if not os.path.isdir(self.directory):
             return []
         rounds = []
@@ -95,25 +121,76 @@ class CheckpointReader:
             m = _ROUND_RE.match(name)
             if m and m.group("task") == self.task:
                 rounds.append(int(m.group("round")))
-        return sorted(rounds)
+        rounds.sort()
+        verified: list[int] = []
+        for idx, round_no in enumerate(rounds):
+            path = _round_path(self.directory, self.task, round_no)
+            if self._verify(path):
+                verified.append(round_no)
+            else:
+                self._quarantine(rounds[idx:])
+                break
+        return verified
+
+    def _verify(self, path: str) -> bool:
+        try:
+            with open(path, "rb") as f:
+                header = f.read(_CRC.size)
+                if len(header) < _CRC.size:
+                    return False
+                (expected,) = _CRC.unpack(header)
+                return zlib.crc32(f.read()) == expected
+        except OSError:
+            return False
+
+    def _quarantine(self, rounds: list[int]) -> None:
+        """Rename corrupt + unreachable rounds out of the way (``.bad``)."""
+        for round_no in rounds:
+            path = _round_path(self.directory, self.task, round_no)
+            try:
+                os.replace(path, path + ".bad")
+            except OSError:
+                continue
+            _log.warning(
+                "checkpoint task %s round %d failed verification or lost "
+                "its prefix; quarantined as %s",
+                self.task, round_no, path + ".bad",
+            )
 
     def max_round(self) -> int:
-        """Highest persisted round + 1 (0 when nothing was checkpointed)."""
+        """Verified rounds count = highest usable round + 1 (0 when none).
+
+        A resumed writer starting here overwrites any quarantined round
+        numbers rather than skipping past the hole.
+        """
         rounds = self.complete_rounds()
         return rounds[-1] + 1 if rounds else 0
 
     def replay(self) -> Iterator[KV]:
-        """All persisted pairs in emit order."""
+        """All verified persisted pairs in emit order."""
         for round_no in self.complete_rounds():
             path = _round_path(self.directory, self.task, round_no)
             with open(path, "rb") as f:
                 src = DataInput(f.read())
+            src.read_bytes(_CRC.size)  # CRC already verified
             count = src.read_vint()
             for _ in range(count):
                 yield self.serializer.deserialize_kv(src)
 
     def record_count(self) -> int:
-        return sum(1 for _ in self.replay())
+        """Persisted record total from the round headers alone.
+
+        Reads ``CRC + vint`` (a dozen bytes) per round file instead of
+        deserializing every pair like :meth:`replay` would.
+        """
+        total = 0
+        for round_no in self.complete_rounds():
+            path = _round_path(self.directory, self.task, round_no)
+            with open(path, "rb") as f:
+                head = DataInput(f.read(_HEADER_MAX_BYTES))
+            head.read_bytes(_CRC.size)
+            total += head.read_vint()
+        return total
 
 
 class CheckpointManager:
@@ -163,7 +240,7 @@ class CheckpointManager:
         if not os.path.isdir(self.directory):
             return
         for name in os.listdir(self.directory):
-            if name.endswith(".ckpt") or name.endswith(".tmp"):
+            if name.endswith((".ckpt", ".tmp", ".bad")):
                 try:
                     os.unlink(os.path.join(self.directory, name))
                 except FileNotFoundError:

@@ -72,11 +72,31 @@ class MPI_D_Constants:
     #: stable job id, so a restart finds its checkpoints
     JOB_ID = "mpi.d.job.id"
 
+    # -- supervision (automatic detect -> abort -> resume) -----------------------
+    #: with FT enabled, mpidrun reruns a failed job up to this many times
+    #: (0 = report the failure to the caller, the pre-supervision behaviour)
+    JOB_MAX_RESTARTS = "mpi.d.job.max.restarts"
+    #: give up once any single task has failed this many attempts
+    TASK_MAX_ATTEMPTS = "mpi.d.task.max.attempts"
+    #: base of the exponential backoff between restarts, seconds
+    RESTART_BACKOFF_SECONDS = "mpi.d.restart.backoff.seconds"
+    #: worker -> driver heartbeat period, seconds
+    HEARTBEAT_INTERVAL_SECONDS = "mpi.d.heartbeat.interval.seconds"
+    #: a worker silent this long is declared lost (<= 0 disables detection)
+    HEARTBEAT_DEADLINE_SECONDS = "mpi.d.heartbeat.deadline.seconds"
+    #: shuffle-plane completion timeout, seconds
+    PLANE_TIMEOUT_SECONDS = "mpi.d.plane.timeout.seconds"
+    #: current job attempt, 1-based (set internally by mpidrun on restarts)
+    JOB_ATTEMPT = "mpi.d.job.attempt"
+
     # -- failure injection (testing) ----------------------------------------------
     #: crash the job after this many total emitted records (-1 = never)
     INJECT_CRASH_AFTER_RECORDS = "mpi.d.inject.crash.after.records"
     #: rank of the O task that crashes (with the above)
     INJECT_CRASH_TASK = "mpi.d.inject.crash.task"
+    #: job attempt the injected crash fires on (-1 = every attempt);
+    #: defaults to the first, so an automatic restart recovers
+    INJECT_CRASH_ATTEMPT = "mpi.d.inject.crash.attempt"
 
 
 #: default sender-side coalescing cap (see ``SHUFFLE_BATCH_BYTES``)

@@ -16,11 +16,12 @@ they arrive.
 from __future__ import annotations
 
 import tempfile
+import threading
 import time
 from typing import Any
 
 from repro.common.config import Configuration
-from repro.common.errors import DataMPIError
+from repro.common.errors import DataMPIError, FailureRecord, MPIAbort
 from repro.core import context as context_mod
 from repro.core.buffers import SendPartitionList
 from repro.core.checkpoint import CheckpointManager
@@ -62,6 +63,10 @@ class WorkerEngine:
         self.nprocs = nprocs
         self.rank = world.rank
         self.conf: Configuration = profile_for(job.mode, job.conf)
+        self.attempt = self.conf.get_int(K.JOB_ATTEMPT, 1)
+        self.plane_timeout = self.conf.get_float(
+            K.PLANE_TIMEOUT_SECONDS, PLANE_TIMEOUT
+        )
         self.sorts = mode_sorts(self.conf)
         self.pipelined = mode_is_pipelined(self.conf)
         self.bidirectional = mode_is_bidirectional(self.conf)
@@ -130,6 +135,36 @@ class WorkerEngine:
     def _report(self) -> None:
         self.parent.send(("report", self.rank, self.metrics), dest=0, tag=CONTROL_TAG)
 
+    def _report_failure(self, record: FailureRecord) -> None:
+        """Best-effort: tell mpidrun exactly which task died before the
+        abort storm makes the cause ambiguous."""
+        try:
+            self.parent.send(("fail", self.rank, record), dest=0, tag=CONTROL_TAG)
+        except BaseException:  # noqa: BLE001 - the original error matters more
+            pass
+
+    # -- heartbeats ---------------------------------------------------------------
+    def _start_heartbeat(self) -> threading.Event | None:
+        """Beat ("hb", rank) at the configured interval on a daemon thread
+        so a worker deep in a long shuffle wait still proves liveness."""
+        interval = self.conf.get_float(K.HEARTBEAT_INTERVAL_SECONDS, 0.5)
+        if interval <= 0:
+            return None
+        stop = threading.Event()
+
+        def beat() -> None:
+            while not stop.wait(interval):
+                try:
+                    self.parent.send(("hb", self.rank), dest=0, tag=CONTROL_TAG)
+                except BaseException:  # noqa: BLE001 - abort in flight; stop quietly
+                    return
+
+        thread = threading.Thread(
+            target=beat, daemon=True, name=f"hb-w{self.rank}"
+        )
+        thread.start()
+        return stop
+
     # -- task contexts -----------------------------------------------------------------
     def _make_o_context(
         self, task_id: int, round_no: int, spl: SendPartitionList
@@ -144,9 +179,11 @@ class WorkerEngine:
                 task_id, start_round=cp_reader.max_round()
             )
         crash_after = -1
+        inject_attempt = self.conf.get_int(K.INJECT_CRASH_ATTEMPT, 1)
         if (
             self.conf.get_int(K.INJECT_CRASH_AFTER_RECORDS) >= 0
             and task_id == self.conf.get_int(K.INJECT_CRASH_TASK)
+            and (inject_attempt < 0 or inject_attempt == self.attempt)
         ):
             crash_after = self.conf.get_int(K.INJECT_CRASH_AFTER_RECORDS)
         return TaskContext(
@@ -204,6 +241,27 @@ class WorkerEngine:
                 self.metrics.reloaded_records += ctx.replay_checkpoint()
             fn(ctx)
             ctx.close()
+        except MPIAbort:
+            raise  # a peer already failed; not this task's fault
+        except BaseException as exc:  # noqa: BLE001 - annotated and re-raised
+            import traceback as traceback_mod
+
+            record = FailureRecord(
+                kind="task",
+                worker=self.rank,
+                phase=ctx.kind,
+                task_id=ctx.task_id,
+                round_no=ctx.round,
+                attempt=self.attempt,
+                error=repr(exc),
+                traceback=traceback_mod.format_exc(),
+            )
+            self._report_failure(record)
+            try:
+                exc.failures = [record]  # adopted by MPIRuntime.record_error
+            except AttributeError:
+                pass
+            raise
         finally:
             ctx.metrics.duration = time.perf_counter() - start
             context_mod.bind(None)
@@ -251,7 +309,7 @@ class WorkerEngine:
 
     def _run_a_phase(self, round_no: int) -> None:
         fwd_plane = self.shuffle.plane(f"fwd:{round_no}")
-        fwd_plane.wait_complete(PLANE_TIMEOUT)
+        fwd_plane.wait_complete(self.plane_timeout)
         spl = self._new_spl("bwd") if self.bidirectional else None
         while True:
             task_id = self._request_task("A", round_no)
@@ -263,12 +321,16 @@ class WorkerEngine:
             self._execute(ctx, self.job.a_fn)
         if spl is not None:
             self._finish_sends(f"bwd:{round_no}", spl)
-            self.shuffle.plane(f"bwd:{round_no}").wait_complete(PLANE_TIMEOUT)
+            self.shuffle.plane(f"bwd:{round_no}").wait_complete(self.plane_timeout)
 
     def _run_streaming_round(self, round_no: int) -> None:
-        """Streaming: A tasks consume concurrently with O production."""
-        import threading
+        """Streaming: A tasks consume concurrently with O production.
 
+        Completion handling is strict: a consumer that raised is reported
+        even if its siblings are still draining, and a consumer still
+        alive past the plane timeout raises a descriptive error naming
+        the stuck task instead of silently falling through the join.
+        """
         fwd_plane = self.shuffle.plane(f"fwd:{round_no}")
         a_tasks: list[int] = []
         while True:
@@ -301,14 +363,28 @@ class WorkerEngine:
             ctx = self._make_o_context(task_id, round_no, spl)
             self._execute(ctx, self.job.o_fn)
         self._finish_sends(f"fwd:{round_no}", spl)
-        for thread in threads:
-            thread.join(PLANE_TIMEOUT)
+        # one shared deadline: the plane budget covers the whole round's
+        # drain, not plane_timeout per consumer thread
+        deadline = time.monotonic() + self.plane_timeout
+        stuck: list[int] = []
+        for task_id, thread in zip(a_tasks, threads):
+            thread.join(max(0.0, deadline - time.monotonic()))
+            if thread.is_alive():
+                stuck.append(task_id)
         if errors:
+            # a real failure outranks a "stuck" symptom it probably caused
             raise errors[0]
+        if stuck:
+            raise DataMPIError(
+                f"streaming round {round_no} on worker {self.rank}: A task(s) "
+                f"{stuck} still running after the {self.plane_timeout}s "
+                f"plane timeout"
+            )
 
     # -- top level ----------------------------------------------------------------------------
     def run(self) -> WorkerMetrics:
         rounds = self.job.rounds if self.bidirectional else 1
+        hb_stop = self._start_heartbeat()
         try:
             for round_no in range(rounds):
                 if self.pipelined:
@@ -326,4 +402,6 @@ class WorkerEngine:
             self._report()
             return self.metrics
         finally:
+            if hb_stop is not None:
+                hb_stop.set()
             self.shuffle.shutdown()

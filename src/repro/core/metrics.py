@@ -66,6 +66,8 @@ class JobMetrics:
     reloaded_records: int = 0
     local_a_tasks: int = 0
     duration: float = 0.0
+    #: automatic supervised restarts it took to produce this result
+    restarts: int = 0
 
 
 @dataclass
@@ -76,6 +78,12 @@ class JobResult:
     success: bool
     metrics: JobMetrics = field(default_factory=JobMetrics)
     error: str = ""
+    #: automatic restarts consumed (0 = succeeded or failed first try)
+    restarts: int = 0
+    #: structured :class:`~repro.common.errors.FailureRecord` history across
+    #: all attempts — empty for a clean run, populated even on success when
+    #: the job recovered from failures
+    failures: list = field(default_factory=list)
 
     @property
     def a_data_locality(self) -> float:

@@ -26,8 +26,16 @@ _SHARED_DEFAULTS: dict[str, Any] = {
     K.SPILL_COMPRESS: False,
     K.FT_ENABLED: False,
     K.FT_INTERVAL_RECORDS: 10_000,
+    K.JOB_MAX_RESTARTS: 0,
+    K.TASK_MAX_ATTEMPTS: 4,
+    K.RESTART_BACKOFF_SECONDS: 0.1,
+    K.HEARTBEAT_INTERVAL_SECONDS: 0.5,
+    K.HEARTBEAT_DEADLINE_SECONDS: 15.0,
+    K.PLANE_TIMEOUT_SECONDS: 120.0,
+    K.JOB_ATTEMPT: 1,
     K.INJECT_CRASH_AFTER_RECORDS: -1,
     K.INJECT_CRASH_TASK: 0,
+    K.INJECT_CRASH_ATTEMPT: 1,
     K.ROUNDS: 1,
 }
 

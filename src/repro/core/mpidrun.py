@@ -8,20 +8,43 @@ Here the equivalent is :func:`mpidrun` (programmatic) and
 :func:`parse_mpidrun_command` (the CLI shape, for fidelity and for the
 examples).  ``mpidrun`` creates an MPI runtime, runs the driver as a
 one-rank world, which spawns the working processes and schedules tasks.
+
+``mpidrun`` is also the supervisor (§IV-E): with ``mpi.d.ft.enabled``
+and ``mpi.d.job.max.restarts`` > 0 a failed attempt is automatically
+rerun — with exponential backoff, on a fresh runtime, under the same
+stable job id so the checkpoint reload path (Figure 13's "Job Reload
+Checkpoint") replays every round the previous attempt persisted.  The
+failure history of all attempts travels on the returned
+:class:`~repro.core.metrics.JobResult` as structured records, and a
+single task failing ``mpi.d.task.max.attempts`` times stops the retry
+loop early — restarting cannot fix a deterministic bug.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import shlex
 import time
 from typing import Any, Mapping
 
-from repro.common.errors import DataMPIError
-from repro.core.constants import Mode
+from repro.common.errors import DataMPIError, FailureRecord
+from repro.core.constants import Mode, MPI_D_Constants as K
 from repro.core.job import DataMPIJob
 from repro.core.metrics import JobResult
+from repro.core.modes import profile_for
 from repro.core.scheduler import driver_main, merge_reports
 from repro.mpi.runtime import MPIRuntime
+from repro.mpi.transport import FaultInjector
+from repro.common.logging import get_logger
+
+_log = get_logger("core.mpidrun")
+
+#: cap on the exponential restart backoff, seconds
+_MAX_BACKOFF = 5.0
+
+#: reporting priority: a task's own failure outranks the liveness symptom
+#: it caused, which outranks generic rank/timeout/abort noise
+_BLAME_ORDER = {"task": 0, "heartbeat": 1, "rank": 2, "timeout": 3, "abort": 4}
 
 #: default cap on working processes (threads on one box)
 MAX_DEFAULT_PROCESSES = 8
@@ -33,36 +56,128 @@ def default_process_count(job: DataMPIJob, cap: int = MAX_DEFAULT_PROCESSES) -> 
     return max(1, min(max(job.o_tasks, job.a_tasks), cap))
 
 
+def _collect_failures(
+    runtime: MPIRuntime, exc: BaseException, attempt: int
+) -> list[FailureRecord]:
+    """Everything the runtime (and the exception itself) knows about why
+    this attempt died, stamped with the attempt number, deduplicated (a
+    record can reach the runtime via both the worker's own exception and
+    the driver's ``fail`` control message) and sorted by blame."""
+    records: list[FailureRecord] = []
+    seen: set[int] = set()
+    carried = getattr(exc, "failures", None) or []
+    for record in list(runtime.failure_records) + list(carried):
+        if id(record) in seen:
+            continue
+        seen.add(id(record))
+        if record.attempt == 0:
+            record.attempt = attempt
+        records.append(record)
+    if not records:
+        records.append(FailureRecord(kind="abort", attempt=attempt, error=repr(exc)))
+    records.sort(key=lambda r: _BLAME_ORDER.get(r.kind, 9))
+    return records
+
+
 def mpidrun(
     job: DataMPIJob,
     nprocs: int | None = None,
     timeout: float = 300.0,
     raise_on_error: bool = False,
+    fault_injector: FaultInjector | None = None,
 ) -> JobResult:
     """Run ``job`` on ``nprocs`` working processes; returns a JobResult.
 
     Failures (including injected crashes) are reported in the result by
-    default so fault-tolerance flows can restart the job; pass
-    ``raise_on_error=True`` to get the exception instead.
+    default; pass ``raise_on_error=True`` to get the exception instead.
+    With fault tolerance enabled and ``mpi.d.job.max.restarts`` > 0 the
+    job is automatically rerun after a failure (checkpointed rounds
+    reload on re-execution), so a single call rides out transient
+    crashes.  ``fault_injector`` installs transport chaos
+    (:class:`~repro.mpi.transport.FaultInjector`) on every attempt's
+    runtime — rule hit counters persist across restarts, so bounded
+    faults heal.
     """
     job.validate()
     nprocs = nprocs or default_process_count(job)
     if nprocs < 1:
         raise DataMPIError("need at least one working process")
-    runtime = MPIRuntime()
+    conf = profile_for(job.mode, job.conf)
+    ft_enabled = conf.get_bool(K.FT_ENABLED, False)
+    max_restarts = conf.get_int(K.JOB_MAX_RESTARTS, 0) if ft_enabled else 0
+    max_task_attempts = max(1, conf.get_int(K.TASK_MAX_ATTEMPTS, 4))
+    backoff = conf.get_float(K.RESTART_BACKOFF_SECONDS, 0.1)
     start = time.perf_counter()
-    try:
-        results = runtime.run(
-            driver_main, 1, args=(job, nprocs), timeout=timeout, name="mpidrun"
+    failures: list[FailureRecord] = []
+    task_attempts: dict[tuple[str, int], int] = {}
+    attempt = 0
+    while True:
+        attempt += 1
+        attempt_job = dataclasses.replace(
+            job, conf={**dict(job.conf or {}), K.JOB_ATTEMPT: attempt}
         )
-    except Exception as exc:  # noqa: BLE001 - folded into the JobResult
-        if raise_on_error:
-            raise
-        return JobResult(name=job.name, success=False, error=f"{exc!r}")
-    reports = results[0]
-    metrics = merge_reports(reports)
-    metrics.duration = time.perf_counter() - start
-    return JobResult(name=job.name, success=True, metrics=metrics)
+        runtime = MPIRuntime(fault_injector=fault_injector)
+        try:
+            results = runtime.run(
+                driver_main, 1, args=(attempt_job, nprocs),
+                timeout=timeout, name="mpidrun",
+            )
+        except Exception as exc:  # noqa: BLE001 - folded into the JobResult
+            attempt_failures = _collect_failures(runtime, exc, attempt)
+            failures.extend(attempt_failures)
+            exhausted: tuple[str, int] | None = None
+            for record in attempt_failures:
+                if record.kind != "task" or record.task_id < 0:
+                    continue
+                key = (record.phase, record.task_id)
+                task_attempts[key] = task_attempts.get(key, 0) + 1
+                if task_attempts[key] >= max_task_attempts:
+                    exhausted = key
+            if attempt <= max_restarts and exhausted is None:
+                delay = min(_MAX_BACKOFF, backoff * (2 ** (attempt - 1)))
+                _log.warning(
+                    "job %s attempt %d failed (%s); restarting in %.2fs "
+                    "(%d restart(s) left)",
+                    job.name, attempt, attempt_failures[0].describe(),
+                    delay, max_restarts - attempt + 1,
+                )
+                if delay > 0:
+                    time.sleep(delay)
+                continue
+            if raise_on_error:
+                raise
+            primary = attempt_failures[0]
+            error = primary.describe()
+            if exhausted is not None:
+                error = (
+                    f"{exhausted[0]} task {exhausted[1]} failed "
+                    f"{task_attempts[exhausted]} attempt(s) "
+                    f"(mpi.d.task.max.attempts={max_task_attempts}): {error}"
+                )
+            return JobResult(
+                name=job.name,
+                success=False,
+                error=error,
+                restarts=attempt - 1,
+                failures=list(failures),
+            )
+        reports = results[0]
+        metrics = merge_reports(reports)
+        metrics.duration = time.perf_counter() - start
+        metrics.restarts = attempt - 1
+        if attempt > 1:
+            _log.info(
+                "job %s recovered after %d restart(s), %d record(s) "
+                "reloaded from checkpoints",
+                job.name, attempt - 1, metrics.reloaded_records,
+            )
+        return JobResult(
+            name=job.name,
+            success=True,
+            metrics=metrics,
+            restarts=attempt - 1,
+            failures=list(failures),
+        )
 
 
 _MODE_NAMES = {mode.value: mode for mode in Mode}

@@ -18,13 +18,20 @@ pull requests over the parent intercommunicator:
 from __future__ import annotations
 
 from collections import deque
+from time import monotonic as _now
 from typing import Any
 
-from repro.common.errors import DataMPIError
+from repro.common.errors import (
+    DataMPIError,
+    FailureRecord,
+    JobFailedError,
+    WorkerLostError,
+)
 from repro.common.logging import get_logger
-from repro.core.constants import CONTROL_TAG, Mode
+from repro.core.constants import CONTROL_TAG, Mode, MPI_D_Constants as K
 from repro.core.job import DataMPIJob
 from repro.core.metrics import JobMetrics, WorkerMetrics
+from repro.core.modes import profile_for
 from repro.core.partition import PartitionWindow
 from repro.mpi.datatypes import ANY_SOURCE
 
@@ -80,29 +87,124 @@ class TaskScheduler:
         return self._pinned[key]
 
 
+class WorkerSupervisor:
+    """Liveness + assignment tracking for the spawned worker world.
+
+    Every control message doubles as a heartbeat; a dedicated worker
+    thread also beats on an interval, so a worker deep in a long shuffle
+    wait still proves it is alive.  A worker silent past ``deadline`` is
+    declared lost with a structured record naming its last assignment.
+    """
+
+    def __init__(self, nprocs: int, deadline: float, attempt: int = 1) -> None:
+        self.deadline = deadline
+        self.attempt = attempt
+        now = _now()
+        self.last_seen: dict[int, float] = {w: now for w in range(nprocs)}
+        #: worker -> (phase, round, task) of its most recent assignment
+        self.last_assignment: dict[int, tuple[str, int, int]] = {}
+        self.done: set[int] = set()
+
+    def beat(self, worker: int) -> None:
+        self.last_seen[worker] = _now()
+
+    def note(self, worker: int, phase: str, round_no: int, task_id: int | None) -> None:
+        if task_id is not None:
+            self.last_assignment[worker] = (phase, round_no, task_id)
+
+    def finish(self, worker: int) -> None:
+        self.done.add(worker)
+
+    def check(self) -> None:
+        """Raise :class:`WorkerLostError` for the stalest expired worker."""
+        if self.deadline <= 0:
+            return
+        now = _now()
+        lost: tuple[float, int] | None = None
+        for worker, seen in self.last_seen.items():
+            if worker in self.done:
+                continue
+            silent = now - seen
+            if silent > self.deadline and (lost is None or silent > lost[0]):
+                lost = (silent, worker)
+        if lost is None:
+            return
+        silent, worker = lost
+        phase, round_no, task_id = self.last_assignment.get(worker, ("", -1, -1))
+        record = FailureRecord(
+            kind="heartbeat",
+            worker=worker,
+            phase=phase,
+            task_id=task_id,
+            round_no=round_no,
+            attempt=self.attempt,
+            error=(
+                f"worker {worker} silent for {silent:.1f}s "
+                f"(heartbeat deadline {self.deadline:.1f}s)"
+            ),
+        )
+        raise WorkerLostError(worker, silent, self.deadline, record)
+
+
 def driver_main(comm: Any, job: DataMPIJob, nprocs: int) -> dict[int, WorkerMetrics]:
     """The mpidrun process: spawn workers, serve the control protocol.
 
     Runs as rank 0 of a single-rank world; workers are spawned as a child
     world connected by an intercommunicator (Figure 4's process tree).
+
+    The serve loop is supervised: receives are bounded so worker
+    heartbeat deadlines are enforced even when no traffic arrives, a
+    worker-reported task failure raises :class:`JobFailedError` with the
+    worker's own failure record, and *any* driver-side failure aborts the
+    worker world before propagating — workers can never be left blocked
+    on a dead driver.
     """
     from repro.core.engine import worker_main
 
+    conf = profile_for(job.mode, job.conf)
+    deadline = conf.get_float(K.HEARTBEAT_DEADLINE_SECONDS, 15.0)
+    attempt = conf.get_int(K.JOB_ATTEMPT, 1)
+    poll = max(0.02, min(1.0, deadline / 5)) if deadline > 0 else None
     inter = comm.spawn(worker_main, nprocs, args=(job, nprocs), name=f"{job.name}-w")
     scheduler = TaskScheduler(job, nprocs)
+    supervisor = WorkerSupervisor(nprocs, deadline, attempt=attempt)
     reports: dict[int, WorkerMetrics] = {}
-    while len(reports) < nprocs:
-        message = inter.recv(source=ANY_SOURCE, tag=CONTROL_TAG)
-        if message[0] == "req":
-            _, phase, round_no, worker = message
-            task_id = scheduler.next_task(phase, round_no, worker)
-            reply = ("task", task_id) if task_id is not None else ("none", None)
-            inter.send(reply, dest=worker, tag=CONTROL_TAG)
-        elif message[0] == "report":
-            _, worker, metrics = message
-            reports[worker] = metrics
-        else:
-            raise DataMPIError(f"unknown control message {message[0]!r}")
+    try:
+        while len(reports) < nprocs:
+            try:
+                message = inter.recv(source=ANY_SOURCE, tag=CONTROL_TAG, timeout=poll)
+            except TimeoutError:
+                supervisor.check()
+                continue
+            kind = message[0]
+            if kind == "req":
+                _, phase, round_no, worker = message
+                supervisor.beat(worker)
+                task_id = scheduler.next_task(phase, round_no, worker)
+                supervisor.note(worker, phase, round_no, task_id)
+                reply = ("task", task_id) if task_id is not None else ("none", None)
+                inter.send(reply, dest=worker, tag=CONTROL_TAG)
+            elif kind == "hb":
+                supervisor.beat(message[1])
+            elif kind == "report":
+                _, worker, metrics = message
+                supervisor.beat(worker)
+                supervisor.finish(worker)
+                reports[worker] = metrics
+            elif kind == "fail":
+                _, worker, record = message
+                raise JobFailedError(
+                    f"worker {worker}: {record.phase} task {record.task_id} "
+                    f"(attempt {record.attempt}) failed: {record.error}",
+                    failures=[record],
+                )
+            else:
+                raise DataMPIError(f"unknown control message {message[0]!r}")
+            supervisor.check()
+    except BaseException as exc:
+        # never leave workers blocked on a driver that is about to die
+        comm.abort(reason=f"driver failed: {exc!r}")
+        raise
     return reports
 
 

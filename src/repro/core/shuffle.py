@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import queue
 import threading
+from time import monotonic as _now
 from typing import Any, Callable, Iterator
 
 from repro.common.errors import DataMPIError, MPIAbort
@@ -34,6 +35,7 @@ from repro.core.constants import SHUFFLE_BATCH_BYTES_DEFAULT, SHUFFLE_TAG
 from repro.core.partition import PartitionWindow
 from repro.core.sorter import RunStore
 from repro.mpi.datatypes import ANY_SOURCE
+from repro.mpi.transport import TruncatedPayload
 from repro.serde.comparators import Compare
 from repro.serde.serialization import Serializer
 
@@ -100,6 +102,9 @@ class ShufflePlane:
         self._eos_expected = config.window.num_processes
         self.complete = threading.Event()
         self._lock = threading.Lock()
+        #: runtime abort latch (set by ShuffleService); lets waiters unwind
+        #: promptly when the world dies instead of sitting out the timeout
+        self.abort = None
 
     def add_block(self, block: Block) -> None:
         rpl = self.rpls.get(block.partition_id)
@@ -147,8 +152,19 @@ class ShufflePlane:
             yield from item
 
     def wait_complete(self, timeout: float | None = None) -> None:
-        if not self.complete.wait(timeout):
-            raise DataMPIError(f"plane {self.plane_id}: completion timed out")
+        deadline = None if timeout is None else _now() + timeout
+        while not self.complete.is_set():
+            if self.abort is not None:
+                self.abort.check()  # raises MPIAbort once the world died
+            slice_ = 0.05
+            if deadline is not None:
+                remaining = deadline - _now()
+                if remaining <= 0:
+                    raise DataMPIError(
+                        f"plane {self.plane_id}: completion timed out"
+                    )
+                slice_ = min(slice_, remaining)
+            self.complete.wait(slice_)
 
     def cleanup(self) -> None:
         for rpl in self.rpls.values():
@@ -198,6 +214,10 @@ class ShuffleService:
         self.blocks_sent = 0
         self.bytes_sent = 0
         self.envelopes_sent = 0
+        #: per-(plane, dest) batch sequence numbers; receivers use them to
+        #: drop duplicated envelopes and detect lost ones (chaos tolerance)
+        self._send_seq: dict[tuple[str, int], int] = {}
+        self.duplicates_dropped = 0
         self._sender = threading.Thread(
             target=self._sender_loop, daemon=True, name=f"shuffle-send-{self.rank}"
         )
@@ -213,6 +233,9 @@ class ShuffleService:
             plane = self._planes.get(plane_id)
             if plane is None:
                 plane = ShufflePlane(plane_id, self.rank, self._factory(plane_id))
+                runtime = getattr(self.world, "runtime", None)
+                if runtime is not None:
+                    plane.abort = runtime.abort_flag
                 self._planes[plane_id] = plane
             return plane
 
@@ -278,9 +301,11 @@ class ShuffleService:
 
     def _transmit(self, key: tuple[str, int], batch: _Batch) -> bool:
         plane_id, dest = key
+        seq = self._send_seq.get(key, -1) + 1
+        self._send_seq[key] = seq
         try:
             self.world.send(
-                ("batch", plane_id, (batch.blocks, batch.eos)),
+                ("batch", plane_id, (seq, self.rank, batch.blocks, batch.eos)),
                 dest=dest,
                 tag=SHUFFLE_TAG,
             )
@@ -311,28 +336,67 @@ class ShuffleService:
 
     # -- receive path ------------------------------------------------------------
     def _receiver_loop(self) -> None:
+        """Accept blocks from every peer until shutdown (or abort).
+
+        Batch envelopes carry ``(seq, origin, blocks, eos)``: per
+        (plane, origin) the sequence must advance by exactly one, so a
+        duplicated envelope (``seq`` already applied) is dropped without
+        double-counting records and a lost envelope (a gap) fails loudly
+        instead of silently producing short output.  A
+        :class:`TruncatedPayload` marker means wire corruption — same
+        treatment.  Any receiver-side failure aborts the whole world; a
+        dead receiver thread must never leave peers blocked on a plane
+        that cannot complete.
+        """
+        last_seq: dict[tuple[str, int], int] = {}
         while True:
             try:
-                kind, plane_id, payload = self.world.recv(
-                    source=ANY_SOURCE, tag=SHUFFLE_TAG
-                )
+                message = self.world.recv(source=ANY_SOURCE, tag=SHUFFLE_TAG)
             except MPIAbort:
                 return  # job aborted; planes will never complete, that's fine
-            if kind == "shutdown":
-                return
-            plane = self.plane(plane_id)
-            if kind == "batch":
-                blocks, eos = payload
-                for block in blocks:
-                    plane.add_block(block)
-                if eos:
+            try:
+                if isinstance(message, TruncatedPayload):
+                    raise DataMPIError(
+                        f"shuffle receiver rank {self.rank}: truncated "
+                        f"envelope {message!r}; refusing to interpret "
+                        "corrupt data"
+                    )
+                kind, plane_id, payload = message
+                if kind == "shutdown":
+                    return
+                plane = self.plane(plane_id)
+                if kind == "batch":
+                    seq, origin, blocks, eos = payload
+                    key = (plane_id, origin)
+                    last = last_seq.get(key, -1)
+                    if seq <= last:
+                        # duplicated envelope: already applied in full
+                        self.duplicates_dropped += 1
+                        continue
+                    if seq != last + 1:
+                        raise DataMPIError(
+                            f"shuffle plane {plane_id}: lost batch from "
+                            f"process {origin} (expected seq {last + 1}, "
+                            f"got {seq})"
+                        )
+                    last_seq[key] = seq
+                    for block in blocks:
+                        plane.add_block(block)
+                    if eos:
+                        plane.add_eos()
+                elif kind == "block":  # un-coalesced single block (direct callers)
+                    plane.add_block(payload)
+                elif kind == "eos":
                     plane.add_eos()
-            elif kind == "block":  # un-coalesced single block (direct callers)
-                plane.add_block(payload)
-            elif kind == "eos":
-                plane.add_eos()
-            else:
-                raise DataMPIError(f"unknown shuffle message kind {kind!r}")
+                else:
+                    raise DataMPIError(f"unknown shuffle message kind {kind!r}")
+            except MPIAbort:
+                return
+            except BaseException as exc:  # noqa: BLE001 - must abort the world
+                self.world.abort(
+                    reason=f"shuffle receiver rank {self.rank}: {exc!r}"
+                )
+                return
 
     # -- lifecycle ---------------------------------------------------------------
     def drain_sends(self) -> None:
@@ -364,4 +428,5 @@ class ShuffleService:
                 p.blocks_received() for p in self._planes.values()
             ),
             "spilled_bytes": sum(p.spilled_bytes() for p in self._planes.values()),
+            "duplicates_dropped": self.duplicates_dropped,
         }

@@ -26,10 +26,14 @@ from repro.mpi.datatypes import ANY_SOURCE, ANY_TAG, MAX, MIN, PROD, SUM, Op, St
 from repro.mpi.intercomm import Intercomm
 from repro.mpi.request import Request
 from repro.mpi.runtime import MPIRuntime, run_world
+from repro.mpi.transport import FaultInjector, FaultRule, TruncatedPayload
 
 __all__ = [
     "MPIRuntime",
     "run_world",
+    "FaultInjector",
+    "FaultRule",
+    "TruncatedPayload",
     "Intracomm",
     "Intercomm",
     "Request",

@@ -146,13 +146,19 @@ class Intracomm:
     def _deposit(self, context: int, obj: Any, dest: int, tag: int) -> Envelope:
         if tag < 0:
             raise MPIError(f"negative user tag {tag}")
-        envelope = Envelope(context, self._rank, tag, obj, _size_of(obj))
+        envelope = Envelope(
+            context, self._rank, tag, obj, _size_of(obj),
+            origin=self.group[self._rank],
+        )
         self._endpoint(dest).deposit(envelope)
         return envelope
 
     # -- internal (collective-context) p2p -----------------------------------
     def _coll_send(self, obj: Any, dest: int, tag: int) -> None:
-        envelope = Envelope(self.context + 1, self._rank, tag, obj, _size_of(obj))
+        envelope = Envelope(
+            self.context + 1, self._rank, tag, obj, _size_of(obj),
+            origin=self.group[self._rank],
+        )
         self._endpoint(dest).deposit(envelope)
 
     def _coll_recv(self, source: int, tag: int) -> Any:

@@ -86,7 +86,10 @@ class Intercomm:
 
     # -- point-to-point (dest/source are REMOTE ranks) ------------------------
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
-        envelope = Envelope(self.context, self._rank, tag, obj, _size_of(obj))
+        envelope = Envelope(
+            self.context, self._rank, tag, obj, _size_of(obj),
+            origin=self.local_group[self._rank],
+        )
         self._remote_endpoint(dest).deposit(envelope)
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:

@@ -10,18 +10,25 @@ Failure semantics match a batch MPI job: the first rank to raise trips a
 runtime-wide abort, every peer blocked in an MPI call raises
 :class:`~repro.common.errors.MPIAbort`, and :meth:`MPIRuntime.run`
 re-raises the original error.
+
+Every detected failure — a rank thread dying on an unhandled exception,
+an explicit abort, a rank thread outliving the runtime timeout — is
+captured as a structured :class:`~repro.common.errors.FailureRecord`
+(rank, world, exception, traceback) in :attr:`MPIRuntime.failure_records`
+so supervisors can report a precise cause instead of a bare timeout.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+import traceback as traceback_mod
 from typing import Any, Callable, Sequence
 
-from repro.common.errors import MPIAbort, MPIError
+from repro.common.errors import FailureRecord, MPIAbort, MPIError
 from repro.mpi.comm import Intracomm
 from repro.mpi.intercomm import Intercomm
-from repro.mpi.transport import AbortFlag, Endpoint
+from repro.mpi.transport import AbortFlag, Endpoint, FaultInjector
 
 #: contexts are allocated in blocks of 4:
 #: +0 p2p, +1 collective, +2 merged-p2p, +3 merged-collective
@@ -59,13 +66,15 @@ class _RankThread(threading.Thread):
 class MPIRuntime:
     """Endpoint registry + launcher for one MPI 'job'."""
 
-    def __init__(self) -> None:
+    def __init__(self, fault_injector: FaultInjector | None = None) -> None:
         self._lock = threading.Lock()
         self._endpoints: dict[int, Endpoint] = {}
         self._next_global = 0
         self._next_context = 0
         self._threads: list[_RankThread] = []
         self._errors: list[BaseException] = []
+        self._failure_records: list[FailureRecord] = []
+        self.fault_injector = fault_injector
         self.abort_flag = AbortFlag()
 
     # -- registry -------------------------------------------------------------
@@ -88,16 +97,41 @@ class MPIRuntime:
             self._next_global += n
             ids = tuple(range(start, start + n))
             for gid in ids:
-                self._endpoints[gid] = Endpoint(gid, self.abort_flag)
+                self._endpoints[gid] = Endpoint(
+                    gid, self.abort_flag, self.fault_injector
+                )
             return ids
 
     # -- error handling ----------------------------------------------------------
     def record_error(self, comm: Intracomm, exc: BaseException) -> None:
+        """A rank thread died on ``exc``: capture a structured failure
+        record (or adopt the records the exception already carries) and
+        abort the world with it."""
+        carried = getattr(exc, "failures", None)
+        if carried:
+            records = list(carried)
+        else:
+            records = [
+                FailureRecord(
+                    kind="rank",
+                    worker=comm.rank,
+                    where=comm.name,
+                    error=repr(exc),
+                    traceback=traceback_mod.format_exc(),
+                )
+            ]
         with self._lock:
             self._errors.append(exc)
-        self.abort(f"rank {comm.rank} of {comm.name}: {exc!r}")
+            self._failure_records.extend(records)
+        self.abort(f"rank {comm.rank} of {comm.name}: {exc!r}", record=False)
 
-    def abort(self, reason: str, errorcode: int = 1) -> None:
+    def record_failure(self, record: FailureRecord) -> None:
+        with self._lock:
+            self._failure_records.append(record)
+
+    def abort(self, reason: str, errorcode: int = 1, record: bool = True) -> None:
+        if record and not self.abort_flag.is_set():
+            self.record_failure(FailureRecord(kind="abort", error=reason))
         self.abort_flag.trip(reason, errorcode)
         with self._lock:
             endpoints = list(self._endpoints.values())
@@ -107,6 +141,11 @@ class MPIRuntime:
     @property
     def errors(self) -> list[BaseException]:
         return list(self._errors)
+
+    @property
+    def failure_records(self) -> list[FailureRecord]:
+        with self._lock:
+            return list(self._failure_records)
 
     # -- launching ------------------------------------------------------------
     def _start_world(
@@ -186,7 +225,21 @@ class MPIRuntime:
                     remaining = max(0.0, deadline - time.monotonic())
                 thread.join(remaining)
                 if thread.is_alive():
-                    self.abort("runtime timeout", errorcode=2)
+                    self.record_failure(
+                        FailureRecord(
+                            kind="timeout",
+                            where=thread.name,
+                            error=(
+                                f"rank thread {thread.name} still running "
+                                f"after the {timeout}s runtime timeout"
+                            ),
+                        )
+                    )
+                    self.abort(
+                        f"runtime timeout: {thread.name} still running",
+                        errorcode=2,
+                        record=False,
+                    )
                     thread.join(5.0)
                     if thread.is_alive():
                         raise MPIError(

@@ -23,17 +23,26 @@ thundering herd is gone.
 
 A runtime-wide abort flag wakes every blocked receiver so one failing
 rank cannot deadlock the world.
+
+Chaos testing hooks into the deposit path: every endpoint carries an
+optional :class:`FaultInjector` that can drop, delay, duplicate, or
+truncate matching messages, and can *sever* a global rank entirely (all
+its traffic silently vanishes, simulating a dead or partitioned
+process).  Faults are deterministic — rules match by count, never by
+random draw — so chaos tests are reproducible.
 """
 
 from __future__ import annotations
 
 import itertools
 import threading
+import time
 from collections import deque
+from dataclasses import dataclass
 from time import monotonic as _now
 from typing import Any, Callable
 
-from repro.common.errors import MPIAbort
+from repro.common.errors import MPIAbort, MPIError
 from repro.mpi.datatypes import ANY_SOURCE, ANY_TAG, Status
 
 _seq = itertools.count()
@@ -42,10 +51,19 @@ _seq = itertools.count()
 class Envelope:
     """One in-flight message."""
 
-    __slots__ = ("context", "source", "tag", "payload", "nbytes", "seq", "delivered")
+    __slots__ = (
+        "context", "source", "tag", "payload", "nbytes", "seq", "delivered",
+        "origin",
+    )
 
     def __init__(
-        self, context: int, source: int, tag: int, payload: Any, nbytes: int
+        self,
+        context: int,
+        source: int,
+        tag: int,
+        payload: Any,
+        nbytes: int,
+        origin: int = -1,
     ) -> None:
         self.context = context
         self.source = source
@@ -53,6 +71,10 @@ class Envelope:
         self.payload = payload
         self.nbytes = nbytes
         self.seq = next(_seq)
+        #: global endpoint rank of the sender (-1 when unknown); ``source``
+        #: is the communicator-local rank, this is the runtime-wide identity
+        #: used by fault-injection rules and failure diagnostics
+        self.origin = origin
         #: set when a receiver consumes the message (for synchronous sends)
         self.delivered = threading.Event()
 
@@ -89,6 +111,175 @@ class AbortFlag:
             raise MPIAbort(self.errorcode, self.reason)
 
 
+class TruncatedPayload:
+    """Marker wrapping a payload mangled by a ``truncate`` fault.
+
+    Receivers that unpack structured payloads should treat this as wire
+    corruption and fail loudly instead of interpreting garbage.
+    """
+
+    __slots__ = ("original",)
+
+    def __init__(self, original: Any) -> None:
+        self.original = original
+
+    def __repr__(self) -> str:
+        return f"<TruncatedPayload of {type(self.original).__name__}>"
+
+
+_FAULT_ACTIONS = ("drop", "delay", "duplicate", "truncate")
+
+
+@dataclass
+class FaultRule:
+    """One deterministic fault: a selector plus an action.
+
+    Selector fields that are ``None`` match anything; ``origin``/``dest``
+    are *global* endpoint ranks.  ``skip_first`` lets the first N matching
+    messages through unharmed, and ``max_matches`` bounds how many
+    messages the action is applied to — a rule with ``max_matches=2``
+    models a transient fault that heals after two hits.
+    """
+
+    action: str
+    tag: int | None = None
+    context: int | None = None
+    origin: int | None = None
+    dest: int | None = None
+    #: extra predicate over the envelope (payload inspection etc.)
+    match: Callable[[Envelope], bool] | None = None
+    skip_first: int = 0
+    max_matches: int | None = None
+    delay_seconds: float = 0.0
+    #: messages that matched the selector / had the action applied
+    hits: int = 0
+    applied: int = 0
+
+    def __post_init__(self) -> None:
+        if self.action not in _FAULT_ACTIONS:
+            raise MPIError(
+                f"unknown fault action {self.action!r}; use one of {_FAULT_ACTIONS}"
+            )
+
+    def selects(self, dest_rank: int, envelope: Envelope) -> bool:
+        return (
+            (self.tag is None or envelope.tag == self.tag)
+            and (self.context is None or envelope.context == self.context)
+            and (self.origin is None or envelope.origin == self.origin)
+            and (self.dest is None or dest_rank == self.dest)
+            and (self.match is None or self.match(envelope))
+        )
+
+
+class FaultInjector:
+    """Deterministic transport chaos: drop/delay/duplicate/truncate/sever.
+
+    Installed runtime-wide (``MPIRuntime(fault_injector=...)`` or
+    ``mpidrun(..., fault_injector=...)``); every :meth:`Endpoint.deposit`
+    consults it before enqueueing.  The first eligible rule wins.  Rule
+    hit counters persist across job restarts, so a ``max_matches`` rule
+    naturally models a transient fault the retry no longer sees.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.rules: list[FaultRule] = []
+        self._severed: set[int] = set()
+        self.counts: dict[str, int] = {a: 0 for a in _FAULT_ACTIONS}
+        self.counts["sever"] = 0
+        #: audit trail: (action, origin, dest, context, tag) per applied fault
+        self.events: list[tuple[str, int, int, int, int]] = []
+
+    # -- configuration ------------------------------------------------------
+    def add_rule(self, rule: FaultRule) -> FaultRule:
+        with self._lock:
+            self.rules.append(rule)
+        return rule
+
+    def drop(self, **selector: Any) -> FaultRule:
+        return self.add_rule(FaultRule("drop", **selector))
+
+    def delay(self, seconds: float, **selector: Any) -> FaultRule:
+        return self.add_rule(FaultRule("delay", delay_seconds=seconds, **selector))
+
+    def duplicate(self, **selector: Any) -> FaultRule:
+        return self.add_rule(FaultRule("duplicate", **selector))
+
+    def truncate(self, **selector: Any) -> FaultRule:
+        return self.add_rule(FaultRule("truncate", **selector))
+
+    def sever(self, *ranks: int) -> None:
+        """Cut global rank(s) off: all their traffic, both directions,
+        silently disappears (a crashed or partitioned process)."""
+        with self._lock:
+            self._severed.update(ranks)
+
+    def restore(self, *ranks: int) -> None:
+        with self._lock:
+            self._severed.difference_update(ranks)
+
+    @property
+    def severed(self) -> frozenset[int]:
+        with self._lock:
+            return frozenset(self._severed)
+
+    # -- the hook -----------------------------------------------------------
+    def apply(self, dest_rank: int, envelope: Envelope) -> list[Envelope]:
+        """Called by the sender thread; returns the envelopes to deliver
+        (empty = dropped).  May sleep for ``delay`` faults."""
+        with self._lock:
+            if envelope.origin in self._severed or dest_rank in self._severed:
+                self.counts["sever"] += 1
+                self._record("sever", dest_rank, envelope)
+                return []
+            rule = None
+            for candidate in self.rules:
+                if not candidate.selects(dest_rank, envelope):
+                    continue
+                candidate.hits += 1
+                if candidate.hits <= candidate.skip_first:
+                    continue
+                if (
+                    candidate.max_matches is not None
+                    and candidate.applied >= candidate.max_matches
+                ):
+                    continue
+                candidate.applied += 1
+                rule = candidate
+                break
+            if rule is not None:
+                self.counts[rule.action] += 1
+                self._record(rule.action, dest_rank, envelope)
+        if rule is None:
+            return [envelope]
+        if rule.action == "drop":
+            return []
+        if rule.action == "delay":
+            # sleeping in the depositing thread preserves per-channel FIFO
+            # order: delivery is slowed, never reordered
+            time.sleep(rule.delay_seconds)
+            return [envelope]
+        if rule.action == "duplicate":
+            copy = Envelope(
+                envelope.context,
+                envelope.source,
+                envelope.tag,
+                envelope.payload,
+                envelope.nbytes,
+                origin=envelope.origin,
+            )
+            return [envelope, copy]
+        # truncate: mangle the payload in place so receivers see corruption
+        envelope.payload = TruncatedPayload(envelope.payload)
+        envelope.nbytes = max(0, envelope.nbytes // 2)
+        return [envelope]
+
+    def _record(self, action: str, dest_rank: int, envelope: Envelope) -> None:
+        self.events.append(
+            (action, envelope.origin, dest_rank, envelope.context, envelope.tag)
+        )
+
+
 class Endpoint:
     """Mailbox of one global rank.
 
@@ -102,9 +293,15 @@ class Endpoint:
     #: a hot loop (aborts also notify the conditions directly).
     WAIT_SLICE = 0.1
 
-    def __init__(self, rank: int, abort: AbortFlag) -> None:
+    def __init__(
+        self,
+        rank: int,
+        abort: AbortFlag,
+        fault_injector: FaultInjector | None = None,
+    ) -> None:
         self.rank = rank
         self.abort = abort
+        self.fault_injector = fault_injector
         self._lock = threading.Lock()
         #: exact-match sub-queues: (context, source, tag) -> FIFO of envelopes
         self._queues: dict[tuple[int, int, int], deque[Envelope]] = {}
@@ -121,18 +318,25 @@ class Endpoint:
     # -- sender side --------------------------------------------------------
     def deposit(self, envelope: Envelope) -> None:
         """Called by the *sender's* thread to deliver a message."""
-        key = (envelope.context, envelope.source, envelope.tag)
+        if self.fault_injector is not None:
+            envelopes = self.fault_injector.apply(self.rank, envelope)
+            if not envelopes:
+                return
+        else:
+            envelopes = (envelope,)
         with self._lock:
-            q = self._queues.get(key)
-            if q is None:
-                self._queues[key] = q = deque()
-            q.append(envelope)
-            self._arrivals += 1
-            entry = self._key_waiters.get(key)
-            if entry is not None:
-                entry[0].notify_all()
-            if self._num_wild_waiters:
-                self._wild_cond.notify_all()
+            for envelope in envelopes:
+                key = (envelope.context, envelope.source, envelope.tag)
+                q = self._queues.get(key)
+                if q is None:
+                    self._queues[key] = q = deque()
+                q.append(envelope)
+                self._arrivals += 1
+                entry = self._key_waiters.get(key)
+                if entry is not None:
+                    entry[0].notify_all()
+                if self._num_wild_waiters:
+                    self._wild_cond.notify_all()
 
     def wake(self) -> None:
         """Wake every blocked receiver (used on abort)."""

@@ -1,0 +1,117 @@
+"""Transport chaos: the FaultInjector vs. the shuffle pipeline.
+
+Dropped, delayed, duplicated and truncated envelopes must never corrupt
+shuffle results — benign faults are absorbed transparently (duplicate
+dedup by sequence number, FIFO-preserving delay), destructive faults are
+detected (sequence gaps, truncation markers) and, with fault tolerance
+on, healed by a supervised restart.
+"""
+
+import time
+
+from repro.core import mapreduce_job, mpidrun
+from repro.core.constants import MPI_D_Constants as K, SHUFFLE_TAG
+from repro.mpi import FaultInjector
+
+from tests.core.helpers import Collector, expected_wordcount, wordcount_pieces
+
+TEXTS = [f"w{i % 7} w{(i * 3) % 5} chaos common" for i in range(40)]
+O_TASKS, A_TASKS, NPROCS = 4, 2, 2
+
+
+def make_job(out, conf=None):
+    provider, mapper, reducer = wordcount_pieces(TEXTS)
+    base = {K.SHUFFLE_BATCH_BYTES: 64}  # many small envelopes per channel
+    base.update(conf or {})
+    return mapreduce_job(
+        "chaos-wc", provider, mapper, reducer, out,
+        o_tasks=O_TASKS, a_tasks=A_TASKS, conf=base,
+    )
+
+
+def ft_conf(tmp_path, **extra):
+    conf = {
+        K.FT_ENABLED: True,
+        K.FT_DIR: str(tmp_path),
+        K.JOB_ID: "chaos-wc",
+        K.FT_INTERVAL_RECORDS: 10,
+        K.JOB_MAX_RESTARTS: 2,
+        K.RESTART_BACKOFF_SECONDS: 0.01,
+        K.PLANE_TIMEOUT_SECONDS: 5.0,
+    }
+    conf.update(extra)
+    return conf
+
+
+class TestBenignFaults:
+    def test_duplicated_envelopes_never_double_count(self):
+        injector = FaultInjector()
+        injector.duplicate(tag=SHUFFLE_TAG)  # every shuffle envelope, twice
+        out = Collector()
+        result = mpidrun(make_job(out), nprocs=NPROCS, raise_on_error=True,
+                         fault_injector=injector)
+        assert result.success
+        assert injector.counts["duplicate"] > 0
+        assert out.merged() == expected_wordcount(TEXTS)
+
+    def test_delayed_envelopes_preserve_order_and_results(self):
+        injector = FaultInjector()
+        injector.delay(0.01, tag=SHUFFLE_TAG, max_matches=8)
+        out = Collector()
+        result = mpidrun(make_job(out), nprocs=NPROCS, raise_on_error=True,
+                         fault_injector=injector)
+        assert result.success
+        assert injector.counts["delay"] == 8
+        assert out.merged() == expected_wordcount(TEXTS)
+
+
+class TestDestructiveFaults:
+    def test_dropped_envelope_detected_and_healed_by_restart(self, tmp_path):
+        injector = FaultInjector()
+        injector.drop(tag=SHUFFLE_TAG, max_matches=1)  # transient loss
+        out = Collector()
+        start = time.monotonic()
+        result = mpidrun(make_job(out, ft_conf(tmp_path)), nprocs=NPROCS,
+                         timeout=120.0, fault_injector=injector)
+        assert time.monotonic() - start < 60.0
+        assert result.success
+        assert result.restarts == 1
+        assert injector.counts["drop"] == 1
+        assert out.merged() == expected_wordcount(TEXTS)
+        assert result.failures  # the lost envelope left a structured trace
+
+    def test_truncated_envelope_detected_and_healed_by_restart(self, tmp_path):
+        injector = FaultInjector()
+        injector.truncate(tag=SHUFFLE_TAG, skip_first=3, max_matches=1)
+        out = Collector()
+        result = mpidrun(make_job(out, ft_conf(tmp_path)), nprocs=NPROCS,
+                         timeout=120.0, fault_injector=injector)
+        assert result.success
+        assert result.restarts == 1
+        assert injector.counts["truncate"] == 1
+        assert out.merged() == expected_wordcount(TEXTS)
+        assert any("truncated" in r.error.lower() for r in result.failures)
+
+
+class TestInjectorMechanics:
+    def test_rules_are_deterministic_and_audited(self, tmp_path):
+        injector = FaultInjector()
+        rule = injector.drop(tag=SHUFFLE_TAG, skip_first=2, max_matches=1)
+        out = Collector()
+        result = mpidrun(
+            make_job(out, ft_conf(tmp_path, **{K.JOB_MAX_RESTARTS: 1})),
+            nprocs=NPROCS, timeout=120.0, fault_injector=injector,
+        )
+        assert result.success
+        assert rule.applied == 1  # exactly one envelope was eaten
+        assert rule.hits >= 3  # the two skipped ones still counted as hits
+        drops = [e for e in injector.events if e[0] == "drop"]
+        assert len(drops) == 1
+        assert drops[0][4] == SHUFFLE_TAG  # audited with its tag
+
+    def test_sever_and_restore(self):
+        injector = FaultInjector()
+        injector.sever(1, 2)
+        assert injector.severed == frozenset({1, 2})
+        injector.restore(2)
+        assert injector.severed == frozenset({1})

@@ -88,6 +88,68 @@ class TestWriterReader:
         assert CheckpointReader(str(tmp_path), "o0", serializer).max_round() == 0
 
 
+class TestIntegrityAndQuarantine:
+    def _write_rounds(self, tmp_path, serializer, n_rounds, per_round=2):
+        writer = CheckpointWriter(str(tmp_path), "o0", serializer, per_round)
+        for i in range(n_rounds * per_round):
+            writer.add(f"k{i}", i)
+        return CheckpointReader(str(tmp_path), "o0", serializer)
+
+    def _corrupt(self, tmp_path, round_no):
+        path = tmp_path / f"cp_o0_{round_no:06d}.ckpt"
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # flip payload bits; the stored CRC no longer matches
+        path.write_bytes(bytes(data))
+
+    def test_corrupt_round_quarantined_with_successors(self, tmp_path, serializer):
+        reader = self._write_rounds(tmp_path, serializer, 3)
+        self._corrupt(tmp_path, 1)
+        # replay needs a contiguous prefix: round 2 is unreachable once
+        # round 1 is gone, so both leave the namespace
+        assert reader.complete_rounds() == [0]
+        assert list(reader.replay()) == [("k0", 0), ("k1", 1)]
+        assert reader.record_count() == 2
+        assert (tmp_path / "cp_o0_000001.ckpt.bad").exists()
+        assert (tmp_path / "cp_o0_000002.ckpt.bad").exists()
+        assert not (tmp_path / "cp_o0_000001.ckpt").exists()
+
+    def test_resumed_writer_overwrites_quarantined_round(self, tmp_path, serializer):
+        reader = self._write_rounds(tmp_path, serializer, 2)
+        self._corrupt(tmp_path, 1)
+        assert reader.max_round() == 1  # resume from the verified prefix
+        resumed = CheckpointWriter(
+            str(tmp_path), "o0", serializer, 2, start_round=reader.max_round()
+        )
+        resumed.add("new", 10)
+        resumed.close()
+        assert list(reader.replay()) == [("k0", 0), ("k1", 1), ("new", 10)]
+
+    def test_truncated_file_quarantined(self, tmp_path, serializer):
+        reader = self._write_rounds(tmp_path, serializer, 1)
+        path = tmp_path / "cp_o0_000000.ckpt"
+        path.write_bytes(path.read_bytes()[:3])  # not even a whole CRC
+        assert reader.complete_rounds() == []
+        assert reader.max_round() == 0
+        assert (tmp_path / "cp_o0_000000.ckpt.bad").exists()
+
+    def test_intact_rounds_survive_verification(self, tmp_path, serializer):
+        reader = self._write_rounds(tmp_path, serializer, 3)
+        assert reader.complete_rounds() == [0, 1, 2]
+        assert reader.record_count() == 6
+        assert not list(tmp_path.glob("*.bad"))
+
+    def test_clear_removes_quarantined_files(self, tmp_path, serializer):
+        mgr = CheckpointManager(str(tmp_path), "jobQ", serializer, 1)
+        mgr.writer(0).add("k", 1)
+        bad = os.path.join(mgr.directory, "cp_o0_000000.ckpt")
+        data = bytearray(open(bad, "rb").read())
+        data[-1] ^= 0xFF
+        open(bad, "wb").write(bytes(data))
+        assert mgr.reader(0).record_count() == 0  # quarantines
+        mgr.clear()
+        assert not os.path.isdir(mgr.directory)
+
+
 class TestManager:
     def test_global_max_round(self, tmp_path, serializer):
         mgr = CheckpointManager(str(tmp_path), "job1", serializer, 2)

@@ -74,8 +74,9 @@ class TestCoalescing:
         service.drain_sends()
 
         assert len(world.envelopes) == 2  # primer + one coalesced batch
-        (kind, plane_id, (blocks, eos)), dest = world.envelopes[1]
+        (kind, plane_id, (seq, origin, blocks, eos)), dest = world.envelopes[1]
         assert (kind, plane_id, dest) == ("batch", "pl", 0)
+        assert (seq, origin) == (1, 0)  # second envelope from rank 0
         assert len(blocks) == 5
         assert eos is True  # EOS rode along, no extra message
 
@@ -89,9 +90,11 @@ class TestCoalescing:
         service.drain_sends()
 
         payloads = [env for env, _ in world.envelopes]
-        sizes = [len(blocks) for _, _, (blocks, _) in payloads]
+        sizes = [len(blocks) for _, _, (_, _, blocks, _) in payloads]
         assert sizes == [1, 3, 2]  # primer, capped batch, remainder+eos
-        assert [eos for _, _, (_, eos) in payloads] == [False, False, True]
+        assert [eos for _, _, (*_, eos) in payloads] == [False, False, True]
+        # consecutive sequence numbers per (plane, dest) channel
+        assert [seq for _, _, (seq, *_) in payloads] == [0, 1, 2]
 
     def test_stats_stay_record_accurate_under_batching(self):
         world, service = _gated_service(batch_bytes=25)
@@ -122,7 +125,7 @@ class TestCoalescing:
         service.drain_sends()
 
         by_dest = {}
-        for (kind, _, (blocks, _)), dest in world.envelopes:
+        for (kind, _, (_, _, blocks, _)), dest in world.envelopes:
             by_dest.setdefault(dest, []).extend(b.partition_id for b in blocks)
         assert by_dest[0] == [0, 0]
         assert by_dest[1] == [1]

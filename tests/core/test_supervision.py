@@ -1,0 +1,201 @@
+"""Supervised execution: auto checkpoint-resume, heartbeat detection,
+structured failure causes (tentpole of the robustness PR).
+
+One ``mpidrun`` call must ride out an injected crash (restart + reload),
+a severed worker must be blamed by name within the heartbeat deadline,
+and every failure path must produce a precise structured record instead
+of a hang or a bare timeout.
+"""
+
+import time
+
+import pytest
+
+from repro.core import DataMPIJob, Mode, mapreduce_job, mpidrun
+from repro.core.constants import CONTROL_TAG, MPI_D_Constants as K
+from repro.core.engine import WorkerEngine
+from repro.mpi import FaultInjector
+
+from tests.core.helpers import Collector, expected_wordcount, wordcount_pieces
+
+TEXTS = [f"alpha w{i % 7} w{(i * 3) % 5} omega" for i in range(40)]
+O_TASKS, A_TASKS, NPROCS = 4, 2, 2
+
+
+def _combiner(word, counts):
+    yield sum(counts)
+
+
+def make_job(out, ft_dir, conf=None):
+    provider, mapper, reducer = wordcount_pieces(TEXTS)
+    base = {
+        K.FT_ENABLED: True,
+        K.FT_DIR: str(ft_dir),
+        K.JOB_ID: "sup-wc",
+        K.FT_INTERVAL_RECORDS: 10,
+        K.SPILL_COMPRESS: True,
+        K.MEMORY_CACHE_BYTES: 1024,  # force (compressed) spills
+        K.RESTART_BACKOFF_SECONDS: 0.01,
+    }
+    base.update(conf or {})
+    return mapreduce_job(
+        "sup-wc", provider, mapper, reducer, out,
+        o_tasks=O_TASKS, a_tasks=A_TASKS, conf=base, combiner=_combiner,
+    )
+
+
+class TestAutoResume:
+    def test_single_call_rides_out_injected_crash(self, tmp_path):
+        expected = expected_wordcount(TEXTS)
+        out = Collector()
+        result = mpidrun(
+            make_job(out, tmp_path, conf={
+                K.JOB_MAX_RESTARTS: 2,
+                K.INJECT_CRASH_AFTER_RECORDS: 12,
+                K.INJECT_CRASH_TASK: 1,
+            }),
+            nprocs=NPROCS,
+        )
+        assert result.success
+        assert result.restarts >= 1
+        assert result.metrics.restarts == result.restarts
+        assert result.metrics.reloaded_records > 0
+        assert out.merged() == expected
+        # the crash that was survived is still on the record, attributed
+        # to its task and attempt
+        task_failures = [r for r in result.failures if r.kind == "task"]
+        assert task_failures and task_failures[0].attempt == 1
+        assert task_failures[0].task_id == 1
+        assert "injected crash" in task_failures[0].error
+
+    def test_no_restart_budget_reports_structured_cause(self, tmp_path):
+        result = mpidrun(
+            make_job(Collector(), tmp_path, conf={
+                K.INJECT_CRASH_AFTER_RECORDS: 12,
+                K.INJECT_CRASH_TASK: 1,
+            }),
+            nprocs=NPROCS,
+        )
+        assert not result.success
+        assert result.restarts == 0
+        primary = result.failures[0]
+        assert primary.kind == "task"
+        assert primary.phase == "O"
+        assert primary.task_id == 1
+        assert primary.worker >= 0
+        assert primary.attempt == 1
+        assert primary.traceback
+        assert "injected crash" in result.error
+
+    def test_task_max_attempts_stops_the_retry_loop(self, tmp_path):
+        result = mpidrun(
+            make_job(Collector(), tmp_path, conf={
+                K.JOB_MAX_RESTARTS: 5,
+                K.TASK_MAX_ATTEMPTS: 2,
+                K.INJECT_CRASH_AFTER_RECORDS: 12,
+                K.INJECT_CRASH_TASK: 1,
+                K.INJECT_CRASH_ATTEMPT: -1,  # deterministic bug: every attempt
+            }),
+            nprocs=NPROCS,
+        )
+        assert not result.success
+        assert result.restarts == 1  # gave up well before the 5-restart budget
+        assert "mpi.d.task.max.attempts=2" in result.error
+        attempts = sorted(
+            r.attempt for r in result.failures if r.kind == "task"
+        )
+        assert attempts == [1, 2]
+
+
+class TestHeartbeatDetection:
+    def test_severed_worker_blamed_by_name_within_deadline(self, tmp_path):
+        injector = FaultInjector()
+        injector.sever(2)  # worker 1: globals are driver=0, workers=1..n
+        out = Collector()
+        start = time.monotonic()
+        result = mpidrun(
+            make_job(out, tmp_path, conf={
+                K.HEARTBEAT_DEADLINE_SECONDS: 1.0,
+                K.HEARTBEAT_INTERVAL_SECONDS: 0.05,
+                K.PLANE_TIMEOUT_SECONDS: 30.0,
+            }),
+            nprocs=NPROCS,
+            timeout=120.0,
+            fault_injector=injector,
+        )
+        elapsed = time.monotonic() - start
+        assert not result.success
+        assert elapsed < 30.0  # detected at the deadline, not a hung timeout
+        hb = [r for r in result.failures if r.kind == "heartbeat"]
+        assert hb and hb[0].worker == 1
+        assert "worker 1" in result.error
+        assert "deadline" in result.error
+
+    def test_deadline_zero_disables_detection(self, tmp_path):
+        # a healthy job under heartbeats: detection must not misfire even
+        # while enabled, and disabling it changes nothing for clean runs
+        for deadline in (0, 2.0):
+            out = Collector()
+            result = mpidrun(
+                make_job(out, tmp_path / f"d{deadline}", conf={
+                    K.HEARTBEAT_DEADLINE_SECONDS: deadline,
+                    K.HEARTBEAT_INTERVAL_SECONDS: 0.05,
+                }),
+                nprocs=NPROCS,
+                raise_on_error=True,
+            )
+            assert result.success
+            assert out.merged() == expected_wordcount(TEXTS)
+
+
+class TestDriverRobustness:
+    def test_unknown_control_message_aborts_instead_of_hanging(
+        self, tmp_path, monkeypatch
+    ):
+        def bogus_report(self):
+            self.parent.send(("bogus", self.rank), dest=0, tag=CONTROL_TAG)
+
+        monkeypatch.setattr(WorkerEngine, "_report", bogus_report)
+        start = time.monotonic()
+        result = mpidrun(make_job(Collector(), tmp_path), nprocs=NPROCS,
+                         timeout=120.0)
+        assert time.monotonic() - start < 60.0
+        assert not result.success
+        assert "unknown control message" in result.error
+
+
+class TestStreamingRoundFailures:
+    def _streaming_job(self, a_fn, conf=None):
+        def o_fn(ctx):
+            for i in range(20):
+                ctx.send(f"k{i % 3}", i)
+
+        base = {K.PLANE_TIMEOUT_SECONDS: 1.0}
+        base.update(conf or {})
+        return DataMPIJob(
+            "stream-fail", o_fn, a_fn, o_tasks=1, a_tasks=1,
+            mode=Mode.STREAMING, conf=base,
+        )
+
+    def test_stuck_a_task_raises_descriptive_timeout(self, tmp_path):
+        def stuck_a(ctx):
+            for _ in ctx.recv_iter():
+                pass
+            time.sleep(60)  # never finishes within the plane budget
+
+        start = time.monotonic()
+        result = mpidrun(self._streaming_job(stuck_a), nprocs=1, timeout=120.0)
+        assert time.monotonic() - start < 60.0
+        assert not result.success
+        assert "still running" in result.error
+        assert "plane timeout" in result.error
+
+    def test_consumer_error_outranks_stuck_siblings(self, tmp_path):
+        def failing_a(ctx):
+            raise ValueError("consumer exploded")
+
+        result = mpidrun(self._streaming_job(failing_a), nprocs=1, timeout=120.0)
+        assert not result.success
+        task_failures = [r for r in result.failures if r.kind == "task"]
+        assert task_failures and task_failures[0].phase == "A"
+        assert "consumer exploded" in task_failures[0].error
