@@ -1,0 +1,214 @@
+"""Flight-recorder overhead benchmark.
+
+Measures what instrumentation costs on the shuffle hot path in both
+tracer states and writes ``BENCH_OBS.json`` at the repo root:
+
+* **null-call cost** — ns per disabled ``span``/``instant``/``counter``/
+  ``complete`` call (the price every guarded call site pays when tracing
+  is off);
+* **shuffle A/B** — end-to-end shuffle records/s with the tracer
+  disabled vs enabled, and the enabled run's event volume;
+* **disabled overhead estimate** — (events the enabled run recorded ×
+  measured ns per disabled call) / disabled elapsed time: an upper bound
+  on what the *guards alone* cost the disabled hot path, independent of
+  run-to-run throughput noise.  The acceptance bar is < 3%.
+
+Run standalone (preferred for stable numbers)::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py [--quick] [--out PATH]
+
+or under pytest (quick mode, shape assertions only)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_obs_overhead.py -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.core.buffers import SendPartitionList  # noqa: E402
+from repro.core.partition import PartitionWindow  # noqa: E402
+from repro.core.shuffle import PlaneConfig, ShuffleService  # noqa: E402
+from repro.mpi import run_world  # noqa: E402
+from repro.obs.tracer import TRACER, Tracer  # noqa: E402
+from repro.serde.comparators import default_compare  # noqa: E402
+from repro.serde.serialization import WritableSerializer  # noqa: E402
+
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_OBS.json")
+
+
+# -- disabled null-call cost ----------------------------------------------------
+def bench_null_calls(quick: bool) -> dict:
+    """ns per call of each tracer entry point while disabled."""
+    n = 200_000 if quick else 1_000_000
+    t = Tracer()
+    assert not t.enabled
+    out: dict[str, float] = {}
+
+    def measure(label, fn):
+        t0 = time.perf_counter()
+        for _ in range(n):
+            fn()
+        out[label] = round((time.perf_counter() - t0) / n * 1e9, 1)
+
+    measure("span_ns", lambda: t.span("x"))
+    measure("instant_ns", lambda: t.instant("x"))
+    measure("counter_ns", lambda: t.counter("x", 1))
+    measure("complete_ns", lambda: t.complete("x", 0.0, 0.0))
+    # the guarded-site idiom: attribute load + bool check only
+    measure("guard_ns", lambda: t.enabled and None)
+    out["calls"] = n
+    return out
+
+
+# -- shuffle A/B ----------------------------------------------------------------
+def _shuffle_config(num_partitions, num_processes, spill_dir):
+    return PlaneConfig(
+        num_partitions=num_partitions,
+        window=PartitionWindow(num_partitions, num_processes),
+        cmp=default_compare,
+        serializer=WritableSerializer(),
+        spill_dir=spill_dir,
+        memory_budget=1 << 30,
+        merge_threshold_blocks=64,
+        pipelined=False,
+    )
+
+
+def _run_shuffle(records_per_rank: int) -> tuple[float, int]:
+    """One end-to-end shuffle pass; returns (elapsed, blocks_sent)."""
+    nprocs = 2
+    flush_bytes = 512  # small blocks: per-envelope overhead dominates
+    num_partitions = 2 * nprocs
+
+    def main(comm):
+        spill_dir = tempfile.mkdtemp(prefix="bench-obs-")
+        service = ShuffleService(
+            comm,
+            lambda pid: _shuffle_config(num_partitions, comm.size, spill_dir),
+        )
+        plane = service.plane("fwd:0")
+        spl = SendPartitionList(num_partitions, flush_bytes, cmp=default_compare)
+        comm.barrier()
+        t0 = time.perf_counter()
+        for i in range(records_per_rank):
+            block = spl.add(i % num_partitions, f"key-{i:08d}", i)
+            if block is not None:
+                service.send_block("fwd:0", block)
+        for block in spl.flush_all():
+            service.send_block("fwd:0", block)
+        service.send_eos("fwd:0")
+        plane.wait_complete(120)
+        consumed = sum(
+            1 for p in plane.rpls for _ in plane.merged_iter(p)
+        )
+        elapsed = time.perf_counter() - t0
+        comm.barrier()
+        stats = service.stats()
+        service.shutdown()
+        return elapsed, stats["blocks_sent"], consumed
+
+    results = run_world(nprocs, main)
+    consumed = sum(r[2] for r in results)
+    assert consumed == records_per_rank * nprocs, consumed
+    return max(r[0] for r in results), sum(r[1] for r in results)
+
+
+def bench_shuffle_ab(quick: bool) -> dict:
+    records_per_rank = 5000 if quick else 40000
+    total = records_per_rank * 2
+
+    # disabled first (the state the <3% bar protects)
+    assert not TRACER.enabled
+    elapsed_off, _ = _run_shuffle(records_per_rank)
+
+    TRACER.enable(bench="obs-overhead")
+    try:
+        elapsed_on, blocks = _run_shuffle(records_per_rank)
+        events = len(TRACER.drain())
+    finally:
+        TRACER.disable()
+        TRACER.reset()
+
+    return {
+        "records": total,
+        "blocks_sent": blocks,
+        "disabled": {
+            "elapsed_s": round(elapsed_off, 4),
+            "records_per_s": round(total / elapsed_off),
+        },
+        "enabled": {
+            "elapsed_s": round(elapsed_on, 4),
+            "records_per_s": round(total / elapsed_on),
+            "events_recorded": events,
+        },
+        "enabled_overhead_pct": round(
+            (elapsed_on - elapsed_off) / elapsed_off * 100.0, 2
+        ),
+    }
+
+
+def run_all(quick: bool) -> dict:
+    null_calls = bench_null_calls(quick)
+    shuffle = bench_shuffle_ab(quick)
+    # guards-only cost of the disabled hot path: every event the enabled
+    # run recorded corresponds to a call site the disabled run also hit
+    worst_call_ns = max(
+        null_calls[k] for k in
+        ("span_ns", "instant_ns", "counter_ns", "complete_ns")
+    )
+    guarded_cost_s = shuffle["enabled"]["events_recorded"] * worst_call_ns / 1e9
+    disabled_pct = guarded_cost_s / shuffle["disabled"]["elapsed_s"] * 100.0
+    return {
+        "meta": {
+            "quick": quick,
+            "python": platform.python_version(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        },
+        "null_calls": null_calls,
+        "shuffle": shuffle,
+        "disabled_overhead_pct_estimate": round(disabled_pct, 3),
+        "acceptance": {
+            "bar_pct": 3.0,
+            "passed": disabled_pct < 3.0,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizes")
+    parser.add_argument("--out", default=DEFAULT_OUT, help="JSON output path")
+    args = parser.parse_args(argv)
+    report = run_all(args.quick)
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {args.out}")
+    return 0 if report["acceptance"]["passed"] else 1
+
+
+# -- pytest entry (quick mode, shape assertions only) ---------------------------
+def test_bench_obs_overhead_quick(emit):
+    report = run_all(quick=True)
+    emit("obs-overhead", json.dumps(report, indent=2))
+    assert report["null_calls"]["span_ns"] < 2000  # sanity, not a perf bar
+    assert report["shuffle"]["enabled"]["events_recorded"] > 0
+    assert report["disabled_overhead_pct_estimate"] < 3.0
+    assert report["acceptance"]["passed"]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

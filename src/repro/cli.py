@@ -12,16 +12,30 @@ command works out of the box::
     $ mpidrun -O 4 -A 2 -M common -jar demos.jar Sort 200
     $ mpidrun -O 4 -A 2 -M mapreduce -jar demos.jar WordCount 300
     $ mpidrun -O 2 -A 3 -M streaming -jar demos.jar TopK 2000 5
+
+Observability flags ride along on any launch:
+
+    $ mpidrun --trace=/tmp/wc.jsonl -O 4 -A 2 -M mapreduce \\
+          -jar demos.jar WordCount 300
+    $ mpidrun --metrics-json=/tmp/wc-metrics.json ...
+
+and ``trace`` inspects a recorded journal (also exposed as the ``repro``
+console script, so ``repro trace <journal>`` works)::
+
+    $ mpidrun trace /tmp/wc.jsonl --top 5
+    $ mpidrun trace /tmp/wc.jsonl --out trace.json   # chrome://tracing
 """
 
 from __future__ import annotations
 
+import json
 import sys
 import threading
 from typing import Any, Callable
 
 from repro.common.errors import DataMPIError
 from repro.core import DataMPIJob, Mode, mpidrun
+from repro.core.constants import MPI_D_Constants as K
 from repro.core.metrics import JobResult
 from repro.core.mpidrun import parse_mpidrun_command
 
@@ -119,6 +133,7 @@ def _launch(options: dict, o_fn: Callable, a_fn: Callable) -> JobResult:
         o_tasks=options["o_tasks"],
         a_tasks=options["a_tasks"],
         mode=options["mode"],
+        conf=options.get("conf") or None,
     )
     result = mpidrun(job, raise_on_error=True)
     return result
@@ -132,18 +147,125 @@ APPLICATIONS: dict[str, Callable[[dict, list[str]], JobResult]] = {
 }
 
 
+def _extract_obs_flags(argv: list[str]) -> tuple[list[str], dict, str | None]:
+    """Strip ``--trace[=PATH]`` / ``--metrics-json[=PATH]`` from ``argv``.
+
+    Returns (remaining argv, conf overrides for the launch, metrics-json
+    output path or None).  The flags live outside the paper's mpidrun
+    grammar, so they are peeled off before :func:`parse_mpidrun_command`.
+    """
+    rest: list[str] = []
+    conf: dict = {}
+    metrics_json: str | None = None
+    i = 0
+    while i < len(argv):
+        tok = argv[i]
+        if tok == "--trace":
+            conf[K.TRACE_ENABLED] = True
+        elif tok.startswith("--trace="):
+            conf[K.TRACE_ENABLED] = True
+            conf[K.TRACE_PATH] = tok.split("=", 1)[1]
+        elif tok == "--metrics-json":
+            if i + 1 >= len(argv):
+                raise DataMPIError("--metrics-json requires a path")
+            metrics_json = argv[i + 1]
+            i += 1
+        elif tok.startswith("--metrics-json="):
+            metrics_json = tok.split("=", 1)[1]
+        else:
+            rest.append(tok)
+        i += 1
+    return rest, conf, metrics_json
+
+
+def _write_metrics_json(result: JobResult, path: str) -> None:
+    payload = {
+        "name": result.name,
+        "success": result.success,
+        "restarts": result.restarts,
+        "trace_path": result.trace_path,
+        **result.metrics.as_dict(),
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2, default=repr)
+    print(f"metrics written to {path}")
+
+
+def trace_main(argv: list[str]) -> int:
+    """``repro trace <journal>`` — inspect a flight-recorder journal."""
+    import argparse
+
+    from repro.obs.inspect import format_report, summarize_journal
+    from repro.obs.journal import export_chrome, read_journal
+
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Inspect a flight-recorder journal (phase times, "
+        "slowest tasks, failure timeline).",
+    )
+    parser.add_argument("journal", help="path to a *.trace.jsonl journal")
+    parser.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="slowest task attempts to list (default 10)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+    parser.add_argument(
+        "--out", metavar="PATH",
+        help="also export a Chrome/Perfetto trace.json to PATH",
+    )
+    parser.add_argument(
+        "--check-coverage", type=float, default=None, metavar="PCT",
+        help="exit non-zero when phase coverage of worker wall time is "
+        "below PCT (e.g. 95)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        journal = read_journal(args.journal)
+    except OSError as exc:
+        print(f"repro trace: cannot read {args.journal}: {exc}", file=sys.stderr)
+        return 2
+    if not journal.events and not journal.summary:
+        print(f"repro trace: {args.journal} holds no journal records",
+              file=sys.stderr)
+        return 2
+    summary = summarize_journal(journal, n_tasks=args.top)
+    if args.json:
+        print(json.dumps(summary, indent=2, default=repr))
+    else:
+        print(format_report(summary))
+    if args.out:
+        export_chrome(journal, args.out)
+        print(f"chrome trace exported to {args.out}")
+    if args.check_coverage is not None:
+        pct = summary["coverage"] * 100.0
+        if pct < args.check_coverage:
+            print(
+                f"repro trace: coverage {pct:.1f}% below the "
+                f"{args.check_coverage:.1f}% bar",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"coverage check passed: {pct:.1f}% >= {args.check_coverage:.1f}%")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
         print("available classnames:", ", ".join(sorted(APPLICATIONS)))
         return 0
-    command = "mpidrun " + " ".join(argv)
+    if argv[0] == "trace":
+        return trace_main(argv[1:])
     try:
-        options = parse_mpidrun_command(command)
+        argv, conf, metrics_json = _extract_obs_flags(argv)
+        options = parse_mpidrun_command("mpidrun " + " ".join(argv))
     except DataMPIError as exc:
         print(f"mpidrun: {exc}", file=sys.stderr)
         return 2
+    options["conf"] = conf
     classname = options["classname"]
     if classname not in APPLICATIONS:
         print(
@@ -159,6 +281,10 @@ def main(argv: list[str] | None = None) -> int:
         f"A-locality={result.a_data_locality:.0%} "
         f"wall={result.metrics.duration:.2f}s"
     )
+    if result.trace_path:
+        print(f"trace journal: {result.trace_path}")
+    if metrics_json:
+        _write_metrics_json(result, metrics_json)
     return 0 if result.success else 1
 
 

@@ -8,7 +8,14 @@ format, and an environment switch so test runs stay silent by default:
     REPRO_LOG=debug pytest tests/core -k streaming
     REPRO_LOG=repro.core.scheduler=debug python examples/quickstart.py
 
-The second form sets per-component levels (comma-separated).
+The second form sets per-component levels (comma-separated).  Beyond the
+stdlib levels there is ``TRACE`` (numerically 5, below ``DEBUG``) — the
+span-debug level the flight recorder's instrumentation sites log at;
+``REPRO_LOG=trace`` switches it on.
+
+Configuration is re-entrant: repeated in-process ``mpidrun`` calls (or a
+test harness that tears the root logger down between runs) re-attach
+exactly one stream handler instead of stacking duplicates.
 """
 
 from __future__ import annotations
@@ -22,19 +29,42 @@ _FORMAT = "%(asctime)s %(levelname).1s %(name)s [%(threadName)s] %(message)s"
 _configured = False
 _lock = threading.Lock()
 
+#: span-debug level for very chatty instrumentation (below DEBUG)
+TRACE = 5
+logging.addLevelName(TRACE, "TRACE")
+
+#: names ``getattr(logging, ...)`` cannot resolve
+_LEVEL_ALIASES = {"TRACE": TRACE}
+
+
+def _resolve_level(name: str) -> int | None:
+    name = name.strip().upper()
+    if name in _LEVEL_ALIASES:
+        return _LEVEL_ALIASES[name]
+    level = getattr(logging, name, None)
+    return level if isinstance(level, int) else None
+
 
 def _configure_root() -> None:
+    """Idempotent *and* re-entrant: attaches our handler exactly once,
+    re-attaching it when an external reset stripped the root logger."""
     global _configured
     with _lock:
-        if _configured:
-            return
         root = logging.getLogger("repro")
-        handler = logging.StreamHandler(sys.stderr)
-        handler.setFormatter(logging.Formatter(_FORMAT, datefmt="%H:%M:%S"))
-        root.addHandler(handler)
+        attached = any(
+            getattr(h, "_repro_handler", False) for h in root.handlers
+        )
+        if _configured and attached:
+            return
+        if not attached:
+            handler = logging.StreamHandler(sys.stderr)
+            handler.setFormatter(logging.Formatter(_FORMAT, datefmt="%H:%M:%S"))
+            handler._repro_handler = True  # type: ignore[attr-defined]
+            root.addHandler(handler)
         root.propagate = False
-        root.setLevel(logging.WARNING)
-        _apply_env(os.environ.get("REPRO_LOG", ""))
+        if not _configured:
+            root.setLevel(logging.WARNING)
+            _apply_env(os.environ.get("REPRO_LOG", ""))
         _configured = True
 
 
@@ -52,8 +82,8 @@ def _apply_env(spec: str) -> None:
         else:
             level_name = part
             target = logging.getLogger("repro")
-        level = getattr(logging, level_name.strip().upper(), None)
-        if isinstance(level, int):
+        level = _resolve_level(level_name)
+        if level is not None:
             target.setLevel(level)
 
 
@@ -67,5 +97,7 @@ def get_logger(component: str) -> logging.Logger:
 def set_level(level: str, component: str = "repro") -> None:
     """Programmatic override (tests use this instead of the env var)."""
     _configure_root()
-    value = getattr(logging, level.upper())
+    value = _resolve_level(level)
+    if value is None:
+        raise ValueError(f"unknown log level {level!r}")
     logging.getLogger(component).setLevel(value)

@@ -16,10 +16,12 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from time import perf_counter as _clock
 from typing import Any, Callable, Iterable, Iterator
 
 from repro.common.records import kv_bytes, kv_run_bytes
 from repro.core.sorter import RunStore, combine_run, sort_block
+from repro.obs.tracer import TRACER as _T
 from repro.serde.comparators import Compare
 
 KV = tuple[Any, Any]
@@ -74,6 +76,10 @@ class SendPartitionList:
         self.records_out = 0
         self.bytes_out = 0
         self.combined_away = 0
+        #: seconds spent sorting/combining inside seals — the engine
+        #: subtracts this from task compute time to isolate the paper's
+        #: "partition-sort" phase
+        self.sort_seconds = 0.0
 
     def add(self, partition: int, key: Any, value: Any) -> Block | None:
         """Cache a pair; returns a sealed block when the partition filled."""
@@ -91,12 +97,20 @@ class SendPartitionList:
         nbytes = part.nbytes
         records = part.drain()
         if self.cmp is not None:
+            t0 = _clock()
             records = sort_block(records, self.cmp)
             if self.combiner is not None:
                 before = len(records)
                 records = combine_run(records, self.combiner)
                 self.combined_away += before - len(records)
                 nbytes = kv_run_bytes(records)
+            dur = _clock() - t0
+            self.sort_seconds += dur
+            if _T.enabled:
+                _T.complete(
+                    "spl.seal", t0, dur, cat="sort",
+                    args={"partition": part.partition_id, "records": len(records)},
+                )
         self.records_out += len(records)
         self.bytes_out += nbytes
         return Block(

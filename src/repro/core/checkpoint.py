@@ -25,10 +25,12 @@ import os
 import re
 import struct
 import zlib
+from time import perf_counter as _clock
 from typing import Any, Iterator
 
 from repro.common.errors import CheckpointError
 from repro.common.logging import get_logger
+from repro.obs.tracer import TRACER as _T
 from repro.serde.io import DataInput, DataOutput
 from repro.serde.serialization import Serializer
 
@@ -68,6 +70,9 @@ class CheckpointWriter:
         self.round_no = start_round
         self._buffer: list[KV] = []
         self.records_persisted = 0
+        #: seconds spent serializing + fsync-writing round files; the
+        #: engine reports it as the "checkpoint" phase bucket
+        self.write_seconds = 0.0
 
     def add(self, key: Any, value: Any) -> None:
         self._buffer.append((key, value))
@@ -78,6 +83,7 @@ class CheckpointWriter:
         """Persist the buffered round atomically (write-then-rename)."""
         if not self._buffer:
             return
+        t0 = _clock()
         out = DataOutput()
         out.write_vint(len(self._buffer))
         for key, value in self._buffer:
@@ -89,6 +95,16 @@ class CheckpointWriter:
             f.write(_CRC.pack(zlib.crc32(payload)))
             f.write(payload)
         os.replace(tmp, final)
+        dur = _clock() - t0
+        self.write_seconds += dur
+        if _T.enabled:
+            _T.complete(
+                "checkpoint.flush", t0, dur, cat="checkpoint",
+                args={
+                    "task": self.task, "round": self.round_no,
+                    "records": len(self._buffer), "bytes": len(payload),
+                },
+            )
         self.records_persisted += len(self._buffer)
         self._buffer.clear()
         self.round_no += 1
@@ -151,6 +167,11 @@ class CheckpointReader:
                 os.replace(path, path + ".bad")
             except OSError:
                 continue
+            if _T.enabled:
+                _T.instant(
+                    "checkpoint.quarantine", cat="checkpoint",
+                    args={"task": self.task, "round": round_no},
+                )
             _log.warning(
                 "checkpoint task %s round %d failed verification or lost "
                 "its prefix; quarantined as %s",

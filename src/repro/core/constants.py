@@ -89,6 +89,17 @@ class MPI_D_Constants:
     #: current job attempt, 1-based (set internally by mpidrun on restarts)
     JOB_ATTEMPT = "mpi.d.job.attempt"
 
+    # -- observability (flight recorder) -------------------------------------------
+    #: record spans/instants/counters into a per-job JSONL journal
+    TRACE_ENABLED = "mpi.d.trace.enabled"
+    #: journal path (defaults to <job>.trace.jsonl in the local dir);
+    #: setting it implies TRACE_ENABLED
+    TRACE_PATH = "mpi.d.trace.path"
+    #: windowed metrics sampling period, seconds (<= 0 disables the sampler)
+    TRACE_METRICS_INTERVAL_SECONDS = "mpi.d.trace.metrics.interval.seconds"
+    #: also write a Chrome/Perfetto trace.json next to the journal
+    TRACE_CHROME = "mpi.d.trace.chrome"
+
     # -- failure injection (testing) ----------------------------------------------
     #: crash the job after this many total emitted records (-1 = never)
     INJECT_CRASH_AFTER_RECORDS = "mpi.d.inject.crash.after.records"

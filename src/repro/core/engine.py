@@ -38,6 +38,7 @@ from repro.core.modes import (
 from repro.core.partition import PartitionWindow
 from repro.core.shuffle import PlaneConfig, ShufflePlane, ShuffleService
 from repro.common.logging import get_logger
+from repro.obs.tracer import TRACER as _T
 from repro.serde.comparators import default_compare
 from repro.serde.serialization import get_serializer
 
@@ -82,6 +83,8 @@ class WorkerEngine:
         self.window_fwd = PartitionWindow(job.a_tasks, nprocs)
         self.window_bwd = PartitionWindow(job.o_tasks, nprocs)
         self.metrics = WorkerMetrics(process_rank=self.rank)
+        #: guards phase-bucket accrual (streaming A tasks run on threads)
+        self._phase_lock = threading.Lock()
         self.state: dict = {}  # process-local cross-round state (Iteration)
         self.shuffle = ShuffleService(
             world,
@@ -125,11 +128,19 @@ class WorkerEngine:
             self.conf.get_int(K.FT_INTERVAL_RECORDS),
         )
 
+    # -- phase accounting ---------------------------------------------------------
+    def _add_phase(self, phase: str, seconds: float) -> None:
+        """Thread-safe accrual into this worker's phase-time buckets."""
+        with self._phase_lock:
+            self.metrics.add_phase(phase, seconds)
+
     # -- control protocol ------------------------------------------------------------
     def _request_task(self, phase: str, round_no: int) -> int | None:
         """Ask mpidrun for the next task of (phase, round); None = phase over."""
+        t0 = time.perf_counter()
         self.parent.send(("req", phase, round_no, self.rank), dest=0, tag=CONTROL_TAG)
         kind, task_id = self.parent.recv(source=0, tag=CONTROL_TAG)
+        self._add_phase("control", time.perf_counter() - t0)
         return task_id if kind == "task" else None
 
     def _report(self) -> None:
@@ -169,6 +180,7 @@ class WorkerEngine:
     def _make_o_context(
         self, task_id: int, round_no: int, spl: SendPartitionList
     ) -> TaskContext:
+        t0 = time.perf_counter()
         recv_plane: ShufflePlane | None = None
         if self.bidirectional and round_no > 0:
             recv_plane = self.shuffle.plane(f"bwd:{round_no - 1}")
@@ -186,6 +198,9 @@ class WorkerEngine:
             and (inject_attempt < 0 or inject_attempt == self.attempt)
         ):
             crash_after = self.conf.get_int(K.INJECT_CRASH_AFTER_RECORDS)
+        # checkpoint reader/writer construction scans the FT directory;
+        # bill it to the control bucket so wall coverage stays honest
+        self._add_phase("control", time.perf_counter() - t0)
         return TaskContext(
             kind="O",
             task_id=task_id,
@@ -235,10 +250,19 @@ class WorkerEngine:
     def _execute(self, ctx: TaskContext, fn: Any) -> None:
         _log.debug("start %s task %d (round %d)", ctx.kind, ctx.task_id, ctx.round)
         context_mod.bind(ctx)
+        # phase attribution: sort time accrues inside the SPL and checkpoint
+        # write time inside the writer while the task function runs, so the
+        # deltas across the task let "compute" exclude both
+        spl = ctx._spl
+        sort0 = spl.sort_seconds if spl is not None else 0.0
+        cp = ctx._cp_writer
+        cp0 = cp.write_seconds if cp is not None else 0.0
+        replay_s = 0.0
         start = time.perf_counter()
         try:
             if ctx.kind == "O" and self._checkpoints is not None:
                 self.metrics.reloaded_records += ctx.replay_checkpoint()
+                replay_s = time.perf_counter() - start
             fn(ctx)
             ctx.close()
         except MPIAbort:
@@ -263,7 +287,32 @@ class WorkerEngine:
                 pass
             raise
         finally:
-            ctx.metrics.duration = time.perf_counter() - start
+            duration = time.perf_counter() - start
+            ctx.metrics.duration = duration
+            ctx.metrics.worker = self.rank
+            ctx.metrics.round_no = ctx.round
+            sort_delta = (spl.sort_seconds - sort0) if spl is not None else 0.0
+            cp_delta = replay_s + (
+                (cp.write_seconds - cp0) if cp is not None else 0.0
+            )
+            with self._phase_lock:
+                self.metrics.add_phase("partition-sort", sort_delta)
+                self.metrics.add_phase("checkpoint", cp_delta)
+                self.metrics.add_phase(
+                    "compute" if ctx.kind == "O" else "merge",
+                    max(0.0, duration - sort_delta - cp_delta),
+                )
+                self.metrics.tasks.append(ctx.metrics)
+            if _T.enabled:
+                _T.complete(
+                    f"{ctx.kind}-task-{ctx.task_id}", start, duration, cat="task",
+                    args={
+                        "kind": ctx.kind, "task": ctx.task_id,
+                        "round": ctx.round,
+                        "emitted": ctx.metrics.records_emitted,
+                        "received": ctx.metrics.records_received,
+                    },
+                )
             context_mod.bind(None)
             _log.debug(
                 "end %s task %d: emitted=%d received=%d %.3fs",
@@ -289,10 +338,19 @@ class WorkerEngine:
 
     def _finish_sends(self, plane_id: str, spl: SendPartitionList) -> None:
         """Flush remaining SPL partitions and signal end-of-stream."""
+        t0 = time.perf_counter()
+        sort0 = spl.sort_seconds
         for block in spl.flush_all():
             self.shuffle.send_block(plane_id, block)
         self.shuffle.send_eos(plane_id)
         self.shuffle.drain_sends()
+        # flush_all seals (sorts/combines) the remaining partitions; that
+        # slice belongs to partition-sort, the rest is wire time
+        sort_delta = spl.sort_seconds - sort0
+        self._add_phase("partition-sort", sort_delta)
+        self._add_phase(
+            "communicate", max(0.0, time.perf_counter() - t0 - sort_delta)
+        )
         self.metrics.records_sent += spl.records_out
         self.metrics.combined_away += spl.combined_away
 
@@ -307,9 +365,21 @@ class WorkerEngine:
         self._finish_sends(f"fwd:{round_no}", spl)
         return spl
 
+    def _wait_plane(self, plane: ShufflePlane) -> None:
+        """Block until the plane completes, accrued as communicate time."""
+        t0 = time.perf_counter()
+        if _T.enabled:
+            with _T.span(
+                "plane.wait", cat="phase", args={"plane": plane.plane_id}
+            ):
+                plane.wait_complete(self.plane_timeout)
+        else:
+            plane.wait_complete(self.plane_timeout)
+        self._add_phase("communicate", time.perf_counter() - t0)
+
     def _run_a_phase(self, round_no: int) -> None:
         fwd_plane = self.shuffle.plane(f"fwd:{round_no}")
-        fwd_plane.wait_complete(self.plane_timeout)
+        self._wait_plane(fwd_plane)
         spl = self._new_spl("bwd") if self.bidirectional else None
         while True:
             task_id = self._request_task("A", round_no)
@@ -321,7 +391,7 @@ class WorkerEngine:
             self._execute(ctx, self.job.a_fn)
         if spl is not None:
             self._finish_sends(f"bwd:{round_no}", spl)
-            self.shuffle.plane(f"bwd:{round_no}").wait_complete(self.plane_timeout)
+            self._wait_plane(self.shuffle.plane(f"bwd:{round_no}"))
 
     def _run_streaming_round(self, round_no: int) -> None:
         """Streaming: A tasks consume concurrently with O production.
@@ -341,6 +411,7 @@ class WorkerEngine:
         errors: list[BaseException] = []
 
         def run_a(task_id: int) -> None:
+            _T.bind(self.rank)
             try:
                 ctx = self._make_a_context(task_id, round_no, fwd_plane, None)
                 self._execute(ctx, self.job.a_fn)
@@ -384,7 +455,9 @@ class WorkerEngine:
     # -- top level ----------------------------------------------------------------------------
     def run(self) -> WorkerMetrics:
         rounds = self.job.rounds if self.bidirectional else 1
+        _T.bind(self.rank)
         hb_stop = self._start_heartbeat()
+        wall0 = time.perf_counter()
         try:
             for round_no in range(rounds):
                 if self.pipelined:
@@ -392,13 +465,21 @@ class WorkerEngine:
                 else:
                     self._run_o_phase(round_no)
                     self._run_a_phase(round_no)
+                t0 = time.perf_counter()
                 self.world.barrier()
+                self._add_phase("communicate", time.perf_counter() - t0)
+            t0 = time.perf_counter()
             stats = self.shuffle.stats()
             self.metrics.bytes_sent = stats["bytes_sent"]
             self.metrics.blocks_sent = stats["blocks_sent"]
             self.metrics.records_received = stats["records_received"]
             self.metrics.blocks_received = stats["blocks_received"]
             self.metrics.spilled_bytes = stats["spilled_bytes"]
+            # spill happens on the receiver thread concurrently with the
+            # buckets above — report it as an overlay, not coverage
+            self._add_phase("spill", self.shuffle.spill_seconds())
+            self._add_phase("control", time.perf_counter() - t0)
+            self.metrics.wall_seconds = time.perf_counter() - wall0
             self._report()
             return self.metrics
         finally:

@@ -14,6 +14,21 @@ class TaskMetrics:
     records_emitted: int = 0
     records_received: int = 0
     duration: float = 0.0
+    #: worker process the attempt ran on (-1 before it is assigned)
+    worker: int = -1
+    #: O/A round the attempt belongs to (Iteration mode)
+    round_no: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "task_id": self.task_id,
+            "kind": self.kind,
+            "worker": self.worker,
+            "round_no": self.round_no,
+            "duration": self.duration,
+            "records_emitted": self.records_emitted,
+            "records_received": self.records_received,
+        }
 
 
 @dataclass
@@ -33,6 +48,19 @@ class WorkerMetrics:
     checkpointed_records: int = 0
     reloaded_records: int = 0
     local_a_tasks: int = 0  # A tasks that ran where their data lived
+    #: wall-clock seconds of this worker's engine loop
+    wall_seconds: float = 0.0
+    #: disjoint main-thread time buckets (compute / partition-sort /
+    #: communicate / merge / checkpoint / control) plus overlapping
+    #: background buckets (spill); see docs/OBSERVABILITY.md
+    phase_times: dict = field(default_factory=dict)
+    #: every task attempt this worker executed, in execution order
+    tasks: list = field(default_factory=list)
+
+    def add_phase(self, phase: str, seconds: float) -> None:
+        if seconds <= 0:
+            return
+        self.phase_times[phase] = self.phase_times.get(phase, 0.0) + seconds
 
     def merge_into(self, job: "JobMetrics") -> None:
         job.o_tasks_run += self.o_tasks_run
@@ -47,6 +75,9 @@ class WorkerMetrics:
         job.checkpointed_records += self.checkpointed_records
         job.reloaded_records += self.reloaded_records
         job.local_a_tasks += self.local_a_tasks
+        for phase, seconds in self.phase_times.items():
+            job.phase_times[phase] = job.phase_times.get(phase, 0.0) + seconds
+        job.tasks.extend(self.tasks)
 
 
 @dataclass
@@ -68,6 +99,31 @@ class JobMetrics:
     duration: float = 0.0
     #: automatic supervised restarts it took to produce this result
     restarts: int = 0
+    #: per-phase seconds summed across workers (Fig. 5's breakdown)
+    phase_times: dict = field(default_factory=dict)
+    #: :class:`TaskMetrics` for every task attempt across all workers
+    tasks: list = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly dump (``--metrics-json`` and the journal)."""
+        return {
+            "o_tasks_run": self.o_tasks_run,
+            "a_tasks_run": self.a_tasks_run,
+            "records_sent": self.records_sent,
+            "bytes_sent": self.bytes_sent,
+            "blocks_sent": self.blocks_sent,
+            "records_received": self.records_received,
+            "blocks_received": self.blocks_received,
+            "spilled_bytes": self.spilled_bytes,
+            "combined_away": self.combined_away,
+            "checkpointed_records": self.checkpointed_records,
+            "reloaded_records": self.reloaded_records,
+            "local_a_tasks": self.local_a_tasks,
+            "duration": self.duration,
+            "restarts": self.restarts,
+            "phase_times": dict(self.phase_times),
+            "tasks": [t.as_dict() for t in self.tasks],
+        }
 
 
 @dataclass
@@ -84,6 +140,8 @@ class JobResult:
     #: all attempts — empty for a clean run, populated even on success when
     #: the job recovered from failures
     failures: list = field(default_factory=list)
+    #: flight-recorder journal path ("" when tracing was off)
+    trace_path: str = ""
 
     @property
     def a_data_locality(self) -> float:
@@ -94,3 +152,8 @@ class JobResult:
         if self.metrics.a_tasks_run == 0:
             return 1.0
         return self.metrics.local_a_tasks / self.metrics.a_tasks_run
+
+    @property
+    def task_metrics(self) -> list[TaskMetrics]:
+        """Per-task-attempt table (duration, records in/out, worker)."""
+        return list(self.metrics.tasks)

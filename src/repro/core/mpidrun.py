@@ -23,19 +23,24 @@ loop early — restarting cannot fix a deterministic bug.
 from __future__ import annotations
 
 import dataclasses
+import os
 import shlex
+import tempfile
 import time
 from typing import Any, Mapping
 
 from repro.common.errors import DataMPIError, FailureRecord
 from repro.core.constants import Mode, MPI_D_Constants as K
 from repro.core.job import DataMPIJob
-from repro.core.metrics import JobResult
+from repro.core.metrics import JobResult, WorkerMetrics
 from repro.core.modes import profile_for
 from repro.core.scheduler import driver_main, merge_reports
 from repro.mpi.runtime import MPIRuntime
 from repro.mpi.transport import FaultInjector
 from repro.common.logging import get_logger
+from repro.obs.journal import JournalWriter, export_chrome, read_journal
+from repro.obs.metrics import MetricsRegistry, WindowedSampler
+from repro.obs.tracer import TRACER as _T
 
 _log = get_logger("core.mpidrun")
 
@@ -79,6 +84,112 @@ def _collect_failures(
     return records
 
 
+def _failure_dict(record: FailureRecord) -> dict:
+    return {
+        "kind": record.kind,
+        "worker": record.worker,
+        "phase": record.phase,
+        "task_id": record.task_id,
+        "round_no": record.round_no,
+        "attempt": record.attempt,
+        "error": record.error,
+    }
+
+
+class _TraceSession:
+    """The flight recorder's lifecycle around one ``mpidrun`` call.
+
+    Owns the process-wide :data:`~repro.obs.tracer.TRACER` for the
+    duration of the job, runs the windowed sampler alongside, and writes
+    the journal (meta + drained events + series + driver summary) on
+    close — also on the exception path, so a crashed run still leaves a
+    parsable journal prefix for ``repro trace``.
+    """
+
+    def __init__(self, job: DataMPIJob, conf: Any, nprocs: int) -> None:
+        self.job = job
+        self.conf = conf
+        self.nprocs = nprocs
+        self.path = conf.get(K.TRACE_PATH) or os.path.join(
+            tempfile.gettempdir(), f"datampi-{job.name}.trace.jsonl"
+        )
+        self.t0 = time.perf_counter()
+        self._closed = False
+        _T.enable(job=job.name, nprocs=nprocs, mode=job.mode.value)
+        _T.bind(-1)  # the driver/launcher thread
+        self.sampler = WindowedSampler(
+            MetricsRegistry(),
+            interval=conf.get_float(K.TRACE_METRICS_INTERVAL_SECONDS, 0.25),
+        )
+        self.sampler.start()
+
+    @staticmethod
+    def maybe(job: DataMPIJob, conf: Any, nprocs: int) -> "_TraceSession | None":
+        # an explicit journal path implies tracing (the common CLI shape)
+        if not (conf.get_bool(K.TRACE_ENABLED, False) or conf.get(K.TRACE_PATH)):
+            return None
+        return _TraceSession(job, conf, nprocs)
+
+    def failures(self, records: list[FailureRecord]) -> None:
+        for record in records:
+            _T.instant(
+                f"failure.{record.kind}", cat="failure",
+                args=_failure_dict(record),
+            )
+
+    def restart(self, attempt: int, delay: float) -> None:
+        _T.instant(
+            "job.restart", cat="failure",
+            args={"attempt": attempt, "backoff_seconds": delay},
+        )
+
+    def close(
+        self,
+        result: JobResult | None = None,
+        reports: dict[int, WorkerMetrics] | None = None,
+    ) -> str:
+        if self._closed:
+            return self.path
+        self._closed = True
+        self.sampler.stop()
+        events = _T.drain()
+        _T.disable()
+        summary: dict[str, Any] = {
+            "wall_seconds": time.perf_counter() - self.t0,
+            "nprocs": self.nprocs,
+        }
+        if result is not None:
+            summary["success"] = result.success
+            summary["restarts"] = result.restarts
+            summary["phase_times"] = dict(result.metrics.phase_times)
+            summary["tasks"] = [t.as_dict() for t in result.metrics.tasks]
+            summary["failures"] = [_failure_dict(f) for f in result.failures]
+        summary["workers"] = [
+            {
+                "rank": rank,
+                "wall_seconds": wm.wall_seconds,
+                "phase_times": dict(wm.phase_times),
+            }
+            for rank, wm in sorted((reports or {}).items())
+        ]
+        with JournalWriter(self.path) as writer:
+            writer.write_meta(
+                job=self.job.name,
+                nprocs=self.nprocs,
+                mode=self.job.mode.value,
+            )
+            writer.write_events(events)
+            for name, (times, values) in self.sampler.as_journal_series().items():
+                writer.write_series(name, times, values)
+            writer.write_summary(summary)
+        if self.conf.get_bool(K.TRACE_CHROME, False):
+            chrome_path = os.path.splitext(self.path)[0] + ".json"
+            export_chrome(read_journal(self.path), chrome_path)
+            _log.info("chrome trace exported to %s", chrome_path)
+        _log.info("flight-recorder journal written to %s", self.path)
+        return self.path
+
+
 def mpidrun(
     job: DataMPIJob,
     nprocs: int | None = None,
@@ -108,76 +219,92 @@ def mpidrun(
     max_task_attempts = max(1, conf.get_int(K.TASK_MAX_ATTEMPTS, 4))
     backoff = conf.get_float(K.RESTART_BACKOFF_SECONDS, 0.1)
     start = time.perf_counter()
+    trace = _TraceSession.maybe(job, conf, nprocs)
     failures: list[FailureRecord] = []
     task_attempts: dict[tuple[str, int], int] = {}
     attempt = 0
-    while True:
-        attempt += 1
-        attempt_job = dataclasses.replace(
-            job, conf={**dict(job.conf or {}), K.JOB_ATTEMPT: attempt}
-        )
-        runtime = MPIRuntime(fault_injector=fault_injector)
-        try:
-            results = runtime.run(
-                driver_main, 1, args=(attempt_job, nprocs),
-                timeout=timeout, name="mpidrun",
+    result: JobResult | None = None
+    reports: dict[int, WorkerMetrics] = {}
+    try:
+        while True:
+            attempt += 1
+            attempt_job = dataclasses.replace(
+                job, conf={**dict(job.conf or {}), K.JOB_ATTEMPT: attempt}
             )
-        except Exception as exc:  # noqa: BLE001 - folded into the JobResult
-            attempt_failures = _collect_failures(runtime, exc, attempt)
-            failures.extend(attempt_failures)
-            exhausted: tuple[str, int] | None = None
-            for record in attempt_failures:
-                if record.kind != "task" or record.task_id < 0:
+            runtime = MPIRuntime(fault_injector=fault_injector)
+            try:
+                results = runtime.run(
+                    driver_main, 1, args=(attempt_job, nprocs),
+                    timeout=timeout, name="mpidrun",
+                )
+            except Exception as exc:  # noqa: BLE001 - folded into the JobResult
+                attempt_failures = _collect_failures(runtime, exc, attempt)
+                failures.extend(attempt_failures)
+                if trace is not None:
+                    trace.failures(attempt_failures)
+                exhausted: tuple[str, int] | None = None
+                for record in attempt_failures:
+                    if record.kind != "task" or record.task_id < 0:
+                        continue
+                    key = (record.phase, record.task_id)
+                    task_attempts[key] = task_attempts.get(key, 0) + 1
+                    if task_attempts[key] >= max_task_attempts:
+                        exhausted = key
+                if attempt <= max_restarts and exhausted is None:
+                    delay = min(_MAX_BACKOFF, backoff * (2 ** (attempt - 1)))
+                    _log.warning(
+                        "job %s attempt %d failed (%s); restarting in %.2fs "
+                        "(%d restart(s) left)",
+                        job.name, attempt, attempt_failures[0].describe(),
+                        delay, max_restarts - attempt + 1,
+                    )
+                    if trace is not None:
+                        trace.restart(attempt + 1, delay)
+                    if delay > 0:
+                        time.sleep(delay)
                     continue
-                key = (record.phase, record.task_id)
-                task_attempts[key] = task_attempts.get(key, 0) + 1
-                if task_attempts[key] >= max_task_attempts:
-                    exhausted = key
-            if attempt <= max_restarts and exhausted is None:
-                delay = min(_MAX_BACKOFF, backoff * (2 ** (attempt - 1)))
-                _log.warning(
-                    "job %s attempt %d failed (%s); restarting in %.2fs "
-                    "(%d restart(s) left)",
-                    job.name, attempt, attempt_failures[0].describe(),
-                    delay, max_restarts - attempt + 1,
+                if raise_on_error:
+                    raise
+                primary = attempt_failures[0]
+                error = primary.describe()
+                if exhausted is not None:
+                    error = (
+                        f"{exhausted[0]} task {exhausted[1]} failed "
+                        f"{task_attempts[exhausted]} attempt(s) "
+                        f"(mpi.d.task.max.attempts={max_task_attempts}): {error}"
+                    )
+                result = JobResult(
+                    name=job.name,
+                    success=False,
+                    error=error,
+                    restarts=attempt - 1,
+                    failures=list(failures),
                 )
-                if delay > 0:
-                    time.sleep(delay)
-                continue
-            if raise_on_error:
-                raise
-            primary = attempt_failures[0]
-            error = primary.describe()
-            if exhausted is not None:
-                error = (
-                    f"{exhausted[0]} task {exhausted[1]} failed "
-                    f"{task_attempts[exhausted]} attempt(s) "
-                    f"(mpi.d.task.max.attempts={max_task_attempts}): {error}"
+                break
+            reports = results[0]
+            metrics = merge_reports(reports)
+            metrics.duration = time.perf_counter() - start
+            metrics.restarts = attempt - 1
+            if attempt > 1:
+                _log.info(
+                    "job %s recovered after %d restart(s), %d record(s) "
+                    "reloaded from checkpoints",
+                    job.name, attempt - 1, metrics.reloaded_records,
                 )
-            return JobResult(
+            result = JobResult(
                 name=job.name,
-                success=False,
-                error=error,
+                success=True,
+                metrics=metrics,
                 restarts=attempt - 1,
                 failures=list(failures),
             )
-        reports = results[0]
-        metrics = merge_reports(reports)
-        metrics.duration = time.perf_counter() - start
-        metrics.restarts = attempt - 1
-        if attempt > 1:
-            _log.info(
-                "job %s recovered after %d restart(s), %d record(s) "
-                "reloaded from checkpoints",
-                job.name, attempt - 1, metrics.reloaded_records,
-            )
-        return JobResult(
-            name=job.name,
-            success=True,
-            metrics=metrics,
-            restarts=attempt - 1,
-            failures=list(failures),
-        )
+            break
+    finally:
+        if trace is not None:
+            path = trace.close(result, reports)
+            if result is not None:
+                result.trace_path = path
+    return result
 
 
 _MODE_NAMES = {mode.value: mode for mode in Mode}

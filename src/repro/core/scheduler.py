@@ -34,6 +34,7 @@ from repro.core.metrics import JobMetrics, WorkerMetrics
 from repro.core.modes import profile_for
 from repro.core.partition import PartitionWindow
 from repro.mpi.datatypes import ANY_SOURCE
+from repro.obs.tracer import TRACER as _T
 
 _log = get_logger("core.scheduler")
 
@@ -66,6 +67,14 @@ class TaskScheduler:
             return None
         task_id = queue.popleft()
         self.assigned.append((phase, round_no, worker, task_id))
+        if _T.enabled:
+            _T.instant(
+                "sched.assign", cat="scheduler",
+                args={
+                    "phase": phase, "round": round_no,
+                    "worker": worker, "task": task_id,
+                },
+            )
         _log.debug(
             "assign %s task %d (round %d) -> worker %d",
             phase, task_id, round_no, worker,
@@ -191,6 +200,10 @@ def driver_main(comm: Any, job: DataMPIJob, nprocs: int) -> dict[int, WorkerMetr
                 supervisor.beat(worker)
                 supervisor.finish(worker)
                 reports[worker] = metrics
+                if _T.enabled:
+                    _T.instant(
+                        "worker.done", cat="scheduler", args={"worker": worker}
+                    )
             elif kind == "fail":
                 _, worker, record = message
                 raise JobFailedError(

@@ -36,6 +36,7 @@ from repro.core.partition import PartitionWindow
 from repro.core.sorter import RunStore
 from repro.mpi.datatypes import ANY_SOURCE
 from repro.mpi.transport import TruncatedPayload
+from repro.obs.tracer import TRACER as _T
 from repro.serde.comparators import Compare
 from repro.serde.serialization import Serializer
 
@@ -127,6 +128,11 @@ class ShufflePlane:
                 for stream in self.streams.values():
                     stream.put(_STREAM_EOS)
                 self.complete.set()
+                if _T.enabled:
+                    _T.instant(
+                        "plane.complete", cat="shuffle",
+                        args={"plane": self.plane_id},
+                    )
 
     # -- consumption -----------------------------------------------------------
     def merged_iter(self, partition: int) -> Iterator[KV]:
@@ -179,6 +185,9 @@ class ShufflePlane:
 
     def spilled_bytes(self) -> int:
         return sum(r.store.spilled_bytes for r in self.rpls.values())
+
+    def spill_seconds(self) -> float:
+        return sum(r.store.spill_seconds for r in self.rpls.values())
 
 
 class _Batch:
@@ -303,6 +312,7 @@ class ShuffleService:
         plane_id, dest = key
         seq = self._send_seq.get(key, -1) + 1
         self._send_seq[key] = seq
+        trace_t0 = _T.clock() if _T.enabled else 0.0
         try:
             self.world.send(
                 ("batch", plane_id, (seq, self.rank, batch.blocks, batch.eos)),
@@ -317,6 +327,16 @@ class ShuffleService:
         self.envelopes_sent += 1
         self.blocks_sent += len(batch.blocks)
         self.bytes_sent += batch.nbytes
+        if _T.enabled:
+            _T.complete(
+                "shuffle.send", trace_t0, _T.clock() - trace_t0, cat="shuffle",
+                args={
+                    "plane": plane_id, "dest": dest, "seq": seq,
+                    "blocks": len(batch.blocks), "bytes": batch.nbytes,
+                    "eos": batch.eos,
+                },
+            )
+            _T.counter(f"shuffle.r{self.rank}.bytes_sent", self.bytes_sent)
         for _ in range(batch.items):
             self._send_queue.task_done()
         return True
@@ -372,16 +392,36 @@ class ShuffleService:
                     if seq <= last:
                         # duplicated envelope: already applied in full
                         self.duplicates_dropped += 1
+                        if _T.enabled:
+                            _T.instant(
+                                "shuffle.duplicate_dropped", cat="shuffle",
+                                args={"plane": plane_id, "origin": origin,
+                                      "seq": seq},
+                            )
                         continue
                     if seq != last + 1:
+                        if _T.enabled:
+                            _T.instant(
+                                "shuffle.seq_gap", cat="shuffle",
+                                args={"plane": plane_id, "origin": origin,
+                                      "expected": last + 1, "got": seq},
+                            )
                         raise DataMPIError(
                             f"shuffle plane {plane_id}: lost batch from "
                             f"process {origin} (expected seq {last + 1}, "
                             f"got {seq})"
                         )
                     last_seq[key] = seq
+                    trace_t0 = _T.clock() if _T.enabled else 0.0
                     for block in blocks:
                         plane.add_block(block)
+                    if _T.enabled and blocks:
+                        _T.complete(
+                            "shuffle.recv.batch", trace_t0,
+                            _T.clock() - trace_t0, cat="shuffle",
+                            args={"plane": plane_id, "origin": origin,
+                                  "blocks": len(blocks)},
+                        )
                     if eos:
                         plane.add_eos()
                 elif kind == "block":  # un-coalesced single block (direct callers)
@@ -430,3 +470,7 @@ class ShuffleService:
             "spilled_bytes": sum(p.spilled_bytes() for p in self._planes.values()),
             "duplicates_dropped": self.duplicates_dropped,
         }
+
+    def spill_seconds(self) -> float:
+        """Receiver-thread seconds spent writing spills (overlay phase)."""
+        return sum(p.spill_seconds() for p in self._planes.values())

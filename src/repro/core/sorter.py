@@ -13,9 +13,11 @@ import operator
 import os
 import tempfile
 import zlib
+from time import perf_counter as _clock
 from typing import Any, Callable, Iterable, Iterator
 
 from repro.common.records import kv_run_bytes
+from repro.obs.tracer import TRACER as _T
 from repro.serde.comparators import Compare, default_compare, sort_key
 from repro.serde.io import ChunkedDataInput, DataOutput
 from repro.serde.serialization import Serializer
@@ -280,6 +282,9 @@ class RunStore:
         self.memory_bytes = 0
         self.spilled_bytes = 0
         self.total_records = 0
+        #: seconds spent writing spills (overlaps compute: spills happen
+        #: on the receiver thread, so this is an overlay phase bucket)
+        self.spill_seconds = 0.0
 
     def add_run(self, run: list[KV], nbytes: int | None = None) -> None:
         """Add a key-sorted run (or unsorted when cmp is None).
@@ -304,10 +309,21 @@ class RunStore:
         run = self.memory_runs.pop(idx)
         nbytes = self.run_nbytes.pop(idx)
         self.memory_bytes = max(0, self.memory_bytes - nbytes)
+        t0 = _clock()
         spill = spill_run(
             run, self.serializer, self.directory, self.stem,
             compress=self.compress_spills,
         )
+        dur = _clock() - t0
+        self.spill_seconds += dur
+        if _T.enabled:
+            _T.complete(
+                "spill", t0, dur, cat="spill",
+                args={
+                    "stem": self.stem, "records": len(run),
+                    "bytes": spill.nbytes,
+                },
+            )
         self.disk_runs.append(spill)
         self.spilled_bytes += spill.nbytes
 
@@ -320,9 +336,13 @@ class RunStore:
         """
         if len(self.memory_runs) <= max_runs:
             return
-        merged = list(merge_runs(self.memory_runs, self.cmp)) if self.cmp else [
-            record for run in self.memory_runs for record in run
-        ]
+        with _T.span(
+            "rpl.compact", cat="merge",
+            args={"stem": self.stem, "runs": len(self.memory_runs)},
+        ):
+            merged = list(merge_runs(self.memory_runs, self.cmp)) if self.cmp else [
+                record for run in self.memory_runs for record in run
+            ]
         # merging permutes records but never changes their payload size
         total = sum(self.run_nbytes)
         self.memory_runs = [merged]

@@ -44,6 +44,7 @@ from typing import Any, Callable
 
 from repro.common.errors import MPIAbort, MPIError
 from repro.mpi.datatypes import ANY_SOURCE, ANY_TAG, Status
+from repro.obs.tracer import TRACER as _T
 
 _seq = itertools.count()
 
@@ -278,6 +279,15 @@ class FaultInjector:
         self.events.append(
             (action, envelope.origin, dest_rank, envelope.context, envelope.tag)
         )
+        # chaos firings land on the same timeline as the failures they cause
+        if _T.enabled:
+            _T.instant(
+                f"fault.{action}", cat="fault",
+                args={
+                    "origin": envelope.origin, "dest": dest_rank,
+                    "context": envelope.context, "tag": envelope.tag,
+                },
+            )
 
 
 class Endpoint:
@@ -314,6 +324,10 @@ class Endpoint:
         # monotonically increasing count of messages ever enqueued; lets
         # waiters detect arrivals without re-scanning spuriously
         self._arrivals = 0
+        #: currently queued envelopes (O(1) alternative to pending_count)
+        self._pending = 0
+        #: cumulative payload bytes deposited into this mailbox
+        self._bytes_in = 0
 
     # -- sender side --------------------------------------------------------
     def deposit(self, envelope: Envelope) -> None:
@@ -332,11 +346,16 @@ class Endpoint:
                     self._queues[key] = q = deque()
                 q.append(envelope)
                 self._arrivals += 1
+                self._pending += 1
+                self._bytes_in += envelope.nbytes
                 entry = self._key_waiters.get(key)
                 if entry is not None:
                     entry[0].notify_all()
                 if self._num_wild_waiters:
                     self._wild_cond.notify_all()
+            if _T.enabled:
+                _T.counter(f"transport.r{self.rank}.pending", self._pending)
+                _T.counter(f"transport.r{self.rank}.bytes", self._bytes_in)
 
     def wake(self) -> None:
         """Wake every blocked receiver (used on abort)."""
@@ -358,6 +377,7 @@ class Endpoint:
             if not pop:
                 return q[0]
             envelope = q.popleft()
+            self._pending -= 1
             if not q:
                 del self._queues[key]
             return envelope
@@ -380,6 +400,7 @@ class Endpoint:
             return best
         assert best_q is not None
         best_q.popleft()
+        self._pending -= 1
         if not best_q:
             del self._queues[best_key]
         return best
@@ -431,6 +452,7 @@ class Endpoint:
             if envelope is not None:
                 envelope.delivered.set()
                 return envelope
+            trace_t0 = _T.clock() if _T.enabled else 0.0
             cond, key = self._waiter_for(context, source, tag)
             try:
                 while True:
@@ -440,6 +462,12 @@ class Endpoint:
                     envelope = self._match(context, source, tag, pop=True)
                     if envelope is not None:
                         envelope.delivered.set()
+                        if _T.enabled:
+                            _T.complete(
+                                "transport.recv.wait", trace_t0,
+                                _T.clock() - trace_t0, cat="transport",
+                                args={"source": source, "tag": tag},
+                            )
                         return envelope
                     wait = Endpoint.WAIT_SLICE
                     if deadline is not None:

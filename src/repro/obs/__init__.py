@@ -1,0 +1,43 @@
+"""Observability: the flight recorder threaded through the whole stack.
+
+Three pieces, all designed to cost nothing when off:
+
+* :mod:`repro.obs.tracer` — nestable spans, instant events and counter
+  samples recorded per thread into lock-free (thread-local) buffers.
+  The process-wide singleton :data:`~repro.obs.tracer.TRACER` is what
+  the instrumented layers (transport, shuffle, sorter, engine,
+  checkpoint) talk to; its ``enabled`` flag is the only thing a
+  disabled hot path ever touches.
+* :mod:`repro.obs.journal` — the per-job JSONL event journal and the
+  Chrome ``chrome://tracing`` / Perfetto ``trace.json`` exporter.
+* :mod:`repro.obs.metrics` — a windowed :class:`MetricsRegistry`
+  (counter / gauge / histogram) sampled on an interval thread into
+  Fig-11-style utilization time series.
+
+:mod:`repro.obs.inspect` turns a journal back into the paper's tables:
+per-phase time breakdown, top-N slowest tasks, failure timeline.
+"""
+
+from repro.obs.tracer import TRACER, Tracer
+from repro.obs.journal import (
+    Journal,
+    JournalWriter,
+    export_chrome,
+    read_journal,
+    to_chrome_trace,
+    write_journal,
+)
+from repro.obs.metrics import MetricsRegistry, WindowedSampler
+
+__all__ = [
+    "TRACER",
+    "Tracer",
+    "Journal",
+    "JournalWriter",
+    "MetricsRegistry",
+    "WindowedSampler",
+    "export_chrome",
+    "read_journal",
+    "to_chrome_trace",
+    "write_journal",
+]

@@ -1,0 +1,210 @@
+"""Journal inspector: the engine room of the ``repro trace`` subcommand.
+
+Turns a flight-recorder journal back into the paper's analyses:
+
+* **per-phase time table** — compute / partition-sort / communicate /
+  merge / spill / checkpoint, per worker and merged (Fig. 5's overlap
+  story, from a *real* run);
+* **coverage** — the fraction of each worker's wall time the disjoint
+  phase buckets explain (the acceptance bar is >= 95%);
+* **top-N slowest tasks** — from the per-task metrics table;
+* **failure timeline** — supervision records and fault-injector firings
+  in timestamp order.
+
+Works from the driver-written summary record when present and falls
+back to raw span aggregation, so a journal from a crashed run (no
+summary line) still yields a report.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.journal import Journal
+
+__all__ = [
+    "COVERAGE_PHASES",
+    "OVERLAY_PHASES",
+    "coverage",
+    "format_report",
+    "phase_table",
+    "summarize_journal",
+]
+
+#: disjoint main-thread buckets; their sum should explain a worker's wall
+COVERAGE_PHASES = (
+    "compute", "partition-sort", "communicate", "merge", "checkpoint", "control",
+)
+#: buckets measured on background threads; they overlap the ones above
+OVERLAY_PHASES = ("spill",)
+
+
+def _phase_times_from_spans(journal: Journal) -> dict[str, float]:
+    """Fallback aggregation: sum span durations by name for phase spans."""
+    out: dict[str, float] = {}
+    for event in journal.spans:
+        if event.get("cat") != "phase":
+            continue
+        name = event.get("name", "?")
+        out[name] = out.get(name, 0.0) + float(event.get("dur", 0.0))
+    return out
+
+
+def phase_table(journal: Journal) -> dict[str, float]:
+    """Merged per-phase seconds (summary record preferred, spans else)."""
+    summary = journal.summary
+    if summary.get("phase_times"):
+        return {k: float(v) for k, v in summary["phase_times"].items()}
+    return _phase_times_from_spans(journal)
+
+
+def coverage(journal: Journal) -> float:
+    """Mean fraction of per-worker wall time the disjoint buckets explain.
+
+    1.0 means the recorder accounted for every second each worker spent;
+    anything >= 0.95 satisfies the flight-recorder acceptance bar.
+    Returns 0.0 when the journal has no per-worker summary.
+    """
+    workers = journal.summary.get("workers") or []
+    fractions: list[float] = []
+    for worker in workers:
+        wall = float(worker.get("wall_seconds", 0.0))
+        if wall <= 0:
+            continue
+        phases = worker.get("phase_times", {})
+        explained = sum(
+            float(phases.get(name, 0.0)) for name in COVERAGE_PHASES
+        )
+        fractions.append(min(1.0, explained / wall))
+    if not fractions:
+        return 0.0
+    return sum(fractions) / len(fractions)
+
+
+def top_tasks(journal: Journal, n: int = 10) -> list[dict]:
+    """The N slowest task attempts, slowest first."""
+    tasks = journal.summary.get("tasks")
+    if not tasks:
+        tasks = [
+            {
+                "kind": (e.get("args") or {}).get("kind", "?"),
+                "task_id": (e.get("args") or {}).get("task", -1),
+                "duration": float(e.get("dur", 0.0)),
+                "worker": e.get("rank", -1),
+                "records_emitted": (e.get("args") or {}).get("emitted", 0),
+                "records_received": (e.get("args") or {}).get("received", 0),
+            }
+            for e in journal.spans
+            if e.get("cat") == "task"
+        ]
+    return sorted(tasks, key=lambda t: -float(t.get("duration", 0.0)))[:n]
+
+
+def failure_timeline(journal: Journal) -> list[dict]:
+    """Failure / fault instants in time order (plus summary records)."""
+    timeline = [
+        {
+            "ts": float(e.get("ts", 0.0)),
+            "kind": e.get("name", "?"),
+            "cat": e.get("cat", ""),
+            "rank": e.get("rank", -1),
+            "detail": e.get("args") or {},
+        }
+        for e in journal.instants
+        if e.get("cat") in ("failure", "fault")
+    ]
+    for record in journal.summary.get("failures", []):
+        timeline.append(
+            {
+                "ts": float(record.get("ts", -1.0)),
+                "kind": record.get("kind", "?"),
+                "cat": "failure",
+                "rank": record.get("worker", -1),
+                "detail": record,
+            }
+        )
+    timeline.sort(key=lambda f: f["ts"])
+    return timeline
+
+
+def summarize_journal(journal: Journal, n_tasks: int = 10) -> dict[str, Any]:
+    """Everything the CLI report prints, as one dict (JSON-friendly)."""
+    events = journal.events
+    wall = journal.summary.get("wall_seconds")
+    if wall is None and events:
+        t0 = min(e.get("ts", 0.0) for e in events)
+        t1 = max(
+            e.get("ts", 0.0) + e.get("dur", 0.0) for e in events
+        )
+        wall = t1 - t0
+    return {
+        "job": journal.meta.get("job", "?"),
+        "nprocs": journal.summary.get("nprocs", journal.meta.get("nprocs", 0)),
+        "wall_seconds": float(wall or 0.0),
+        "events": len(events),
+        "spans": len(journal.spans),
+        "phase_times": phase_table(journal),
+        "coverage": coverage(journal),
+        "top_tasks": top_tasks(journal, n_tasks),
+        "failures": failure_timeline(journal),
+        "restarts": journal.summary.get("restarts", 0),
+        "series": sorted(journal.series),
+    }
+
+
+def _fmt_seconds(s: float) -> str:
+    return f"{s * 1000:.1f}ms" if s < 1.0 else f"{s:.2f}s"
+
+
+def format_report(summary: dict[str, Any]) -> str:
+    """Human-readable report for the terminal."""
+    lines: list[str] = []
+    lines.append(
+        f"job {summary['job']}  wall={_fmt_seconds(summary['wall_seconds'])}  "
+        f"nprocs={summary['nprocs']}  events={summary['events']}  "
+        f"restarts={summary['restarts']}"
+    )
+    phases = summary["phase_times"]
+    if phases:
+        lines.append("")
+        lines.append("phase times (summed across workers):")
+        total = sum(v for k, v in phases.items() if k in COVERAGE_PHASES) or 1.0
+        order = [p for p in (*COVERAGE_PHASES, *OVERLAY_PHASES) if p in phases]
+        order += [p for p in sorted(phases) if p not in order]
+        for name in order:
+            seconds = phases[name]
+            overlay = " (overlaps)" if name in OVERLAY_PHASES else ""
+            share = f"{seconds / total * 100:5.1f}%" if not overlay else "      "
+            lines.append(
+                f"  {name:<15} {_fmt_seconds(seconds):>10}  {share}{overlay}"
+            )
+        lines.append(
+            f"  coverage of worker wall time: {summary['coverage'] * 100:.1f}%"
+        )
+    tasks = summary["top_tasks"]
+    if tasks:
+        lines.append("")
+        lines.append(f"top {len(tasks)} slowest task attempts:")
+        for t in tasks:
+            lines.append(
+                f"  {t.get('kind', '?')}-task {t.get('task_id', -1):>4}  "
+                f"{_fmt_seconds(float(t.get('duration', 0.0))):>10}  "
+                f"emitted={t.get('records_emitted', 0)} "
+                f"received={t.get('records_received', 0)}"
+            )
+    failures = summary["failures"]
+    if failures:
+        lines.append("")
+        lines.append("failure timeline:")
+        for f in failures:
+            ts = f["ts"]
+            stamp = f"t+{_fmt_seconds(ts)}" if ts >= 0 else "t+?"
+            detail = f["detail"]
+            text = detail.get("error", "") if isinstance(detail, dict) else ""
+            lines.append(f"  {stamp:>12}  [{f['cat']}] {f['kind']} {text}".rstrip())
+    if summary["series"]:
+        lines.append("")
+        lines.append(
+            "metric series: " + ", ".join(summary["series"])
+        )
+    return "\n".join(lines)

@@ -1,0 +1,227 @@
+"""The per-job JSONL event journal and the Chrome/Perfetto exporter.
+
+A journal is a newline-delimited JSON file with one record per line,
+each tagged with a ``type``:
+
+* ``meta``    — job name, nprocs, mode, attempt count, schema version
+* ``event``   — one tracer event (``ph`` is ``X`` span / ``i`` instant /
+  ``C`` counter; ``ts``/``dur`` in seconds relative to the job epoch)
+* ``series``  — one windowed metrics time series (``times``/``values``)
+* ``summary`` — driver-side digest: per-worker phase times and wall,
+  merged job phase times, per-task metrics, failure timeline
+
+The format is append-friendly (a crashed run still has a parsable
+prefix) and greppable.  :func:`to_chrome_trace` converts a journal to
+the Chrome ``trace.json`` format: load it at ``chrome://tracing`` or
+https://ui.perfetto.dev.  Each rank becomes a process lane, each thread
+a named track; counters render as counter tracks.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "Journal",
+    "JournalWriter",
+    "export_chrome",
+    "read_journal",
+    "to_chrome_trace",
+    "write_journal",
+]
+
+JOURNAL_VERSION = 1
+
+
+class JournalWriter:
+    """Streams journal records to ``path`` (one JSON object per line)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._f = open(path, "w", encoding="utf-8")
+
+    def _write(self, record: dict) -> None:
+        self._f.write(json.dumps(record, default=repr, sort_keys=False))
+        self._f.write("\n")
+
+    def write_meta(self, **meta: Any) -> None:
+        self._write({"type": "meta", "version": JOURNAL_VERSION, **meta})
+
+    def write_event(self, event: dict) -> None:
+        self._write({"type": "event", **event})
+
+    def write_events(self, events: Iterable[dict]) -> None:
+        for event in events:
+            self.write_event(event)
+
+    def write_series(
+        self, name: str, times: list[float], values: list[float]
+    ) -> None:
+        self._write(
+            {"type": "series", "name": name, "times": times, "values": values}
+        )
+
+    def write_summary(self, summary: dict) -> None:
+        self._write({"type": "summary", **summary})
+
+    def close(self) -> None:
+        self._f.close()
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        self.close()
+        return False
+
+
+@dataclass
+class Journal:
+    """A parsed journal."""
+
+    meta: dict = field(default_factory=dict)
+    events: list[dict] = field(default_factory=list)
+    series: dict[str, tuple[list[float], list[float]]] = field(default_factory=dict)
+    summary: dict = field(default_factory=dict)
+
+    @property
+    def spans(self) -> list[dict]:
+        return [e for e in self.events if e.get("ph") == "X"]
+
+    @property
+    def instants(self) -> list[dict]:
+        return [e for e in self.events if e.get("ph") == "i"]
+
+    @property
+    def counters(self) -> list[dict]:
+        return [e for e in self.events if e.get("ph") == "C"]
+
+
+def write_journal(
+    path: str,
+    meta: dict,
+    events: Iterable[dict],
+    series: dict[str, tuple[list[float], list[float]]] | None = None,
+    summary: dict | None = None,
+) -> str:
+    """One-shot journal write; returns ``path``."""
+    with JournalWriter(path) as w:
+        w.write_meta(**meta)
+        w.write_events(events)
+        for name, (times, values) in (series or {}).items():
+            w.write_series(name, times, values)
+        if summary is not None:
+            w.write_summary(summary)
+    return path
+
+
+def read_journal(path: str) -> Journal:
+    """Parse a JSONL journal (tolerates a truncated final line)."""
+    journal = Journal()
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail of a crashed run
+            kind = record.pop("type", None)
+            if kind == "meta":
+                journal.meta = record
+            elif kind == "event":
+                journal.events.append(record)
+            elif kind == "series":
+                journal.series[record["name"]] = (
+                    record["times"], record["values"]
+                )
+            elif kind == "summary":
+                journal.summary = record
+    return journal
+
+
+def to_chrome_trace(journal: Journal) -> dict:
+    """Convert to the Chrome ``trace.json`` object format.
+
+    ``pid`` is the rank (driver/unattributed threads land on pid 0),
+    ``tid`` is a dense index per thread name with ``thread_name``
+    metadata, timestamps are microseconds.
+    """
+    trace_events: list[dict] = []
+    tids: dict[tuple[int, str], int] = {}
+    pids_named: set[int] = set()
+
+    def lane(rank: int, tid_name: str) -> tuple[int, int]:
+        pid = rank if rank >= 0 else 0
+        key = (pid, tid_name)
+        tid = tids.get(key)
+        if tid is None:
+            tid = tids[key] = len([k for k in tids if k[0] == pid])
+            trace_events.append(
+                {
+                    "ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+                    "args": {"name": tid_name},
+                }
+            )
+            if pid not in pids_named:
+                pids_named.add(pid)
+                label = f"rank {pid}" if rank >= 0 else "driver"
+                trace_events.append(
+                    {
+                        "ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+                        "args": {"name": label},
+                    }
+                )
+        return pid, tid
+
+    for event in journal.events:
+        ph = event.get("ph")
+        pid, tid = lane(event.get("rank", -1), event.get("tid", "?"))
+        out: dict[str, Any] = {
+            "ph": ph,
+            "pid": pid,
+            "tid": tid,
+            "name": event.get("name", "?"),
+            "ts": round(event.get("ts", 0.0) * 1e6, 3),
+        }
+        if event.get("cat"):
+            out["cat"] = event["cat"]
+        if ph == "X":
+            out["dur"] = round(event.get("dur", 0.0) * 1e6, 3)
+            if event.get("args"):
+                out["args"] = event["args"]
+        elif ph == "i":
+            out["s"] = "t"  # thread-scoped instant
+            if event.get("args"):
+                out["args"] = event["args"]
+        elif ph == "C":
+            out["args"] = event.get("args", {"value": 0})
+        else:
+            continue
+        trace_events.append(out)
+
+    for name, (times, values) in journal.series.items():
+        for t, v in zip(times, values):
+            trace_events.append(
+                {
+                    "ph": "C", "pid": 0, "tid": 0, "name": name,
+                    "ts": round(t * 1e6, 3), "args": {"value": v},
+                }
+            )
+
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(journal.meta),
+    }
+
+
+def export_chrome(journal: Journal, path: str) -> str:
+    """Write ``trace.json`` for chrome://tracing / Perfetto; returns path."""
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(to_chrome_trace(journal), f, default=repr)
+    return path

@@ -73,3 +73,53 @@ class TestGetLogger:
         finally:
             set_level("warning", "repro.core.engine")
             get_logger("core.engine").removeHandler(handler)
+
+
+class TestTraceLevelAndReentrancy:
+    def test_trace_level_registered_below_debug(self):
+        from repro.common.logging import TRACE
+
+        assert TRACE < logging.DEBUG
+        assert logging.getLevelName(TRACE) == "TRACE"
+
+    def test_env_spec_trace_alias(self):
+        from repro.common.logging import TRACE
+
+        _apply_env("repro.test.tr=trace")
+        assert get_logger("test.tr").isEnabledFor(TRACE)
+        set_level("warning", "repro.test.tr")
+
+    def test_set_level_trace(self):
+        from repro.common.logging import TRACE
+
+        set_level("trace", "repro.test.tr2")
+        assert get_logger("test.tr2").isEnabledFor(TRACE)
+        set_level("warning", "repro.test.tr2")
+
+    def test_set_level_unknown_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            set_level("notalevel")
+
+    def test_configuration_is_reentrant(self):
+        root = logging.getLogger("repro")
+
+        def ours():
+            return [
+                h for h in root.handlers
+                if getattr(h, "_repro_handler", False)
+            ]
+
+        get_logger("test.reenter")
+        assert len(ours()) == 1
+        # repeated in-process launches must not stack handlers
+        get_logger("test.reenter.again")
+        assert len(ours()) == 1
+        # an external teardown strips the handler; the next logger call
+        # restores exactly one
+        for handler in ours():
+            root.removeHandler(handler)
+        assert not ours()
+        get_logger("test.reenter.restored")
+        assert len(ours()) == 1

@@ -1,0 +1,205 @@
+"""End-to-end flight recorder tests: traced jobs, the journal they leave,
+the inspector's report, and the ``repro trace`` CLI."""
+
+import json
+
+import pytest
+
+from repro.core import DataMPIJob, Mode, mpidrun
+from repro.core.constants import MPI_D_Constants as K
+from repro.obs.inspect import (
+    COVERAGE_PHASES,
+    coverage,
+    failure_timeline,
+    format_report,
+    phase_table,
+    summarize_journal,
+    top_tasks,
+)
+from repro.obs.journal import read_journal
+from repro.obs.tracer import TRACER
+
+
+def _job(name="traced", conf=None):
+    def o_fn(ctx):
+        for i in range(200):
+            ctx.send(f"k{i % 20:03d}", 1)
+
+    def a_fn(ctx):
+        for _ in ctx.recv_iter():
+            pass
+
+    return DataMPIJob(
+        name, o_fn, a_fn, o_tasks=2, a_tasks=2, mode=Mode.MAPREDUCE,
+        conf=conf,
+    )
+
+
+@pytest.fixture()
+def traced_result(tmp_path):
+    path = str(tmp_path / "job.trace.jsonl")
+    conf = {K.TRACE_ENABLED: True, K.TRACE_PATH: path,
+            K.TRACE_METRICS_INTERVAL_SECONDS: 0.02}
+    result = mpidrun(_job(conf=conf), nprocs=2, raise_on_error=True)
+    assert TRACER.enabled is False  # always returned to the cheap state
+    return result, path
+
+
+class TestTracedRun:
+    def test_result_carries_trace_path(self, traced_result):
+        result, path = traced_result
+        assert result.success
+        assert result.trace_path == path
+
+    def test_journal_has_all_record_types(self, traced_result):
+        _, path = traced_result
+        j = read_journal(path)
+        assert j.meta["job"] == "traced"
+        assert j.meta["nprocs"] == 2
+        assert j.spans, "expected span events"
+        assert j.summary["success"] is True
+        assert "process.cpu.seconds" in j.series
+
+    def test_task_spans_cover_every_attempt(self, traced_result):
+        result, path = traced_result
+        j = read_journal(path)
+        task_spans = [e for e in j.spans if e.get("cat") == "task"]
+        assert len(task_spans) == len(result.metrics.tasks) == 4
+
+    def test_phase_coverage_meets_the_bar(self, traced_result):
+        _, path = traced_result
+        j = read_journal(path)
+        assert coverage(j) >= 0.95
+        phases = phase_table(j)
+        assert set(phases) & set(COVERAGE_PHASES)
+
+    def test_worker_summary_per_rank(self, traced_result):
+        _, path = traced_result
+        workers = read_journal(path).summary["workers"]
+        assert [w["rank"] for w in workers] == [0, 1]
+        for w in workers:
+            assert w["wall_seconds"] > 0
+            assert w["phase_times"]
+
+    def test_untraced_run_leaves_tracer_cold_and_no_path(self):
+        result = mpidrun(_job("cold"), nprocs=2, raise_on_error=True)
+        assert result.success
+        assert result.trace_path == ""
+        assert TRACER.enabled is False
+        # phase accounting is always on, tracing or not
+        assert result.metrics.phase_times
+        assert len(result.metrics.tasks) == 4
+
+
+class TestTaskMetricsTable:
+    def test_per_task_rows(self):
+        result = mpidrun(_job("table"), nprocs=2, raise_on_error=True)
+        rows = result.task_metrics
+        assert len(rows) == 4
+        kinds = sorted(t.kind for t in rows)
+        assert kinds == ["A", "A", "O", "O"]
+        for t in rows:
+            assert t.worker in (0, 1)
+            assert t.duration > 0
+        o_emitted = sum(
+            t.records_emitted for t in rows if t.kind == "O"
+        )
+        assert o_emitted == 400
+        d = rows[0].as_dict()
+        assert {"task_id", "kind", "worker", "duration"} <= set(d)
+
+
+class TestInspector:
+    def test_summary_and_report(self, traced_result):
+        _, path = traced_result
+        s = summarize_journal(read_journal(path), n_tasks=3)
+        assert s["job"] == "traced"
+        assert s["wall_seconds"] > 0
+        assert len(s["top_tasks"]) == 3
+        assert s["top_tasks"][0]["duration"] >= s["top_tasks"][-1]["duration"]
+        report = format_report(s)
+        assert "phase times" in report
+        assert "coverage" in report
+
+    def test_failure_timeline_from_traced_crash(self, tmp_path):
+        path = str(tmp_path / "crash.trace.jsonl")
+
+        def bad_o(ctx):
+            raise RuntimeError("injected")
+
+        job = DataMPIJob(
+            "crash", bad_o, lambda ctx: list(ctx.recv_iter()),
+            o_tasks=1, a_tasks=1, mode=Mode.MAPREDUCE,
+            conf={K.TRACE_ENABLED: True, K.TRACE_PATH: path},
+        )
+        result = mpidrun(job, nprocs=1)
+        assert not result.success
+        j = read_journal(path)
+        timeline = failure_timeline(j)
+        assert timeline, "expected failure instants/records"
+        assert any(f["cat"] == "failure" for f in timeline)
+        assert j.summary["success"] is False
+
+
+class TestTraceCli:
+    def test_report_and_chrome_export(self, traced_result, tmp_path, capsys):
+        from repro.cli import trace_main
+
+        _, path = traced_result
+        out = str(tmp_path / "trace.json")
+        rc = trace_main([path, "--top", "2", "--out", out,
+                         "--check-coverage", "95"])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "phase times" in printed
+        assert "coverage check passed" in printed
+        with open(out, encoding="utf-8") as f:
+            chrome = json.load(f)
+        assert chrome["traceEvents"]
+
+    def test_json_output(self, traced_result, capsys):
+        from repro.cli import trace_main
+
+        _, path = traced_result
+        assert trace_main([path, "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["job"] == "traced"
+        assert summary["coverage"] >= 0.95
+
+    def test_coverage_gate_fails(self, tmp_path, capsys):
+        from repro.cli import trace_main
+        from repro.obs.journal import write_journal
+
+        path = str(tmp_path / "low.trace.jsonl")
+        write_journal(
+            path, meta={"job": "low"},
+            events=[{"ph": "i", "ts": 0.0, "name": "e", "tid": "t",
+                     "rank": 0}],
+            summary={"workers": [{"rank": 0, "wall_seconds": 10.0,
+                                  "phase_times": {"compute": 1.0}}]},
+        )
+        assert trace_main([path, "--check-coverage", "95"]) == 1
+
+    def test_missing_journal(self, tmp_path, capsys):
+        from repro.cli import trace_main
+
+        assert trace_main([str(tmp_path / "nope.jsonl")]) == 2
+
+    def test_launcher_flags(self, tmp_path, capsys):
+        from repro.cli import main
+
+        journal = str(tmp_path / "wc.trace.jsonl")
+        metrics = str(tmp_path / "wc.metrics.json")
+        rc = main([
+            f"--trace={journal}", "--metrics-json", metrics,
+            "-O", "2", "-A", "2", "-M", "mapreduce",
+            "-jar", "demos.jar", "WordCount", "50",
+        ])
+        assert rc == 0
+        assert read_journal(journal).spans
+        with open(metrics, encoding="utf-8") as f:
+            payload = json.load(f)
+        assert payload["success"] is True
+        assert payload["trace_path"] == journal
+        assert payload["tasks"]
+        assert payload["phase_times"]

@@ -1,0 +1,134 @@
+"""Tracer unit tests: nesting, thread attribution, and the disabled fast
+path (which must not allocate)."""
+
+import sys
+import threading
+
+import pytest
+
+from repro.obs.tracer import TRACER, Tracer, _NULL_SPAN
+
+
+@pytest.fixture()
+def tracer():
+    t = Tracer()
+    t.enable(job="test")
+    yield t
+    t.disable()
+
+
+class TestSpans:
+    def test_span_records_complete_event(self, tracer):
+        with tracer.span("outer", cat="test", args={"x": 1}):
+            pass
+        (event,) = tracer.drain()
+        assert event["ph"] == "X"
+        assert event["name"] == "outer"
+        assert event["cat"] == "test"
+        assert event["args"] == {"x": 1}
+        assert event["dur"] >= 0.0
+
+    def test_nested_spans_nest_in_time(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        events = {e["name"]: e for e in tracer.drain()}
+        outer, inner = events["outer"], events["inner"]
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1e-9
+
+    def test_span_set_attaches_args_mid_span(self, tracer):
+        with tracer.span("s") as span:
+            span.set("records", 7)
+        (event,) = tracer.drain()
+        assert event["args"] == {"records": 7}
+
+    def test_instant_counter_complete(self, tracer):
+        tracer.instant("boom", cat="failure", args={"worker": 2})
+        tracer.counter("depth", 3, cat="q")
+        tracer.complete("pre", tracer.clock() - 0.5, 0.25, cat="io")
+        events = {e["name"]: e for e in tracer.drain()}
+        assert events["boom"]["ph"] == "i"
+        assert events["depth"]["ph"] == "C"
+        assert events["depth"]["args"] == {"value": 3}
+        assert events["pre"]["ph"] == "X"
+        assert events["pre"]["dur"] == 0.25
+
+    def test_drain_is_time_sorted_across_threads(self, tracer):
+        def work(rank):
+            tracer.bind(rank)
+            with tracer.span(f"w{rank}"):
+                tracer.instant(f"i{rank}")
+
+        threads = [
+            threading.Thread(target=work, args=(r,)) for r in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        events = tracer.drain()
+        assert len(events) == 8
+        assert [e["ts"] for e in events] == sorted(e["ts"] for e in events)
+        # every event carries the rank its thread bound
+        for e in events:
+            assert e["rank"] == int(e["name"][1:])
+
+    def test_enable_clears_previous_buffers(self, tracer):
+        tracer.instant("old")
+        tracer.enable(job="again")
+        tracer.instant("new")
+        names = [e["name"] for e in tracer.drain()]
+        assert names == ["new"]
+
+    def test_rebind_after_enable_generation(self, tracer):
+        tracer.bind(3)
+        tracer.instant("a")
+        tracer.enable(job="again")
+        # stale thread-local buffer must re-register, losing the old rank
+        tracer.instant("b")
+        (event,) = tracer.drain()
+        assert event["rank"] == -1
+
+
+class TestDisabledFastPath:
+    def test_span_returns_shared_null_singleton(self):
+        t = Tracer()
+        assert t.span("x") is _NULL_SPAN
+        assert t.span("y", cat="c") is _NULL_SPAN
+        with t.span("z") as s:
+            assert s.set("k", 1) is s
+
+    def test_disabled_calls_do_not_allocate(self):
+        t = Tracer()
+        # warm up attribute caches and any lazy interning
+        for _ in range(8):
+            t.span("warm")
+            t.instant("warm")
+            t.counter("warm", 1)
+            t.complete("warm", 0.0, 0.0)
+        before = sys.getallocatedblocks()
+        for _ in range(1000):
+            t.span("hot")
+            t.instant("hot")
+            t.counter("hot", 1)
+            t.complete("hot", 0.0, 0.0)
+        grown = sys.getallocatedblocks() - before
+        # zero allocations per call: any small residue is interpreter noise
+        assert grown < 50, f"disabled tracer allocated {grown} blocks"
+
+    def test_disabled_records_nothing(self):
+        t = Tracer()
+        t.instant("x")
+        t.counter("y", 1)
+        t.complete("z", 0.0, 1.0)
+        with t.span("s"):
+            pass
+        t.enable()
+        assert t.drain() == []
+        t.disable()
+
+
+class TestGlobalTracer:
+    def test_global_tracer_disabled_by_default(self):
+        assert TRACER.enabled is False
