@@ -1,0 +1,211 @@
+"""Rank-backend comparison: threads vs. process-per-rank, real jobs.
+
+The thread backend serializes all rank compute behind the GIL; the
+process backend (``mpi.d.launcher=processes``) buys real parallelism at
+the price of pickling envelopes through the driver-side socket router.
+This bench quantifies that trade on two paper workloads:
+
+* **WordCount (CPU-bound)** — the mapper hashes every token, so O-task
+  compute dominates shuffle volume.  This is the backend's best case:
+  with enough cores the process backend must win.
+* **TeraSort** — shuffle-heavy fixed-length records.  Wire pickling and
+  router forwarding show up here; the interesting number is how much of
+  the thread backend's throughput survives the process boundary.
+
+Writes ``BENCH_BACKENDS.json`` at the repo root: wall time, speedup and
+the per-phase breakdown (compute/communicate/sort/merge) from the job
+metrics, per workload and process count.
+
+The >=1.5x CPU-bound WordCount speedup is asserted only when the
+machine actually has >= 4 cores — on smaller boxes (CI sandboxes, this
+container) the numbers are still recorded, flagged ``cpu_limited``.
+
+Run standalone (preferred for stable numbers)::
+
+    PYTHONPATH=src python benchmarks/bench_backends.py [--quick] [--out PATH]
+
+or under pytest (quick mode, shape assertions only)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_backends.py -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import platform
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.core import FileSink, mapreduce_job, mpidrun  # noqa: E402
+from repro.core.constants import MPI_D_Constants as K  # noqa: E402
+from repro.hdfs.cluster import MiniDFSCluster  # noqa: E402
+from repro.workloads.teragen import RECORD_LEN, teragen_to_dfs  # noqa: E402
+from repro.workloads.terasort import terasort_datampi, verify_terasort_output  # noqa: E402
+from repro.workloads.wordcount import generate_text, wordcount_reference  # noqa: E402
+
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_BACKENDS.json")
+
+#: hash rounds per token — makes the WordCount mapper CPU-bound so the
+#: backends differ by compute parallelism, not shuffle plumbing; sized so
+#: even quick mode runs a couple of seconds of compute, enough to
+#: amortize process startup and router pickling on a small-core machine
+HASH_ROUNDS = 200
+
+LAUNCHERS = ("threads", "processes")
+
+#: phase keys reported in the per-phase breakdown
+PHASES = ("compute", "communicate", "sort", "merge", "checkpoint")
+
+
+def _cpu_mapper(_key, line, emit):
+    for word in line.split():
+        digest = word.encode()
+        for _ in range(HASH_ROUNDS):
+            digest = hashlib.sha256(digest).digest()
+        emit(word, 1)
+
+
+def _reducer(word, counts, emit):
+    emit(word, sum(counts))
+
+
+def _combiner(word, counts):
+    yield sum(counts)
+
+
+def _phase_breakdown(result) -> dict:
+    times = result.metrics.phase_times
+    return {phase: round(times.get(phase, 0.0), 4) for phase in PHASES}
+
+
+def bench_wordcount(nprocs: int, quick: bool) -> dict:
+    """CPU-bound WordCount, both launchers, identical-output check."""
+    lines = generate_text(1000 if quick else 4000, words_per_line=12)
+    expected = wordcount_reference(lines)
+    out: dict[str, dict] = {}
+    merged: dict[str, dict] = {}
+    for launcher in LAUNCHERS:
+        sink = FileSink.temporary(f"bench-wc-{launcher}")
+
+        def provider(rank, size, _lines=lines):
+            for i, line in enumerate(_lines):
+                if i % size == rank:
+                    yield (i, line)
+
+        job = mapreduce_job(
+            f"bench-wc-{launcher}", provider, _cpu_mapper, _reducer, sink,
+            o_tasks=nprocs, a_tasks=max(2, nprocs // 2),
+            conf={K.LAUNCHER: launcher},
+            combiner=_combiner,
+        )
+        t0 = time.perf_counter()
+        result = mpidrun(job, nprocs=nprocs, timeout=600.0, raise_on_error=True)
+        wall = time.perf_counter() - t0
+        merged[launcher] = sink.merged()
+        sink.cleanup()
+        out[launcher] = {
+            "wall_s": round(wall, 3),
+            "phases": _phase_breakdown(result),
+        }
+    assert merged["threads"] == merged["processes"] == expected
+    out["speedup"] = round(
+        out["threads"]["wall_s"] / out["processes"]["wall_s"], 3
+    )
+    out["nprocs"] = nprocs
+    return out
+
+
+def bench_terasort(nprocs: int, quick: bool) -> dict:
+    """Shuffle-heavy TeraSort, both launchers, global-order check."""
+    records = 2000 if quick else 20000
+    out: dict[str, dict] = {}
+    for launcher in LAUNCHERS:
+        cluster = MiniDFSCluster(num_nodes=4, block_size=250 * RECORD_LEN)
+        teragen_to_dfs(cluster.client(0), "/tera/in", records)
+        t0 = time.perf_counter()
+        result = terasort_datampi(
+            cluster, "/tera/in", "/tera/out", o_tasks=nprocs,
+            a_tasks=nprocs, nprocs=nprocs, conf={K.LAUNCHER: launcher},
+        )
+        wall = time.perf_counter() - t0
+        assert result.success
+        assert verify_terasort_output(cluster.client(None), "/tera/out", records)
+        out[launcher] = {
+            "wall_s": round(wall, 3),
+            "phases": _phase_breakdown(result),
+        }
+    out["speedup"] = round(
+        out["threads"]["wall_s"] / out["processes"]["wall_s"], 3
+    )
+    out["nprocs"] = nprocs
+    out["records"] = records
+    return out
+
+
+def run_bench(quick: bool, out_path: str) -> dict:
+    cores = os.cpu_count() or 1
+    cpu_limited = cores < 4
+    nprocs_list = [4] if quick else [4, 8]
+    report = {
+        "bench": "backends",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": cores,
+        "cpu_limited": cpu_limited,
+        "quick": quick,
+        "hash_rounds": HASH_ROUNDS,
+        "wordcount": [],
+        "terasort": [],
+    }
+    for nprocs in nprocs_list:
+        wc = bench_wordcount(nprocs, quick)
+        report["wordcount"].append(wc)
+        print(
+            f"wordcount np={nprocs}: threads {wc['threads']['wall_s']}s, "
+            f"processes {wc['processes']['wall_s']}s, "
+            f"speedup {wc['speedup']}x"
+        )
+        ts = bench_terasort(nprocs, quick)
+        report["terasort"].append(ts)
+        print(
+            f"terasort  np={nprocs}: threads {ts['threads']['wall_s']}s, "
+            f"processes {ts['processes']['wall_s']}s, "
+            f"speedup {ts['speedup']}x"
+        )
+    with open(out_path, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=False)
+        f.write("\n")
+    print(f"wrote {out_path}")
+    if not cpu_limited:
+        best = max(entry["speedup"] for entry in report["wordcount"])
+        assert best > 1.5, (
+            f"CPU-bound WordCount speedup {best}x on {cores} cores — the "
+            "process backend should beat the GIL by >1.5x at np>=4"
+        )
+    return report
+
+
+def test_backends_bench():
+    """Pytest entry point: quick mode, correctness + shape assertions."""
+    report = run_bench(quick=True, out_path=DEFAULT_OUT)
+    assert report["wordcount"] and report["terasort"]
+    for entry in report["wordcount"] + report["terasort"]:
+        for launcher in LAUNCHERS:
+            assert entry[launcher]["wall_s"] > 0
+            assert "compute" in entry[launcher]["phases"]
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    run_bench(quick=parser.parse_args().quick,
+              out_path=parser.parse_args().out)

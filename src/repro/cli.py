@@ -13,11 +13,17 @@ command works out of the box::
     $ mpidrun -O 4 -A 2 -M mapreduce -jar demos.jar WordCount 300
     $ mpidrun -O 2 -A 3 -M streaming -jar demos.jar TopK 2000 5
 
-Observability flags ride along on any launch:
+Observability and backend flags ride along on any launch:
 
     $ mpidrun --trace=/tmp/wc.jsonl -O 4 -A 2 -M mapreduce \\
           -jar demos.jar WordCount 300
     $ mpidrun --metrics-json=/tmp/wc-metrics.json ...
+    $ mpidrun --launcher=processes -O 4 -A 2 -M mapreduce \\
+          -jar demos.jar WordCount 300
+
+``--launcher`` selects the rank backend (``threads`` or ``processes``,
+see ``mpi.d.launcher``); the demos publish their results through
+:class:`~repro.core.FileSink`, so both backends print identical output.
 
 and ``trace`` inspects a recorded journal (also exposed as the ``repro``
 console script, so ``repro trace <journal>`` works)::
@@ -30,11 +36,10 @@ from __future__ import annotations
 
 import json
 import sys
-import threading
 from typing import Any, Callable
 
 from repro.common.errors import DataMPIError
-from repro.core import DataMPIJob, Mode, mpidrun
+from repro.core import DataMPIJob, FileSink, mpidrun
 from repro.core.constants import MPI_D_Constants as K
 from repro.core.metrics import JobResult
 from repro.core.mpidrun import parse_mpidrun_command
@@ -42,8 +47,7 @@ from repro.core.mpidrun import parse_mpidrun_command
 
 def _run_sort(options: dict, params: list[str]) -> JobResult:
     n = int(params[0]) if params else 200
-    outputs: dict[int, list[str]] = {}
-    lock = threading.Lock()
+    sink = FileSink.temporary("sort")
 
     def o_fn(ctx):
         for i in range(ctx.rank, n, ctx.o_size):
@@ -51,10 +55,13 @@ def _run_sort(options: dict, params: list[str]) -> JobResult:
 
     def a_fn(ctx):
         got = [k for k, _ in ctx.recv_iter()]
-        with lock:
-            outputs[ctx.rank] = got
+        sink(ctx.rank, ctx.rank, got)
 
-    result = _launch(options, o_fn, a_fn)
+    try:
+        result = _launch(options, o_fn, a_fn)
+        outputs = sink.merged()
+    finally:
+        sink.cleanup()
     total = sum(len(v) for v in outputs.values())
     print(f"sorted {total} keys across {len(outputs)} partitions")
     for rank in sorted(outputs):
@@ -70,8 +77,7 @@ def _run_wordcount(options: dict, params: list[str]) -> JobResult:
 
     n_lines = int(params[0]) if params else 200
     lines = generate_text(n_lines)
-    counts: dict[str, int] = {}
-    lock = threading.Lock()
+    sink = FileSink.temporary("wordcount")
 
     def o_fn(ctx):
         for i in range(ctx.rank, len(lines), ctx.o_size):
@@ -82,10 +88,13 @@ def _run_wordcount(options: dict, params: list[str]) -> JobResult:
         from repro.core.sorter import group_by_key
 
         for word, ones in group_by_key(ctx.recv_iter()):
-            with lock:
-                counts[word] = sum(ones)
+            sink(ctx.rank, word, sum(ones))
 
-    result = _launch(options, o_fn, a_fn)
+    try:
+        result = _launch(options, o_fn, a_fn)
+        counts = sink.merged()
+    finally:
+        sink.cleanup()
     assert counts == wordcount_reference(lines)
     top = sorted(counts.items(), key=lambda kv: -kv[1])[:5]
     print(f"counted {sum(counts.values())} words, {len(counts)} distinct")
@@ -101,8 +110,7 @@ def _run_topk(options: dict, params: list[str]) -> JobResult:
     n_events = int(params[0]) if params else 2000
     k = int(params[1]) if len(params) > 1 else 5
     words = generate_stream(n_events)
-    partials: list[tuple[str, int]] = []
-    lock = threading.Lock()
+    sink = FileSink.temporary("topk")
 
     def o_fn(ctx):
         for i in range(ctx.rank, len(words), ctx.o_size):
@@ -113,10 +121,13 @@ def _run_topk(options: dict, params: list[str]) -> JobResult:
         for word, _ in ctx.recv_iter():
             local[word] = local.get(word, 0) + 1
         top = heapq.nsmallest(k, local.items(), key=lambda kv: (-kv[1], kv[0]))
-        with lock:
-            partials.extend(top)
+        sink(ctx.rank, ctx.rank, top)
 
-    result = _launch(options, o_fn, a_fn)
+    try:
+        result = _launch(options, o_fn, a_fn)
+        partials = [pair for top in sink.merged().values() for pair in top]
+    finally:
+        sink.cleanup()
     top = merge_topk(partials, k)
     assert top == topk_reference(words, k)
     print(f"top-{k} of {n_events} streamed events:")
@@ -147,8 +158,21 @@ APPLICATIONS: dict[str, Callable[[dict, list[str]], JobResult]] = {
 }
 
 
+def _check_launcher(backend: str) -> str:
+    """Fail fast on a bad ``--launcher`` value, before the job launches."""
+    from repro.common.errors import MPIError
+    from repro.mpi.runtime import create_runtime
+
+    try:
+        create_runtime(backend)
+    except MPIError as exc:
+        raise DataMPIError(str(exc)) from None
+    return backend
+
+
 def _extract_obs_flags(argv: list[str]) -> tuple[list[str], dict, str | None]:
-    """Strip ``--trace[=PATH]`` / ``--metrics-json[=PATH]`` from ``argv``.
+    """Strip ``--trace[=PATH]`` / ``--metrics-json[=PATH]`` /
+    ``--launcher=BACKEND`` from ``argv``.
 
     Returns (remaining argv, conf overrides for the launch, metrics-json
     output path or None).  The flags live outside the paper's mpidrun
@@ -160,7 +184,14 @@ def _extract_obs_flags(argv: list[str]) -> tuple[list[str], dict, str | None]:
     i = 0
     while i < len(argv):
         tok = argv[i]
-        if tok == "--trace":
+        if tok == "--launcher":
+            if i + 1 >= len(argv):
+                raise DataMPIError("--launcher requires a backend name")
+            conf[K.LAUNCHER] = _check_launcher(argv[i + 1])
+            i += 1
+        elif tok.startswith("--launcher="):
+            conf[K.LAUNCHER] = _check_launcher(tok.split("=", 1)[1])
+        elif tok == "--trace":
             conf[K.TRACE_ENABLED] = True
         elif tok.startswith("--trace="):
             conf[K.TRACE_ENABLED] = True

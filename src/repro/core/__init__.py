@@ -18,6 +18,7 @@ from repro.core.context import BipartiteComm, TaskContext
 from repro.core.job import DataMPIJob, common_job, mapreduce_job
 from repro.core.metrics import JobMetrics, JobResult, WorkerMetrics
 from repro.core.mpidrun import mpidrun, parse_mpidrun_command
+from repro.core.output import FileSink
 from repro.core.partition import (
     PartitionWindow,
     hash_partitioner,
@@ -38,6 +39,7 @@ __all__ = [
     "JobResult",
     "JobMetrics",
     "WorkerMetrics",
+    "FileSink",
     "PartitionWindow",
     "hash_partitioner",
     "range_partitioner",

@@ -35,10 +35,10 @@ from repro.core.job import DataMPIJob
 from repro.core.metrics import JobResult, WorkerMetrics
 from repro.core.modes import profile_for
 from repro.core.scheduler import driver_main, merge_reports
-from repro.mpi.runtime import MPIRuntime
+from repro.mpi.runtime import BaseRuntime, ProcessRuntime, create_runtime
 from repro.mpi.transport import FaultInjector
 from repro.common.logging import get_logger
-from repro.obs.journal import JournalWriter, export_chrome, read_journal
+from repro.obs.journal import JournalWriter, export_chrome, merge_shards, read_journal
 from repro.obs.metrics import MetricsRegistry, WindowedSampler
 from repro.obs.tracer import TRACER as _T
 
@@ -62,21 +62,27 @@ def default_process_count(job: DataMPIJob, cap: int = MAX_DEFAULT_PROCESSES) -> 
 
 
 def _collect_failures(
-    runtime: MPIRuntime, exc: BaseException, attempt: int
+    runtime: BaseRuntime, exc: BaseException, attempt: int
 ) -> list[FailureRecord]:
     """Everything the runtime (and the exception itself) knows about why
-    this attempt died, stamped with the attempt number, deduplicated (a
-    record can reach the runtime via both the worker's own exception and
-    the driver's ``fail`` control message) and sorted by blame."""
+    this attempt died, stamped with the attempt number, deduplicated and
+    sorted by blame.  Dedup is by content, not identity: a record can
+    reach the runtime via both the worker's own exception and the
+    driver's ``fail`` control message, and on the process backend those
+    are distinct pickled copies of the same failure."""
     records: list[FailureRecord] = []
-    seen: set[int] = set()
+    seen: set[tuple] = set()
     carried = getattr(exc, "failures", None) or []
     for record in list(runtime.failure_records) + list(carried):
-        if id(record) in seen:
-            continue
-        seen.add(id(record))
         if record.attempt == 0:
             record.attempt = attempt
+        key = (
+            record.kind, record.worker, record.phase, record.task_id,
+            record.round_no, record.attempt, record.error,
+        )
+        if key in seen:
+            continue
+        seen.add(key)
         records.append(record)
     if not records:
         records.append(FailureRecord(kind="abort", attempt=attempt, error=repr(exc)))
@@ -154,6 +160,13 @@ class _TraceSession:
         self.sampler.stop()
         events = _T.drain()
         _T.disable()
+        # process-backend workers leave per-process journal shards next to
+        # the journal; fold them onto the driver's timeline
+        shard_events = merge_shards(self.path)
+        if shard_events:
+            events = sorted(
+                events + shard_events, key=lambda e: e.get("ts", 0.0)
+            )
         summary: dict[str, Any] = {
             "wall_seconds": time.perf_counter() - self.t0,
             "nprocs": self.nprocs,
@@ -214,6 +227,8 @@ def mpidrun(
     if nprocs < 1:
         raise DataMPIError("need at least one working process")
     conf = profile_for(job.mode, job.conf)
+    launcher = str(conf.get(K.LAUNCHER) or "threads")
+    start_method = str(conf.get(K.LAUNCHER_START_METHOD) or "fork")
     ft_enabled = conf.get_bool(K.FT_ENABLED, False)
     max_restarts = conf.get_int(K.JOB_MAX_RESTARTS, 0) if ft_enabled else 0
     max_task_attempts = max(1, conf.get_int(K.TASK_MAX_ATTEMPTS, 4))
@@ -231,7 +246,12 @@ def mpidrun(
             attempt_job = dataclasses.replace(
                 job, conf={**dict(job.conf or {}), K.JOB_ATTEMPT: attempt}
             )
-            runtime = MPIRuntime(fault_injector=fault_injector)
+            runtime = create_runtime(
+                launcher, fault_injector=fault_injector, start_method=start_method
+            )
+            if trace is not None and isinstance(runtime, ProcessRuntime):
+                # workers of this attempt write their tracer events here
+                runtime.trace_shard_prefix = f"{trace.path}.a{attempt}"
             try:
                 results = runtime.run(
                     driver_main, 1, args=(attempt_job, nprocs),

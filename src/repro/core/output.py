@@ -1,0 +1,94 @@
+"""Process-safe job output sinks.
+
+An output collector is called from A tasks — with
+``mpi.d.launcher=processes`` those run in worker processes, so closures
+that append to driver-side memory silently lose the output.
+:class:`FileSink` is the backend-agnostic alternative: each A task
+appends pickled pairs to its own part file under a directory, and the
+driver reads the files back after ``mpidrun`` returns.  One writer per
+part file (tasks are pinned to ranks) keeps appends safe without
+cross-process locking.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from collections import defaultdict
+from typing import Any, Iterator
+
+__all__ = ["FileSink"]
+
+
+class FileSink:
+    """File-backed output collector usable on every rank backend.
+
+    >>> sink = FileSink.temporary("wc")
+    >>> job = mapreduce_job(..., output_collector=sink, ...)  # doctest: +SKIP
+    >>> mpidrun(job, ...)                                     # doctest: +SKIP
+    >>> dict(sink.pairs())                                    # doctest: +SKIP
+    """
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+
+    @classmethod
+    def temporary(cls, name: str = "job") -> "FileSink":
+        return cls(tempfile.mkdtemp(prefix=f"datampi-{name}-out-"))
+
+    def _path(self, rank: int) -> str:
+        return os.path.join(self.directory, f"part-{rank:05d}.pkl")
+
+    def __call__(self, rank: int, key: Any, value: Any) -> None:
+        # append-mode open per record: one writer per part file, and the
+        # stream stays parsable even if the worker dies mid-job
+        with open(self._path(rank), "ab") as f:
+            pickle.dump((key, value), f)
+
+    # -- driver-side readers ---------------------------------------------------
+    def ranks(self) -> list[int]:
+        out = []
+        for name in sorted(os.listdir(self.directory)):
+            if name.startswith("part-") and name.endswith(".pkl"):
+                out.append(int(name[len("part-"):].split(".")[0]))
+        return out
+
+    def pairs_for(self, rank: int) -> Iterator[tuple[Any, Any]]:
+        try:
+            f = open(self._path(rank), "rb")
+        except FileNotFoundError:
+            return
+        with f:
+            while True:
+                try:
+                    yield pickle.load(f)
+                except EOFError:
+                    return
+
+    def pairs(self) -> Iterator[tuple[Any, Any]]:
+        """All pairs, in part order (A-task rank order)."""
+        for rank in self.ranks():
+            yield from self.pairs_for(rank)
+
+    def by_task(self) -> dict[int, list[tuple[Any, Any]]]:
+        out: dict[int, list[tuple[Any, Any]]] = defaultdict(list)
+        for rank in self.ranks():
+            out[rank] = list(self.pairs_for(rank))
+        return dict(out)
+
+    def merged(self) -> dict[Any, Any]:
+        """Pairs folded into a dict (last write per key wins)."""
+        return dict(self.pairs())
+
+    def cleanup(self) -> None:
+        for rank in self.ranks():
+            try:
+                os.unlink(self._path(rank))
+            except OSError:
+                pass
+        try:
+            os.rmdir(self.directory)
+        except OSError:
+            pass

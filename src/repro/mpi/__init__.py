@@ -1,11 +1,19 @@
-"""A from-scratch MPI implementation on threads.
+"""A from-scratch MPI implementation with pluggable rank backends.
 
 The paper layers DataMPI over a native MPI library (MVAPICH2).  Offline we
 have no MPI, so this package implements the MPI subset DataMPI needs, with
 mpi4py-compatible naming where practical:
 
-* ranks are Python threads launched by :class:`~repro.mpi.runtime.MPIRuntime`
-  (the ``mpiexec`` analogue);
+* ranks are launched by a runtime (the ``mpiexec`` analogue) over a
+  pluggable :class:`~repro.mpi.transport.Transport`:
+  :class:`~repro.mpi.runtime.ThreadRuntime` (the historical
+  ``MPIRuntime``) runs thread-per-rank over the zero-copy
+  :class:`~repro.mpi.transport.LocalTransport`, while
+  :class:`~repro.mpi.runtime.ProcessRuntime` runs spawned worlds as one
+  OS process per rank over a socket router
+  (:mod:`repro.mpi.socket_transport`) — pick one with
+  :func:`~repro.mpi.runtime.create_runtime`
+  (``mpi.d.launcher=threads|processes``);
 * point-to-point ``send/recv/isend/irecv/probe`` with ``(source, tag,
   communicator)`` matching, ``ANY_SOURCE``/``ANY_TAG`` wildcards and the
   MPI non-overtaking guarantee;
@@ -25,11 +33,30 @@ from repro.mpi.comm import Intracomm
 from repro.mpi.datatypes import ANY_SOURCE, ANY_TAG, MAX, MIN, PROD, SUM, Op, Status
 from repro.mpi.intercomm import Intercomm
 from repro.mpi.request import Request
-from repro.mpi.runtime import MPIRuntime, run_world
-from repro.mpi.transport import FaultInjector, FaultRule, TruncatedPayload
+from repro.mpi.runtime import (
+    BaseRuntime,
+    MPIRuntime,
+    ProcessRuntime,
+    ThreadRuntime,
+    create_runtime,
+    run_world,
+)
+from repro.mpi.transport import (
+    FaultInjector,
+    FaultRule,
+    LocalTransport,
+    Transport,
+    TruncatedPayload,
+)
 
 __all__ = [
+    "BaseRuntime",
     "MPIRuntime",
+    "ThreadRuntime",
+    "ProcessRuntime",
+    "create_runtime",
+    "Transport",
+    "LocalTransport",
     "run_world",
     "FaultInjector",
     "FaultRule",

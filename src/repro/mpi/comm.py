@@ -77,11 +77,11 @@ class Intracomm:
                 f"rank {rank} out of range for {self.name} (size {self.size})"
             ) from None
 
-    def _endpoint(self, rank: int):
-        return self.runtime.endpoint(self._global(rank))
-
     def _my_endpoint(self):
-        return self.runtime.endpoint(self.group[self._rank])
+        # receives always match against *this* rank's mailbox, which is
+        # local on every backend; sends go through runtime.deposit so the
+        # transport can route them to wherever the destination rank runs
+        return self.runtime.mailbox(self.group[self._rank])
 
     # -- point-to-point -----------------------------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
@@ -150,7 +150,7 @@ class Intracomm:
             context, self._rank, tag, obj, _size_of(obj),
             origin=self.group[self._rank],
         )
-        self._endpoint(dest).deposit(envelope)
+        self.runtime.deposit(self._global(dest), envelope)
         return envelope
 
     # -- internal (collective-context) p2p -----------------------------------
@@ -159,7 +159,7 @@ class Intracomm:
             self.context + 1, self._rank, tag, obj, _size_of(obj),
             origin=self.group[self._rank],
         )
-        self._endpoint(dest).deposit(envelope)
+        self.runtime.deposit(self._global(dest), envelope)
 
     def _coll_recv(self, source: int, tag: int) -> Any:
         return (

@@ -79,10 +79,7 @@ class Intercomm:
         )
 
     def _my_endpoint(self):
-        return self.runtime.endpoint(self.local_group[self._rank])
-
-    def _remote_endpoint(self, rank: int):
-        return self.runtime.endpoint(self.remote_group[rank])
+        return self.runtime.mailbox(self.local_group[self._rank])
 
     # -- point-to-point (dest/source are REMOTE ranks) ------------------------
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
@@ -90,7 +87,7 @@ class Intercomm:
             self.context, self._rank, tag, obj, _size_of(obj),
             origin=self.local_group[self._rank],
         )
-        self._remote_endpoint(dest).deposit(envelope)
+        self.runtime.deposit(self.remote_group[dest], envelope)
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
         self.send(obj, dest, tag)

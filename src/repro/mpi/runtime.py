@@ -1,21 +1,29 @@
-"""The MPI runtime: thread-per-rank launcher, endpoint registry, abort.
+"""MPI runtimes: rank launchers over a pluggable transport.
 
-:class:`MPIRuntime` plays ``mpiexec``: it creates one endpoint and one
-thread per rank, runs ``main(comm, *args)`` on each, and collects return
-values.  Dynamic process management (``Intracomm.spawn``) registers new
-endpoints on the fly, which is how ``mpidrun`` launches DataMPI working
-processes (paper §IV-B).
+Two rank substrates implement the same contract:
 
-Failure semantics match a batch MPI job: the first rank to raise trips a
-runtime-wide abort, every peer blocked in an MPI call raises
-:class:`~repro.common.errors.MPIAbort`, and :meth:`MPIRuntime.run`
-re-raises the original error.
+* :class:`ThreadRuntime` (the historical ``MPIRuntime``) plays
+  ``mpiexec`` inside one interpreter: one endpoint and one thread per
+  rank, messages move through :class:`~repro.mpi.transport.LocalTransport`
+  with zero copies.
+* :class:`ProcessRuntime` runs *spawned* worlds as one OS process per
+  rank (paper §IV-B: mpidrun launches real working processes), connected
+  to a driver-side router over local sockets
+  (:mod:`repro.mpi.socket_transport`).  The initial world — mpidrun's
+  single driver rank — still runs in-process; ``Intracomm.spawn`` is
+  what crosses the process boundary.
 
-Every detected failure — a rank thread dying on an unhandled exception,
-an explicit abort, a rank thread outliving the runtime timeout — is
-captured as a structured :class:`~repro.common.errors.FailureRecord`
-(rank, world, exception, traceback) in :attr:`MPIRuntime.failure_records`
-so supervisors can report a precise cause instead of a bare timeout.
+Pick one with :func:`create_runtime` (``mpi.d.launcher=threads|processes``).
+
+Failure semantics match a batch MPI job on both backends: the first rank
+to raise trips a runtime-wide abort, every peer blocked in an MPI call
+raises :class:`~repro.common.errors.MPIAbort`, and :meth:`BaseRuntime.run`
+re-raises the original error.  Every detected failure — a rank thread
+dying, a worker process exiting without a goodbye, an explicit abort, a
+rank outliving the runtime timeout — is captured as a structured
+:class:`~repro.common.errors.FailureRecord` in
+:attr:`BaseRuntime.failure_records` so supervisors can report a precise
+cause instead of a bare timeout.
 """
 
 from __future__ import annotations
@@ -28,7 +36,14 @@ from typing import Any, Callable, Sequence
 from repro.common.errors import FailureRecord, MPIAbort, MPIError
 from repro.mpi.comm import Intracomm
 from repro.mpi.intercomm import Intercomm
-from repro.mpi.transport import AbortFlag, Endpoint, FaultInjector
+from repro.mpi.transport import (
+    AbortFlag,
+    Endpoint,
+    Envelope,
+    FaultInjector,
+    LocalTransport,
+    Transport,
+)
 
 #: contexts are allocated in blocks of 4:
 #: +0 p2p, +1 collective, +2 merged-p2p, +3 merged-collective
@@ -40,7 +55,7 @@ class _RankThread(threading.Thread):
 
     def __init__(
         self,
-        runtime: "MPIRuntime",
+        runtime: "BaseRuntime",
         comm: Intracomm,
         fn: Callable[..., Any],
         args: tuple,
@@ -63,12 +78,17 @@ class _RankThread(threading.Thread):
             self.runtime.record_error(self.comm, exc)
 
 
-class MPIRuntime:
-    """Endpoint registry + launcher for one MPI 'job'."""
+class BaseRuntime:
+    """Rank registry, context allocation, abort + failure bookkeeping.
+
+    Subclasses choose the transport (:meth:`_make_transport`) and how
+    spawned worlds execute (:meth:`launch_children`)."""
+
+    #: the ``mpi.d.launcher`` value this runtime answers to
+    launcher = "abstract"
 
     def __init__(self, fault_injector: FaultInjector | None = None) -> None:
         self._lock = threading.Lock()
-        self._endpoints: dict[int, Endpoint] = {}
         self._next_global = 0
         self._next_context = 0
         self._threads: list[_RankThread] = []
@@ -76,13 +96,26 @@ class MPIRuntime:
         self._failure_records: list[FailureRecord] = []
         self.fault_injector = fault_injector
         self.abort_flag = AbortFlag()
+        self._transport = self._make_transport()
+
+    def _make_transport(self) -> Transport:
+        raise NotImplementedError
+
+    @property
+    def transport(self) -> Transport:
+        return self._transport
 
     # -- registry -------------------------------------------------------------
-    def endpoint(self, global_rank: int) -> Endpoint:
-        try:
-            return self._endpoints[global_rank]
-        except KeyError:
-            raise MPIError(f"unknown global rank {global_rank}") from None
+    def mailbox(self, global_rank: int) -> Endpoint:
+        """The local mailbox of ``global_rank`` (receive side)."""
+        return self._transport.mailbox(global_rank)
+
+    #: historical name; receives and tests go through ``endpoint`` too
+    endpoint = mailbox
+
+    def deposit(self, dest: int, envelope: Envelope) -> None:
+        """Deliver ``envelope`` to global rank ``dest`` via the transport."""
+        self._transport.deposit(dest, envelope)
 
     def allocate_context(self) -> int:
         """A fresh context block (thread-safe, globally unique)."""
@@ -91,16 +124,15 @@ class MPIRuntime:
             self._next_context += _CONTEXT_STRIDE
             return context
 
-    def _allocate_ranks(self, n: int) -> tuple[int, ...]:
+    def _allocate_ranks(self, n: int, register: bool = True) -> tuple[int, ...]:
         with self._lock:
             start = self._next_global
             self._next_global += n
             ids = tuple(range(start, start + n))
+        if register:
             for gid in ids:
-                self._endpoints[gid] = Endpoint(
-                    gid, self.abort_flag, self.fault_injector
-                )
-            return ids
+                self._transport.register(gid)
+        return ids
 
     # -- error handling ----------------------------------------------------------
     def record_error(self, comm: Intracomm, exc: BaseException) -> None:
@@ -129,14 +161,22 @@ class MPIRuntime:
         with self._lock:
             self._failure_records.append(record)
 
+    def record_remote_error(
+        self, exc: BaseException | None, reason: str
+    ) -> None:
+        """A rank in another process died; its records are already
+        captured.  Adopt the original exception when it survived the wire
+        so :meth:`run` re-raises it exactly like a thread-backend failure."""
+        if exc is not None:
+            with self._lock:
+                self._errors.append(exc)
+        self.abort(reason, record=False)
+
     def abort(self, reason: str, errorcode: int = 1, record: bool = True) -> None:
         if record and not self.abort_flag.is_set():
             self.record_failure(FailureRecord(kind="abort", error=reason))
         self.abort_flag.trip(reason, errorcode)
-        with self._lock:
-            endpoints = list(self._endpoints.values())
-        for endpoint in endpoints:
-            endpoint.wake()
+        self._transport.wake_all()
 
     @property
     def errors(self) -> list[BaseException]:
@@ -156,8 +196,8 @@ class MPIRuntime:
         name: str,
         parent: tuple[tuple[int, ...], int] | None = None,
     ) -> tuple[tuple[int, ...], int | None, list[_RankThread]]:
-        """Create endpoints + threads for a world; returns (group,
-        inter_context, threads).  ``parent`` is (parent_group,
+        """Create endpoints + threads for an in-process world; returns
+        (group, inter_context, threads).  ``parent`` is (parent_group,
         inter_context) when this world is spawned."""
         group = self._allocate_ranks(nprocs)
         world_context = self.allocate_context()
@@ -199,6 +239,9 @@ class MPIRuntime:
         )
         return group, inter_context
 
+    def _finish_join(self, deadline: float | None, timeout: float | None) -> None:
+        """Hook: wait for any non-thread rank carriers (worker processes)."""
+
     def run(
         self,
         fn: Callable[..., Any],
@@ -211,46 +254,199 @@ class MPIRuntime:
         rank order.  Waits for spawned child worlds too."""
         _, _, world_threads = self._start_world(fn, nprocs, args, name)
         deadline = None if timeout is None else time.monotonic() + timeout
-        # join until the thread set is stable (spawn may add threads while
-        # we wait)
-        joined: set[_RankThread] = set()
-        while True:
-            with self._lock:
-                pending = [t for t in self._threads if t not in joined]
-            if not pending:
-                break
-            for thread in pending:
-                remaining = None
-                if deadline is not None:
-                    remaining = max(0.0, deadline - time.monotonic())
-                thread.join(remaining)
-                if thread.is_alive():
-                    self.record_failure(
-                        FailureRecord(
-                            kind="timeout",
-                            where=thread.name,
-                            error=(
-                                f"rank thread {thread.name} still running "
-                                f"after the {timeout}s runtime timeout"
-                            ),
-                        )
-                    )
-                    self.abort(
-                        f"runtime timeout: {thread.name} still running",
-                        errorcode=2,
-                        record=False,
-                    )
-                    thread.join(5.0)
+        try:
+            # join until the thread set is stable (spawn may add threads
+            # while we wait)
+            joined: set[_RankThread] = set()
+            while True:
+                with self._lock:
+                    pending = [t for t in self._threads if t not in joined]
+                if not pending:
+                    break
+                for thread in pending:
+                    remaining = None
+                    if deadline is not None:
+                        remaining = max(0.0, deadline - time.monotonic())
+                    thread.join(remaining)
                     if thread.is_alive():
-                        raise MPIError(
-                            f"rank thread {thread.name} hung past abort"
+                        self.record_failure(
+                            FailureRecord(
+                                kind="timeout",
+                                where=thread.name,
+                                error=(
+                                    f"rank thread {thread.name} still running "
+                                    f"after the {timeout}s runtime timeout"
+                                ),
+                            )
                         )
-                joined.add(thread)
+                        self.abort(
+                            f"runtime timeout: {thread.name} still running",
+                            errorcode=2,
+                            record=False,
+                        )
+                        thread.join(5.0)
+                        if thread.is_alive():
+                            raise MPIError(
+                                f"rank thread {thread.name} hung past abort"
+                            )
+                    joined.add(thread)
+            self._finish_join(deadline, timeout)
+        finally:
+            self._transport.shutdown()
         if self._errors:
             raise self._errors[0]
         if self.abort_flag.is_set():
             raise MPIAbort(self.abort_flag.errorcode, self.abort_flag.reason)
         return [t.result for t in world_threads]
+
+
+class ThreadRuntime(BaseRuntime):
+    """Thread-per-rank over the zero-copy in-process transport."""
+
+    launcher = "threads"
+
+    def _make_transport(self) -> Transport:
+        return LocalTransport(self.abort_flag, self.fault_injector)
+
+
+#: historical name — the thread backend was the only runtime before the
+#: transport split, and most callers/tests construct it under this name
+MPIRuntime = ThreadRuntime
+
+
+class ProcessRuntime(BaseRuntime):
+    """Process-per-rank: spawned worlds fork one OS process per rank.
+
+    The initial world (mpidrun's driver rank) runs in-process and doubles
+    as the message router; ``Intracomm.spawn`` forks worker processes
+    that connect back over a local socket
+    (:class:`repro.mpi.socket_transport.RouterTransport`).  With the
+    default ``fork`` start method, job closures (o_fn/a_fn, partitioners)
+    are inherited by the children and never pickled; only envelopes
+    crossing the wire are.
+    """
+
+    launcher = "processes"
+
+    def __init__(
+        self,
+        fault_injector: FaultInjector | None = None,
+        start_method: str = "fork",
+        trace_shard_prefix: str | None = None,
+    ) -> None:
+        self._procs: list[tuple[Any, Any]] = []  # (Process, _WorkerSpec)
+        self.start_method = start_method
+        #: set by mpidrun when tracing: workers write journal shards here
+        self.trace_shard_prefix = trace_shard_prefix
+        super().__init__(fault_injector)
+
+    def _make_transport(self) -> Transport:
+        from repro.mpi.socket_transport import RouterTransport
+
+        return RouterTransport(self)
+
+    def launch_children(
+        self,
+        fn: Callable[..., Any],
+        nprocs: int,
+        args: tuple,
+        parent_group: tuple[int, ...],
+        name: str,
+    ) -> tuple[tuple[int, ...], int]:
+        from repro.mpi import socket_transport
+
+        inter_context = self.allocate_context()
+        world_context = self.allocate_context()
+        group = self._allocate_ranks(nprocs, register=False)
+        self._transport.expect(group)
+        launched = socket_transport.launch_worker_processes(
+            self,
+            fn=fn,
+            args=tuple(args),
+            group=group,
+            world_context=world_context,
+            parent_group=tuple(parent_group),
+            inter_context=inter_context,
+            name=name,
+        )
+        with self._lock:
+            self._procs.extend(launched)
+        return group, inter_context
+
+    def _finish_join(self, deadline: float | None, timeout: float | None) -> None:
+        """Join worker processes; a straggler past the deadline is a
+        structured timeout failure, then terminated."""
+        joined: set[int] = set()
+        while True:
+            with self._lock:
+                pending = [
+                    (proc, spec)
+                    for proc, spec in self._procs
+                    if id(proc) not in joined
+                ]
+            if not pending:
+                return
+            for proc, spec in pending:
+                remaining = None
+                if deadline is not None:
+                    remaining = max(0.0, deadline - time.monotonic())
+                proc.join(remaining)
+                if proc.is_alive():
+                    self.record_failure(
+                        FailureRecord(
+                            kind="timeout",
+                            worker=spec.rank,
+                            where=spec.name,
+                            error=(
+                                f"worker process {spec.name} still running "
+                                f"after the {timeout}s runtime timeout"
+                            ),
+                        )
+                    )
+                    self.abort(
+                        f"runtime timeout: {spec.name} still running",
+                        errorcode=2,
+                        record=False,
+                    )
+                    proc.join(5.0)
+                    if proc.is_alive():
+                        proc.terminate()
+                        proc.join(2.0)
+                elif (
+                    proc.exitcode not in (0, None)
+                    and not self._transport.ever_connected(spec.gid)
+                    and not self.abort_flag.is_set()
+                ):
+                    # died before the handshake: the router never saw it, so
+                    # the disconnect path cannot have recorded the loss
+                    record = FailureRecord(
+                        kind="rank",
+                        worker=spec.rank,
+                        where=spec.name,
+                        error=(
+                            f"worker process {spec.name} exited with code "
+                            f"{proc.exitcode} before the rank handshake"
+                        ),
+                    )
+                    self.record_failure(record)
+                    self.abort(record.error, record=False)
+                joined.add(id(proc))
+
+
+def create_runtime(
+    launcher: str = "threads",
+    fault_injector: FaultInjector | None = None,
+    start_method: str = "fork",
+) -> BaseRuntime:
+    """The runtime for an ``mpi.d.launcher`` value."""
+    normalized = (launcher or "threads").strip().lower()
+    if normalized in ("threads", "thread", "local"):
+        return ThreadRuntime(fault_injector)
+    if normalized in ("processes", "process", "sockets", "socket"):
+        return ProcessRuntime(fault_injector, start_method=start_method)
+    raise MPIError(
+        f"unknown launcher {launcher!r}; use 'threads' or 'processes'"
+    )
 
 
 def run_world(

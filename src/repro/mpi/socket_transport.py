@@ -1,0 +1,723 @@
+"""Process-per-rank transport: a driver-side router + socket workers.
+
+Topology is a star (paper §IV-B: every working process is connected to
+mpidrun): the :class:`ProcessRuntime` hosts a
+:class:`RouterTransport` — a :class:`~repro.net.wire.FrameServer` plus a
+gid→connection routing table — and every spawned rank runs in its own
+OS process holding one :class:`~repro.mpi.transport.Endpoint` and a
+single connection back to the router.
+
+Semantics are those of the threaded backend, preserved deliberately:
+
+* **Matching** — the matching engine *is* the same :class:`Endpoint`
+  class; only delivery differs.  An envelope is rebuilt in the
+  destination process, so its ``seq`` reflects local arrival order and
+  wildcard receives see the same ordering rules as in-process mail.
+* **Non-overtaking** — frames from one process travel one socket in FIFO
+  order and are forwarded by a single reader thread, so messages between
+  any (sender, receiver) pair never overtake.
+* **Fault injection** — the canonical :class:`FaultInjector` lives in
+  the driver process and is applied at the router for every wire hop
+  (and by ``RouterTransport.deposit`` for driver-local traffic), so rule
+  hit counts and audit events stay observable to the chaos tests exactly
+  as on the threaded backend.  When an injector is installed, workers
+  route even self-sends through the router so the injector sees the same
+  traffic it would see with threads.
+* **Abort wakes everyone** — an abort broadcasts ABORT frames to every
+  worker (bypassing injection: even a severed rank must unwind) and
+  wakes all local endpoints.
+* **Failure capture** — a worker that dies sends a FAIL frame with its
+  :class:`FailureRecord`\\ s when it can; a connection that drops without
+  a BYE is recorded as a rank failure and aborts the world, so a
+  SIGKILL'd worker surfaces as structured evidence, not a hang.
+
+Payloads are pickled only at the wire boundary
+(:data:`repro.net.wire.WIRE_SERDE`); with the default ``fork`` start
+method, job closures reach workers by inheritance, never by pickle.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import queue
+import sys
+import threading
+from dataclasses import dataclass, field
+from time import monotonic as _now
+from typing import Any, Callable, Iterable
+
+from repro.common.errors import FailureRecord, MPIAbort, MPIError
+from repro.common.logging import get_logger
+from repro.mpi.transport import (
+    AbortFlag,
+    Endpoint,
+    Envelope,
+    Transport,
+    TruncatedPayload,
+)
+from repro.net import wire
+from repro.net.wire import FrameConnection, FrameKind
+from repro.obs.tracer import TRACER as _T
+
+_log = get_logger("mpi.socket_transport")
+
+#: how long a worker waits for a router RPC reply before declaring the
+#: driver gone (aborts also break the wait, so this is a last resort)
+_RPC_DEADLINE = 120.0
+
+
+def _encode_envelope(dest: int, envelope: Envelope) -> bytes:
+    """Envelope -> wire frame; truncation travels as a header flag."""
+    payload = envelope.payload
+    flags = 0
+    if isinstance(payload, TruncatedPayload):
+        flags |= wire.FLAG_TRUNCATED
+        payload = payload.original
+    return wire.pack_envelope_frame(
+        envelope.context,
+        envelope.source,
+        envelope.tag,
+        envelope.origin,
+        dest,
+        envelope.nbytes,
+        wire.WIRE_SERDE.dumps(payload),
+        flags,
+    )
+
+
+def _decode_envelope(
+    context: int, source: int, tag: int, origin: int, nbytes: int,
+    flags: int, payload_bytes: bytes,
+) -> Envelope:
+    """Wire frame -> Envelope, built in the *destination* interpreter so
+    ``seq`` reflects local arrival order (wildcard matching)."""
+    payload = wire.WIRE_SERDE.loads(payload_bytes)
+    if flags & wire.FLAG_TRUNCATED:
+        payload = TruncatedPayload(payload)
+    return Envelope(context, source, tag, payload, nbytes, origin=origin)
+
+
+class RouterTransport(Transport):
+    """Driver-side star router: local mailboxes + a gid→socket table.
+
+    Ranks of in-process worlds (the mpidrun driver world) get ordinary
+    local endpoints; ranks announced via :meth:`expect` live in worker
+    processes and are reached through their HELLO'd connection.  Frames
+    deposited before a worker's handshake are buffered and flushed, in
+    order, when it arrives.
+    """
+
+    def __init__(self, runtime: Any) -> None:
+        self._runtime = runtime
+        self.abort_flag: AbortFlag = runtime.abort_flag
+        self.fault_injector = runtime.fault_injector
+        self._lock = threading.Lock()
+        #: gids hosted here -> mailbox (injection is applied centrally in
+        #: deposit/forwarding, so these endpoints carry no injector)
+        self._endpoints: dict[int, Endpoint] = {}
+        #: remote gid -> live connection
+        self._routes: dict[int, FrameConnection] = {}
+        #: connection -> gids it announced
+        self._conn_gids: dict[FrameConnection, set[int]] = {}
+        #: remote gid -> frames parked until its HELLO
+        self._parked: dict[int, list[bytes]] = {}
+        self._expected: set[int] = set()
+        self._ever_connected: set[int] = set()
+        #: gid -> (world-local rank, world name) for failure records
+        self._rank_info: dict[int, tuple[int, str]] = {}
+        #: connections that ended with BYE or FAIL (EOF is then benign)
+        self._closed_clean: set[FrameConnection] = set()
+        self._stopping = False
+        self._server = wire.FrameServer(
+            self._handle_frame, self._handle_disconnect, name="mpi-router"
+        ).start()
+
+    @property
+    def address(self) -> Any:
+        return self._server.address
+
+    # -- Transport ----------------------------------------------------------
+    def register(self, gid: int) -> Endpoint:
+        with self._lock:
+            endpoint = self._endpoints.get(gid)
+            if endpoint is None:
+                endpoint = Endpoint(gid, self.abort_flag, None)
+                self._endpoints[gid] = endpoint
+            return endpoint
+
+    def mailbox(self, gid: int) -> Endpoint:
+        try:
+            return self._endpoints[gid]
+        except KeyError:
+            raise MPIError(
+                f"rank {gid} is hosted in a worker process; only its own "
+                f"process may receive on its mailbox"
+            ) from None
+
+    def local_endpoints(self) -> Iterable[Endpoint]:
+        with self._lock:
+            return list(self._endpoints.values())
+
+    def deposit(self, dest: int, envelope: Envelope) -> None:
+        injector = self.fault_injector
+        if injector is None:
+            self._route_envelope(dest, envelope)
+            return
+        for out in injector.apply(dest, envelope):
+            self._route_envelope(dest, out)
+
+    def wake_all(self) -> None:
+        for endpoint in self.local_endpoints():
+            endpoint.wake()
+        if self.abort_flag.is_set():
+            frame = wire.pack_obj_frame(
+                FrameKind.ABORT,
+                (self.abort_flag.reason, self.abort_flag.errorcode),
+            )
+            with self._lock:
+                conns = set(self._routes.values())
+                # workers that have not handshaken yet get the abort the
+                # moment they do (flushed with their parked frames)
+                for gid in self._expected - set(self._routes):
+                    self._parked.setdefault(gid, []).append(frame)
+            for conn in conns:
+                conn.try_send(frame)
+
+    def shutdown(self) -> None:
+        self._stopping = True
+        self._server.stop()
+
+    # -- bookkeeping for ProcessRuntime -------------------------------------
+    def expect(self, group: tuple[int, ...], name: str = "worker") -> None:
+        """Announce gids that will live in worker processes."""
+        with self._lock:
+            self._expected.update(group)
+            for rank, gid in enumerate(group):
+                self._rank_info[gid] = (rank, name)
+
+    def ever_connected(self, gid: int) -> bool:
+        with self._lock:
+            return gid in self._ever_connected
+
+    # -- routing -------------------------------------------------------------
+    def _route_envelope(self, dest: int, envelope: Envelope) -> None:
+        endpoint = self._endpoints.get(dest)
+        if endpoint is not None:
+            endpoint.deposit(envelope)
+            return
+        self._forward(dest, _encode_envelope(dest, envelope))
+        # the wire is the eager buffer: the send completes on acceptance
+        envelope.delivered.set()
+
+    def _forward(self, dest: int, frame: bytes) -> None:
+        """Send (or park) one pre-packed frame; the routing lock orders
+        parked flushes against direct sends."""
+        with self._lock:
+            conn = self._routes.get(dest)
+            if conn is None:
+                if dest not in self._expected:
+                    raise MPIError(f"no route to global rank {dest}")
+                self._parked.setdefault(dest, []).append(frame)
+                return
+        try:
+            conn.send(frame)
+        except OSError:
+            # receiver is gone; its disconnect handler owns the fallout
+            _log.debug("router: dropping frame for dead rank %d", dest)
+
+    # -- frame handlers (router reader threads) ------------------------------
+    def _handle_frame(self, conn: FrameConnection, kind: int, body: bytes) -> None:
+        if kind == FrameKind.ENVELOPE:
+            self._on_envelope(body)
+        elif kind == FrameKind.HELLO:
+            gid, pid = wire.unpack_obj(body)
+            with self._lock:
+                self._routes[gid] = conn
+                self._conn_gids.setdefault(conn, set()).add(gid)
+                self._ever_connected.add(gid)
+                parked = self._parked.pop(gid, [])
+                for frame in parked:
+                    conn.try_send(frame)
+            _log.debug("router: rank %d online (pid %d)", gid, pid)
+            if self.abort_flag.is_set():
+                conn.try_send(
+                    wire.pack_obj_frame(
+                        FrameKind.ABORT,
+                        (self.abort_flag.reason, self.abort_flag.errorcode),
+                    )
+                )
+        elif kind == FrameKind.RPC_REQ:
+            req_id, method, params = wire.unpack_obj(body)
+            try:
+                result = self._dispatch_rpc(method, params)
+                reply = (req_id, True, result)
+            except Exception as exc:  # noqa: BLE001 - errors travel back
+                reply = (req_id, False, repr(exc))
+            conn.try_send(wire.pack_obj_frame(FrameKind.RPC_REP, reply))
+        elif kind == FrameKind.ABORT_REQ:
+            reason, errorcode = wire.unpack_obj(body)
+            self._runtime.abort(reason, errorcode)
+        elif kind == FrameKind.FAIL:
+            records, exc_blob, fatal = wire.unpack_obj(body)
+            for record in records:
+                self._runtime.record_failure(record)
+            if fatal:
+                # the failure is accounted for; the coming EOF is not news
+                self._closed_clean.add(conn)
+                exc: BaseException | None = None
+                if exc_blob is not None:
+                    try:
+                        exc = pickle.loads(exc_blob)
+                    except Exception:  # noqa: BLE001 - diagnostics only
+                        exc = None
+                reason = records[0].error if records else "worker failed"
+                self._runtime.record_remote_error(exc, reason)
+        elif kind == FrameKind.BYE:
+            self._closed_clean.add(conn)
+        else:
+            _log.warning("router: ignoring unknown frame kind %d", kind)
+
+    def _on_envelope(self, body: bytes) -> None:
+        (context, source, tag, origin, dest, nbytes, flags, payload) = (
+            wire.unpack_envelope_frame(body)
+        )
+        injector = self.fault_injector
+        if injector is None:
+            self._deliver_raw(
+                dest, body, context, source, tag, origin, nbytes, flags, payload
+            )
+            return
+        # Materialize an Envelope for the injector.  The payload is only
+        # unpickled when some rule actually inspects it; otherwise the
+        # router stays metadata-only.
+        needs_payload = any(rule.match is not None for rule in injector.rules)
+        obj: Any = None
+        if needs_payload:
+            obj = wire.WIRE_SERDE.loads(payload)
+        envelope = Envelope(context, source, tag, obj, nbytes, origin=origin)
+        if flags & wire.FLAG_TRUNCATED:
+            envelope.payload = TruncatedPayload(envelope.payload)
+        for out in injector.apply(dest, envelope):
+            out_flags = flags
+            if isinstance(out.payload, TruncatedPayload):
+                out_flags |= wire.FLAG_TRUNCATED
+            frame = wire.pack_frame(
+                FrameKind.ENVELOPE,
+                wire._ENV_HEADER.pack(
+                    out.context, out.source, out.tag, out.origin,
+                    dest, out.nbytes, out_flags,
+                )
+                + payload,
+            )
+            self._deliver_raw(
+                dest, frame[wire._LEN.size + 1:], out.context, out.source,
+                out.tag, out.origin, out.nbytes, out_flags, payload,
+                prepacked=frame,
+            )
+
+    def _deliver_raw(
+        self,
+        dest: int,
+        body: bytes,
+        context: int,
+        source: int,
+        tag: int,
+        origin: int,
+        nbytes: int,
+        flags: int,
+        payload: bytes,
+        prepacked: bytes | None = None,
+    ) -> None:
+        endpoint = self._endpoints.get(dest)
+        if endpoint is not None:
+            endpoint.deposit(
+                _decode_envelope(context, source, tag, origin, nbytes, flags, payload)
+            )
+            return
+        # forwarding re-uses the received body verbatim when unmodified
+        self._forward(
+            dest, prepacked if prepacked is not None else wire.pack_frame(FrameKind.ENVELOPE, body)
+        )
+
+    def _handle_disconnect(self, conn: FrameConnection) -> None:
+        with self._lock:
+            gids = self._conn_gids.pop(conn, set())
+            for gid in gids:
+                if self._routes.get(gid) is conn:
+                    del self._routes[gid]
+            clean = conn in self._closed_clean
+            self._closed_clean.discard(conn)
+        if clean or self._stopping or self.abort_flag.is_set() or not gids:
+            return
+        # EOF without BYE/FAIL: the worker process died ungracefully
+        for gid in sorted(gids):
+            rank, world = self._rank_info.get(gid, (-1, "worker"))
+            record = FailureRecord(
+                kind="rank",
+                worker=rank,
+                where=f"{world}[{rank}]",
+                error=(
+                    f"worker process for global rank {gid} disconnected "
+                    f"without a goodbye (crashed or killed)"
+                ),
+            )
+            self._runtime.record_failure(record)
+        self._runtime.abort(
+            f"lost worker process (global rank(s) {sorted(gids)})", record=False
+        )
+
+    def _dispatch_rpc(self, method: str, params: tuple) -> Any:
+        if method == "alloc_context":
+            return self._runtime.allocate_context()
+        if method == "spawn":
+            fn, nprocs, args, parent_group, name = params
+            return self._runtime.launch_children(
+                fn, nprocs, tuple(args), tuple(parent_group), name
+            )
+        raise MPIError(f"unknown router rpc {method!r}")
+
+
+@dataclass
+class WorkerSpec:
+    """Everything a worker process needs; inherited via fork (fn/args are
+    never pickled on the default start method)."""
+
+    address: Any
+    gid: int
+    group: tuple[int, ...]
+    rank: int
+    world_context: int
+    parent_group: tuple[int, ...]
+    inter_context: int
+    fn: Callable[..., Any]
+    args: tuple
+    world_name: str
+    name: str
+    #: route self-sends through the router so the driver-side injector
+    #: sees the same traffic it would on the threaded backend
+    chaos_routed: bool = False
+    trace_shard: str | None = None
+    trace_epoch: float | None = None
+    trace_meta: dict = field(default_factory=dict)
+
+
+class WorkerTransport(Transport):
+    """One rank's view of the world: its own mailbox + the router link."""
+
+    def __init__(
+        self,
+        abort_flag: AbortFlag,
+        gid: int,
+        conn: FrameConnection,
+        chaos_routed: bool,
+    ) -> None:
+        self.abort_flag = abort_flag
+        self.fault_injector = None
+        self._gid = gid
+        self._conn = conn
+        self._endpoint = Endpoint(gid, abort_flag, None)
+        self._chaos_routed = chaos_routed
+
+    def register(self, gid: int) -> Endpoint:
+        if gid != self._gid:
+            raise MPIError(f"worker process hosts rank {self._gid}, not {gid}")
+        return self._endpoint
+
+    def mailbox(self, gid: int) -> Endpoint:
+        if gid != self._gid:
+            raise MPIError(
+                f"rank {gid}'s mailbox lives in another process "
+                f"(this one hosts {self._gid})"
+            )
+        return self._endpoint
+
+    def local_endpoints(self) -> Iterable[Endpoint]:
+        return (self._endpoint,)
+
+    def deposit(self, dest: int, envelope: Envelope) -> None:
+        if dest == self._gid and not self._chaos_routed:
+            self._endpoint.deposit(envelope)
+            return
+        try:
+            self._conn.send(_encode_envelope(dest, envelope))
+        except OSError:
+            self.abort_flag.trip("lost connection to the mpidrun router")
+            self._endpoint.wake()
+            self.abort_flag.check()
+        envelope.delivered.set()
+
+
+class WorkerRuntime:
+    """Runtime proxy inside a worker process.
+
+    Quacks like :class:`~repro.mpi.runtime.BaseRuntime` for everything a
+    communicator or the engine touches (deposit/mailbox/abort/context
+    allocation/spawn), forwarding global concerns to the router over the
+    wire while keeping matching and abort state process-local.
+    """
+
+    launcher = "processes"
+
+    def __init__(self, spec: WorkerSpec, conn: FrameConnection) -> None:
+        self._spec = spec
+        self._conn = conn
+        self.abort_flag = AbortFlag()
+        self.fault_injector = None
+        self._transport = WorkerTransport(
+            self.abort_flag, spec.gid, conn, spec.chaos_routed
+        )
+        self._failure_records: list[FailureRecord] = []
+        self._rpc_lock = threading.Lock()
+        self._rpc_seq = 0
+        self._rpc_pending: dict[int, queue.SimpleQueue] = {}
+        self._closing = False
+        self._receiver = threading.Thread(
+            target=self._recv_loop, name=f"{spec.name}-wire", daemon=True
+        )
+        self._receiver.start()
+
+    # -- BaseRuntime surface --------------------------------------------------
+    @property
+    def transport(self) -> Transport:
+        return self._transport
+
+    def mailbox(self, gid: int) -> Endpoint:
+        return self._transport.mailbox(gid)
+
+    endpoint = mailbox
+
+    def deposit(self, dest: int, envelope: Envelope) -> None:
+        self._transport.deposit(dest, envelope)
+
+    def allocate_context(self) -> int:
+        return int(self._rpc("alloc_context", ()))
+
+    def launch_children(
+        self,
+        fn: Callable[..., Any],
+        nprocs: int,
+        args: tuple,
+        parent_group: tuple[int, ...],
+        name: str,
+    ) -> tuple[tuple[int, ...], int]:
+        """Spawn-over-socket: the router forks the grandchild world.
+
+        ``fn``/``args`` cross the wire, so worker-initiated spawns need
+        module-level functions and picklable arguments (driver-initiated
+        spawns inherit closures via fork and have no such limit).
+        """
+        group, inter_context = self._rpc(
+            "spawn", (fn, nprocs, tuple(args), tuple(parent_group), name)
+        )
+        return tuple(group), int(inter_context)
+
+    def abort(self, reason: str, errorcode: int = 1, record: bool = True) -> None:
+        self._conn.try_send(
+            wire.pack_obj_frame(FrameKind.ABORT_REQ, (reason, errorcode))
+        )
+        self.abort_flag.trip(reason, errorcode)
+        self._transport.wake_all()
+
+    def record_failure(self, record: FailureRecord) -> None:
+        self._failure_records.append(record)
+        self._conn.try_send(
+            wire.pack_obj_frame(FrameKind.FAIL, ([record], None, False))
+        )
+
+    def record_error(self, comm: Any, exc: BaseException) -> None:
+        import traceback as traceback_mod
+
+        carried = getattr(exc, "failures", None)
+        if carried:
+            records = list(carried)
+        else:
+            records = [
+                FailureRecord(
+                    kind="rank",
+                    worker=getattr(comm, "rank", self._spec.rank),
+                    where=getattr(comm, "name", self._spec.world_name),
+                    error=repr(exc),
+                    traceback=traceback_mod.format_exc(),
+                )
+            ]
+        self._failure_records.extend(records)
+        try:
+            blob = pickle.dumps(exc)
+        except Exception:  # noqa: BLE001 - unpicklable exceptions still report
+            blob = None
+        self._conn.try_send(
+            wire.pack_obj_frame(FrameKind.FAIL, (records, blob, True))
+        )
+        self.abort_flag.trip(f"rank {self._spec.rank}: {exc!r}")
+        self._transport.wake_all()
+
+    @property
+    def failure_records(self) -> list[FailureRecord]:
+        return list(self._failure_records)
+
+    # -- wire plumbing --------------------------------------------------------
+    def _rpc(self, method: str, params: tuple) -> Any:
+        with self._rpc_lock:
+            self._rpc_seq += 1
+            req_id = self._rpc_seq
+            box: queue.SimpleQueue = queue.SimpleQueue()
+            self._rpc_pending[req_id] = box
+        self._conn.send(wire.pack_obj_frame(FrameKind.RPC_REQ, (req_id, method, params)))
+        deadline = _now() + _RPC_DEADLINE
+        while True:
+            try:
+                ok, result = box.get(timeout=0.1)
+                break
+            except queue.Empty:
+                self.abort_flag.check()
+                if _now() > deadline:
+                    raise MPIError(
+                        f"router rpc {method!r} timed out after {_RPC_DEADLINE}s"
+                    ) from None
+        if not ok:
+            raise MPIError(f"router rpc {method!r} failed: {result}")
+        return result
+
+    def _recv_loop(self) -> None:
+        conn = self._conn
+        while True:
+            try:
+                frame = conn.recv()
+            except ConnectionError:
+                frame = None
+            if frame is None:
+                if not self._closing and not self.abort_flag.is_set():
+                    self.abort_flag.trip("lost connection to the mpidrun router")
+                    self._transport.wake_all()
+                return
+            kind, body = frame
+            if kind == FrameKind.ENVELOPE:
+                (context, source, tag, origin, _dest, nbytes, flags, payload) = (
+                    wire.unpack_envelope_frame(body)
+                )
+                self._transport._endpoint.deposit(
+                    _decode_envelope(
+                        context, source, tag, origin, nbytes, flags, payload
+                    )
+                )
+            elif kind == FrameKind.ABORT:
+                reason, errorcode = wire.unpack_obj(body)
+                self.abort_flag.trip(reason, errorcode)
+                self._transport.wake_all()
+            elif kind == FrameKind.RPC_REP:
+                req_id, ok, result = wire.unpack_obj(body)
+                box = self._rpc_pending.pop(req_id, None)
+                if box is not None:
+                    box.put((ok, result))
+            else:
+                _log.warning("worker: ignoring unknown frame kind %d", kind)
+
+    def close(self) -> None:
+        self._closing = True
+        self._conn.try_send(wire.pack_frame(FrameKind.BYE))
+        self._conn.close()
+
+
+def launch_worker_processes(
+    runtime: Any,
+    fn: Callable[..., Any],
+    args: tuple,
+    group: tuple[int, ...],
+    world_context: int,
+    parent_group: tuple[int, ...],
+    inter_context: int,
+    name: str,
+) -> list[tuple[Any, WorkerSpec]]:
+    """Fork one process per rank of a spawned world; returns
+    ``[(Process, WorkerSpec), ...]`` for the runtime to join."""
+    import multiprocessing
+
+    transport: RouterTransport = runtime.transport
+    transport.expect(group, name=name)
+    ctx = multiprocessing.get_context(runtime.start_method)
+    shard_prefix = runtime.trace_shard_prefix
+    launched: list[tuple[Any, WorkerSpec]] = []
+    for rank, gid in enumerate(group):
+        spec = WorkerSpec(
+            address=transport.address,
+            gid=gid,
+            group=group,
+            rank=rank,
+            world_context=world_context,
+            parent_group=parent_group,
+            inter_context=inter_context,
+            fn=fn,
+            args=args,
+            world_name=name,
+            name=f"{name}[{rank}]",
+            chaos_routed=runtime.fault_injector is not None,
+            trace_shard=(
+                f"{shard_prefix}.shard-g{gid}.jsonl" if shard_prefix else None
+            ),
+            trace_epoch=_T._epoch if shard_prefix else None,
+            trace_meta=dict(_T.meta) if shard_prefix else {},
+        )
+        proc = ctx.Process(
+            target=_worker_process_main, args=(spec,), name=spec.name, daemon=True
+        )
+        launched.append((proc, spec))
+    for proc, _ in launched:
+        proc.start()
+    return launched
+
+
+def _worker_process_main(spec: WorkerSpec) -> None:
+    """Entry point of one worker process: handshake, run the rank, report."""
+    from repro.mpi.comm import Intracomm
+    from repro.mpi.intercomm import Intercomm
+
+    _T.reset_after_fork(epoch=spec.trace_epoch)
+    if spec.trace_shard:
+        _T.enabled = True
+        _T.meta = dict(spec.trace_meta)
+    conn = wire.connect_local(spec.address, timeout=30.0)
+    conn.send(wire.pack_obj_frame(FrameKind.HELLO, (spec.gid, os.getpid())))
+    runtime = WorkerRuntime(spec, conn)
+    comm = Intracomm(
+        runtime, spec.world_context, spec.group, spec.rank, name=spec.world_name
+    )
+    comm.parent = Intercomm(
+        runtime,
+        spec.inter_context,
+        local_group=spec.group,
+        remote_group=spec.parent_group,
+        rank=spec.rank,
+        side=1,
+        name=f"{spec.world_name}.parent",
+    )
+    _T.bind(spec.gid)
+    exitcode = 0
+    try:
+        spec.fn(comm, *spec.args)
+    except MPIAbort:
+        pass  # a peer failed first; the driver holds the original record
+    except BaseException as exc:  # noqa: BLE001 - must report before dying
+        runtime.record_error(comm, exc)
+        exitcode = 1
+    finally:
+        if spec.trace_shard:
+            _write_trace_shard(spec.trace_shard)
+        runtime.close()
+    sys.exit(exitcode)
+
+
+def _write_trace_shard(path: str) -> None:
+    """Drain this process's tracer into a journal shard for the driver to
+    merge (``obs.journal.merge_shards``)."""
+    import json
+
+    try:
+        events = _T.drain()
+        if not events:
+            return
+        with open(path, "w", encoding="utf-8") as fh:
+            for event in events:
+                fh.write(json.dumps(event) + "\n")
+    except Exception:  # noqa: BLE001 - tracing must never fail the rank
+        _log.exception("failed to write trace shard %s", path)

@@ -5,6 +5,16 @@ Each global rank owns an :class:`Endpoint`.  Senders deposit
 protocol); receivers match against ``(context, source, tag)`` with
 wildcard support.
 
+How envelopes *move* between ranks is pluggable.  :class:`Transport` is
+the seam: runtimes deposit through it and fetch mailboxes from it, never
+touching a peer's :class:`Endpoint` directly.  :class:`LocalTransport`
+below is the zero-copy in-process implementation (every rank's mailbox
+lives in this interpreter; a deposit is a dict hit + ``deque.append``).
+:mod:`repro.mpi.socket_transport` adds the process-per-rank
+implementation, where remote deposits are pickled and framed over a
+local socket to a driver-side router.  The :class:`Endpoint` matching
+engine is shared by both — only delivery differs.
+
 The mailbox is indexed: every distinct ``(context, source, tag)`` triple
 gets its own FIFO sub-queue, so the exact-match common case (shuffle
 blocks, collective traffic) is an O(1) dict hit + ``popleft`` instead of
@@ -37,10 +47,11 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+from abc import ABC, abstractmethod
 from collections import deque
 from dataclasses import dataclass
 from time import monotonic as _now
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 from repro.common.errors import MPIAbort, MPIError
 from repro.mpi.datatypes import ANY_SOURCE, ANY_TAG, Status
@@ -78,6 +89,17 @@ class Envelope:
         self.origin = origin
         #: set when a receiver consumes the message (for synchronous sends)
         self.delivered = threading.Event()
+
+    def restamp(self) -> "Envelope":
+        """Re-stamp ``seq`` from the local counter.
+
+        Wire transports call this when an envelope materializes at its
+        destination process: ``seq`` orders wildcard matching, and that
+        order must reflect *arrival* order in the receiver's interpreter,
+        not the send order of some other process's counter.
+        """
+        self.seq = next(_seq)
+        return self
 
     def matches(self, context: int, source: int, tag: int) -> bool:
         return (
@@ -161,6 +183,17 @@ class FaultRule:
             raise MPIError(
                 f"unknown fault action {self.action!r}; use one of {_FAULT_ACTIONS}"
             )
+        if self.match is not None:
+            # Rules must serialize cleanly so chaos configurations can cross
+            # a process boundary (and so the process backend's router can
+            # replay them); closures and lambdas capture interpreter state
+            # that cannot, so reject them at construction time.
+            closure = getattr(self.match, "__closure__", None)
+            if closure or getattr(self.match, "__name__", "") == "<lambda>":
+                raise MPIError(
+                    "FaultRule.match must be a module-level function "
+                    "(picklable); lambdas and closures are not allowed"
+                )
 
     def selects(self, dest_rank: int, envelope: Envelope) -> bool:
         return (
@@ -190,6 +223,19 @@ class FaultInjector:
         self.counts["sever"] = 0
         #: audit trail: (action, origin, dest, context, tag) per applied fault
         self.events: list[tuple[str, int, int, int, int]] = []
+
+    # -- serialization -------------------------------------------------------
+    # Injectors must pickle cleanly (rules already enforce closure-free
+    # ``match`` predicates) so a chaos configuration can be shipped to
+    # another process; the lock is per-interpreter state and is recreated.
+    def __getstate__(self) -> dict[str, Any]:
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     # -- configuration ------------------------------------------------------
     def add_rule(self, rule: FaultRule) -> FaultRule:
@@ -523,6 +569,91 @@ class Endpoint:
         with self._lock:
             return sum(len(q) for q in self._queues.values())
 
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {"pending": self._pending, "bytes_in": self._bytes_in}
+
 
 class _Cancelled(Exception):
     """Internal: a cancelled request backed out of a blocking receive."""
+
+
+class Transport(ABC):
+    """How envelopes move between global ranks.
+
+    A runtime owns exactly one transport.  Communicators deposit through
+    :meth:`deposit` and receive from the mailbox :meth:`mailbox` returns;
+    they never reach into a peer's endpoint directly, which is what makes
+    the rank substrate (threads vs. processes) swappable underneath them.
+    """
+
+    abort_flag: AbortFlag
+    fault_injector: FaultInjector | None
+
+    @abstractmethod
+    def register(self, gid: int) -> Endpoint:
+        """Create (or return) the mailbox for a rank hosted *here*."""
+
+    @abstractmethod
+    def deposit(self, dest: int, envelope: Envelope) -> None:
+        """Deliver ``envelope`` to global rank ``dest``, wherever it runs."""
+
+    @abstractmethod
+    def mailbox(self, gid: int) -> Endpoint:
+        """The local mailbox of global rank ``gid`` (receive side)."""
+
+    @abstractmethod
+    def local_endpoints(self) -> Iterable[Endpoint]:
+        """Every mailbox hosted in this interpreter."""
+
+    def wake_all(self) -> None:
+        """Wake every blocked receiver everywhere (abort propagation)."""
+        for endpoint in self.local_endpoints():
+            endpoint.wake()
+
+    def stats(self) -> dict[int, dict[str, int]]:
+        """Per-rank mailbox statistics for the ranks hosted here."""
+        return {ep.rank: ep.stats() for ep in self.local_endpoints()}
+
+    def shutdown(self) -> None:
+        """Release transport resources (sockets, worker links...)."""
+
+
+class LocalTransport(Transport):
+    """The in-process implementation: every rank's mailbox lives here.
+
+    A deposit is a direct call into the destination endpoint — zero
+    copies, no serialization.  Fault injection stays where it always was,
+    inside :meth:`Endpoint.deposit` on the sender's thread.
+    """
+
+    def __init__(
+        self,
+        abort_flag: AbortFlag,
+        fault_injector: FaultInjector | None = None,
+    ) -> None:
+        self.abort_flag = abort_flag
+        self.fault_injector = fault_injector
+        self._lock = threading.Lock()
+        self._endpoints: dict[int, Endpoint] = {}
+
+    def register(self, gid: int) -> Endpoint:
+        with self._lock:
+            endpoint = self._endpoints.get(gid)
+            if endpoint is None:
+                endpoint = Endpoint(gid, self.abort_flag, self.fault_injector)
+                self._endpoints[gid] = endpoint
+            return endpoint
+
+    def deposit(self, dest: int, envelope: Envelope) -> None:
+        self.mailbox(dest).deposit(envelope)
+
+    def mailbox(self, gid: int) -> Endpoint:
+        try:
+            return self._endpoints[gid]
+        except KeyError:
+            raise MPIError(f"no endpoint for global rank {gid}") from None
+
+    def local_endpoints(self) -> Iterable[Endpoint]:
+        with self._lock:
+            return list(self._endpoints.values())

@@ -125,6 +125,20 @@ NativeMPIStack = ProtocolStack(
     uses_rdma=True,
 )
 
+#: The process-per-rank socket backend (``mpi.d.launcher=processes``):
+#: loopback/AF_UNIX stream path through :mod:`repro.net.wire` — a kernel
+#: round-trip per frame plus one pickle copy on each side of the wire.
+#: Modelled here for apples-to-apples comparison with the Figure 1a
+#: stacks; deliberately *not* in :data:`PROTOCOLS`, which is pinned to
+#: the paper's three systems.
+LocalSocketStack = ProtocolStack(
+    name="Local Socket",
+    per_chunk_cost=25e-6,  # syscall pair + frame header parse per chunk
+    copies=2.0,  # pickle-out on the sender, pickle-in on the receiver
+    copy_rate=NATIVE_COPY_RATE,
+    uses_rdma=False,
+)
+
 PROTOCOLS: dict[str, ProtocolStack] = {
     stack.name: stack for stack in (JettyHTTPStack, DataMPIStack, NativeMPIStack)
 }

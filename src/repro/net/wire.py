@@ -1,0 +1,302 @@
+"""Length-prefixed frame protocol shared by the socket backends.
+
+This is the *real* wire layer (``net/protocol.py`` is the Figure 1a
+transfer-cost *model*; see :data:`repro.net.protocol.LocalSocketStack`
+for the modelled cost of this stack).  Two consumers share it:
+
+* :mod:`repro.mpi.socket_transport` — the process-per-rank MPI backend
+  routes pickled envelopes between worker processes through a driver-side
+  router using these frames.
+* :mod:`repro.rpc.server` / :mod:`repro.rpc.client` — the Hadoop-style
+  RPC layer serves its call protocol over the same accept/read loops
+  instead of re-implementing them.
+
+Frame layout on the wire::
+
+    !I            frame length N (bytes that follow)
+    B             frame kind (FrameKind)
+    N-1 bytes     body
+
+Envelope frames carry a fixed struct header so the router can route and
+fault-inject on metadata *without unpickling the payload*::
+
+    !5iqB         context, source, tag, origin, dest, nbytes, flags
+    ...           pickled payload (via serde PickleSerializer)
+
+Payloads are pickled at the wire boundary via
+:class:`repro.serde.serialization.PickleSerializer` — the same "Java
+Serializable analogue" the shuffle uses, so anything a job can shuffle
+it can also send across the process boundary.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import socket
+import struct
+import tempfile
+import threading
+from typing import Any, Callable
+
+from repro.common.logging import get_logger
+from repro.serde.serialization import PickleSerializer
+
+_log = get_logger("net.wire")
+
+_LEN = struct.Struct("!I")
+_ENV_HEADER = struct.Struct("!5iqB")
+
+#: single serializer instance for the wire boundary (stateless)
+WIRE_SERDE = PickleSerializer()
+
+MAX_FRAME = 1 << 30  # defensive cap: a corrupt length prefix fails loudly
+
+
+class FrameKind:
+    """One byte discriminating what a frame body means."""
+
+    HELLO = 1       # worker -> router: (gid, pid) rank handshake
+    ENVELOPE = 2    # either direction: header + pickled payload
+    ABORT = 3       # router -> workers: (reason, errorcode); wakes everyone
+    ABORT_REQ = 4   # worker -> router: (reason, errorcode) MPI_Abort request
+    FAIL = 5        # worker -> router: (FailureRecord, repr) rank failure
+    BYE = 6         # worker -> router: clean shutdown (EOF without BYE = crash)
+    RPC_REQ = 7     # worker -> router: (req_id, method, pickled args)
+    RPC_REP = 8     # router -> worker: (req_id, ok, payload-or-error)
+    TRACE = 9       # reserved: inline trace events (shards are file-based)
+
+#: truncate-fault marker in the envelope header flags byte
+FLAG_TRUNCATED = 0x01
+
+
+def pack_frame(kind: int, body: bytes = b"") -> bytes:
+    """One contiguous buffer: length prefix + kind + body."""
+    return _LEN.pack(1 + len(body)) + bytes([kind]) + body
+
+
+def pack_obj_frame(kind: int, obj: Any) -> bytes:
+    """Frame whose body is one serde-pickled object."""
+    return pack_frame(kind, WIRE_SERDE.dumps(obj))
+
+
+def unpack_obj(body: bytes) -> Any:
+    return WIRE_SERDE.loads(body)
+
+
+def pack_envelope_frame(
+    context: int,
+    source: int,
+    tag: int,
+    origin: int,
+    dest: int,
+    nbytes: int,
+    payload: bytes,
+    flags: int = 0,
+) -> bytes:
+    """ENVELOPE frame: routable header + already-pickled payload bytes."""
+    header = _ENV_HEADER.pack(context, source, tag, origin, dest, nbytes, flags)
+    return pack_frame(FrameKind.ENVELOPE, header + payload)
+
+
+def unpack_envelope_frame(body: bytes) -> tuple[int, int, int, int, int, int, int, bytes]:
+    """(context, source, tag, origin, dest, nbytes, flags, payload_bytes)."""
+    context, source, tag, origin, dest, nbytes, flags = _ENV_HEADER.unpack_from(body)
+    return context, source, tag, origin, dest, nbytes, flags, body[_ENV_HEADER.size:]
+
+
+class FrameConnection:
+    """A socket speaking the frame protocol.
+
+    Writes are serialized by a lock so any thread may send; reads are
+    expected from a single reader thread (the accept loop or the worker
+    receiver), matching how both consumers use it.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._send_lock = threading.Lock()
+        self._closed = False
+
+    def send(self, frame: bytes) -> None:
+        """Send one pre-packed frame; raises ConnectionError when closed."""
+        with self._send_lock:
+            if self._closed:
+                raise ConnectionError("frame connection is closed")
+            self._sock.sendall(frame)
+
+    def try_send(self, frame: bytes) -> bool:
+        """Best-effort send for teardown paths (abort fan-out)."""
+        try:
+            self.send(frame)
+            return True
+        except OSError:
+            return False
+
+    def recv(self) -> tuple[int, bytes] | None:
+        """One (kind, body) frame, or ``None`` on orderly/abrupt EOF."""
+        head = self._recv_exact(_LEN.size)
+        if head is None:
+            return None
+        (length,) = _LEN.unpack(head)
+        if not 1 <= length <= MAX_FRAME:
+            raise ConnectionError(f"corrupt frame length {length}")
+        body = self._recv_exact(length)
+        if body is None:
+            return None
+        return body[0], body[1:]
+
+    def _recv_exact(self, n: int) -> bytes | None:
+        chunks: list[bytes] = []
+        remaining = n
+        while remaining:
+            try:
+                chunk = self._sock.recv(min(remaining, 1 << 20))
+            except OSError:
+                return None
+            if not chunk:
+                return None
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def close(self) -> None:
+        with self._send_lock:
+            self._closed = True
+        with contextlib.suppress(OSError):
+            self._sock.shutdown(socket.SHUT_RDWR)
+        with contextlib.suppress(OSError):
+            self._sock.close()
+
+
+def listen_local(name: str = "wire") -> tuple[socket.socket, Any]:
+    """A listening socket reachable from child processes on this host.
+
+    Prefers an abstract-namespace-free AF_UNIX socket under a private
+    tempdir (no TCP stack, no port exhaustion); falls back to loopback
+    TCP on platforms without AF_UNIX.  Returns ``(server, address)``
+    where ``address`` is what :func:`connect_local` accepts.
+    """
+    if hasattr(socket, "AF_UNIX"):
+        directory = tempfile.mkdtemp(prefix=f"repro-{name}-")
+        path = os.path.join(directory, "sock")
+        server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        server.bind(path)
+        server.listen(128)
+        return server, path
+    server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    server.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    server.bind(("127.0.0.1", 0))
+    server.listen(128)
+    return server, server.getsockname()
+
+
+def connect_local(address: Any, timeout: float | None = None) -> FrameConnection:
+    """Connect to a :func:`listen_local` address."""
+    if isinstance(address, str):
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    else:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    if timeout is not None:
+        sock.settimeout(timeout)
+    sock.connect(address)
+    sock.settimeout(None)
+    return FrameConnection(sock)
+
+
+def cleanup_local(address: Any) -> None:
+    """Remove the filesystem residue of an AF_UNIX listen address."""
+    if isinstance(address, str):
+        with contextlib.suppress(OSError):
+            os.unlink(address)
+        with contextlib.suppress(OSError):
+            os.rmdir(os.path.dirname(address))
+
+
+class FrameServer:
+    """Shared accept loop + per-connection frame-read loops.
+
+    Both the MPI process-backend router and the socket RPC server are
+    "accept connections, read frames, hand each to a handler" servers;
+    this class owns that skeleton so neither reimplements it.
+
+    ``handler(conn, kind, body)`` runs on the connection's reader thread
+    (frames from one peer are therefore processed in arrival order — the
+    non-overtaking guarantee the MPI layer needs).  ``on_disconnect(conn)``
+    fires exactly once when the peer goes away, cleanly or not.
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[FrameConnection, int, bytes], None],
+        on_disconnect: Callable[[FrameConnection], None] | None = None,
+        name: str = "wire",
+    ) -> None:
+        self._handler = handler
+        self._on_disconnect = on_disconnect
+        self._name = name
+        self._server, self.address = listen_local(name)
+        self._accept_thread: threading.Thread | None = None
+        self._readers: list[threading.Thread] = []
+        self._conns: list[FrameConnection] = []
+        self._lock = threading.Lock()
+        self._stopping = False
+
+    def start(self) -> "FrameServer":
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"{self._name}-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        while not self._stopping:
+            try:
+                sock, _ = self._server.accept()
+            except OSError:
+                return  # listener closed during stop()
+            if self._server.family == socket.AF_INET:
+                with contextlib.suppress(OSError):
+                    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            conn = FrameConnection(sock)
+            reader = threading.Thread(
+                target=self._read_loop, args=(conn,),
+                name=f"{self._name}-reader", daemon=True,
+            )
+            with self._lock:
+                self._conns.append(conn)
+                self._readers.append(reader)
+            reader.start()
+
+    def _read_loop(self, conn: FrameConnection) -> None:
+        try:
+            while True:
+                frame = conn.recv()
+                if frame is None:
+                    break
+                kind, body = frame
+                try:
+                    self._handler(conn, kind, body)
+                except Exception:  # handler bugs must not kill the reader
+                    _log.exception("%s: frame handler failed", self._name)
+        finally:
+            if self._on_disconnect is not None and not self._stopping:
+                try:
+                    self._on_disconnect(conn)
+                except Exception:
+                    _log.exception("%s: disconnect handler failed", self._name)
+
+    def connections(self) -> list[FrameConnection]:
+        with self._lock:
+            return list(self._conns)
+
+    def stop(self) -> None:
+        self._stopping = True
+        with contextlib.suppress(OSError):
+            self._server.close()
+        cleanup_local(self.address)
+        for conn in self.connections():
+            conn.close()
+        for reader in list(self._readers):
+            reader.join(timeout=2.0)

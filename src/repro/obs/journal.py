@@ -19,7 +19,9 @@ a named track; counters render as counter tracks.
 
 from __future__ import annotations
 
+import glob as _glob
 import json
+import os
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
@@ -28,6 +30,7 @@ __all__ = [
     "Journal",
     "JournalWriter",
     "export_chrome",
+    "merge_shards",
     "read_journal",
     "to_chrome_trace",
     "write_journal",
@@ -116,6 +119,38 @@ def write_journal(
         if summary is not None:
             w.write_summary(summary)
     return path
+
+
+def merge_shards(journal_path: str, cleanup: bool = True) -> list[dict]:
+    """Collect per-process journal shards written by worker processes.
+
+    On the process backend every worker drains its own tracer into
+    ``<journal_path>.a<attempt>.shard-g<gid>.jsonl`` (raw event dicts, one
+    per line, timestamps already on the driver's epoch).  The driver calls
+    this while writing the merged journal; shard files are deleted after
+    a successful read so reruns do not double-count.
+    """
+    events: list[dict] = []
+    for shard in sorted(_glob.glob(f"{_glob.escape(journal_path)}.a*.shard-*.jsonl")):
+        try:
+            with open(shard, "r", encoding="utf-8") as f:
+                for line in f:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        events.append(json.loads(line))
+                    except json.JSONDecodeError:
+                        continue  # torn tail of a crashed worker
+        except OSError:
+            continue
+        if cleanup:
+            try:
+                os.unlink(shard)
+            except OSError:
+                pass
+    events.sort(key=lambda e: e.get("ts", 0.0))
+    return events
 
 
 def read_journal(path: str) -> Journal:

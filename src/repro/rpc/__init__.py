@@ -10,14 +10,22 @@ default Hadoop RPC".
   responder.
 * :class:`~repro.rpc.server.DataMPIRpcServer` — a dispatcher served over
   a ``repro.mpi`` communicator (tag-matched request/response).
+* :class:`~repro.rpc.server.SocketRpcServer` — the Hadoop shape over a
+  real local socket, built on the shared :mod:`repro.net.wire` frame
+  loops (the same ones the MPI process backend's router uses).
 
 Latency *models* of the same two systems live in :mod:`repro.net.latency`;
 this package provides the executable artifacts.
 """
 
-from repro.rpc.client import DataMPIRpcClient, HadoopRpcClient, RpcProxy
+from repro.rpc.client import (
+    DataMPIRpcClient,
+    HadoopRpcClient,
+    RpcProxy,
+    SocketRpcClient,
+)
 from repro.rpc.protocol import RpcCall, RpcResponse, decode_message, encode_message
-from repro.rpc.server import DataMPIRpcServer, HadoopRpcServer
+from repro.rpc.server import DataMPIRpcServer, HadoopRpcServer, SocketRpcServer
 
 __all__ = [
     "RpcCall",
@@ -26,7 +34,9 @@ __all__ = [
     "decode_message",
     "HadoopRpcServer",
     "DataMPIRpcServer",
+    "SocketRpcServer",
     "HadoopRpcClient",
     "DataMPIRpcClient",
+    "SocketRpcClient",
     "RpcProxy",
 ]

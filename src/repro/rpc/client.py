@@ -8,6 +8,7 @@ import threading
 from typing import Any
 
 from repro.common.errors import RPCError
+from repro.net import wire
 from repro.rpc.protocol import RpcCall, RpcResponse, decode_message, encode_message
 from repro.rpc.server import Connection, HadoopRpcServer, _response_tag
 from repro.rpc.server import RPC_REQUEST_TAG
@@ -60,6 +61,63 @@ class HadoopRpcClient:
     def close(self) -> None:
         self._conn.close()
         self._conn.to_client.put(None)
+
+
+class SocketRpcClient:
+    """Client for :class:`~repro.rpc.server.SocketRpcServer`.
+
+    Speaks :mod:`repro.net.wire` frames over a real local socket; safe
+    for concurrent callers — the handler pool may reply out of order, so
+    a reader thread routes responses to waiting calls by id.
+    """
+
+    def __init__(self, address: Any, timeout: float = 30.0) -> None:
+        self._conn = wire.connect_local(address, timeout=timeout)
+        self._timeout = timeout
+        self._ids = itertools.count(1)
+        self._pending: dict[int, "queue.Queue[RpcResponse]"] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        self._reader = threading.Thread(
+            target=self._route_responses, daemon=True,
+            name="socket-rpc-client-reader",
+        )
+        self._reader.start()
+
+    def _route_responses(self) -> None:
+        while True:
+            frame = self._conn.recv()
+            if frame is None:
+                break
+            kind, body = frame
+            if kind != wire.FrameKind.RPC_REP:
+                continue
+            response = decode_message(body)
+            assert isinstance(response, RpcResponse)
+            with self._lock:
+                waiter = self._pending.pop(response.call_id, None)
+            if waiter is not None:
+                waiter.put(response)
+
+    def call(self, method: str, *args: Any) -> Any:
+        if self._closed:
+            raise RPCError("socket RPC client is closed")
+        call = RpcCall(next(self._ids), method, args)
+        waiter: "queue.Queue[RpcResponse]" = queue.Queue(maxsize=1)
+        with self._lock:
+            self._pending[call.call_id] = waiter
+        self._conn.send(wire.pack_frame(wire.FrameKind.RPC_REQ, encode_message(call)))
+        try:
+            response = waiter.get(timeout=self._timeout)
+        except queue.Empty:
+            with self._lock:
+                self._pending.pop(call.call_id, None)
+            raise RPCError(f"RPC {method} timed out after {self._timeout}s") from None
+        return response.unwrap()
+
+    def close(self) -> None:
+        self._closed = True
+        self._conn.close()
 
 
 class DataMPIRpcClient:

@@ -10,6 +10,11 @@ cost the latency model charges it for.
 communicator: requests arrive as tagged messages, handlers reply to the
 source rank.  It is used for the mpidrun<->worker control protocol tests
 and for the Figure 1(b) functional comparison.
+
+:class:`SocketRpcServer` serves the same call protocol over a real
+local socket using the shared :class:`repro.net.wire.FrameServer`
+accept/frame-read loops — the identical skeleton the MPI process
+backend's router runs on, so neither layer reimplements socket serving.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ import traceback
 from typing import Any, Callable
 
 from repro.common.errors import RPCError
+from repro.net import wire
 from repro.rpc.protocol import RpcCall, RpcResponse, decode_message, encode_message
 
 #: reserved tag for DataMPI RPC requests on a communicator
@@ -131,6 +137,74 @@ class HadoopRpcServer:
             assert isinstance(message, RpcCall)
             response = self.registry.invoke(message)
             conn.to_client.put(encode_message(response))
+
+
+class SocketRpcServer:
+    """The Hadoop ipc.Server shape over a real local socket.
+
+    Listener (:class:`~repro.net.wire.FrameServer` accept loop) -> call
+    queue -> handler pool -> response on the originating connection:
+    the same architecture as :class:`HadoopRpcServer`, but clients are
+    other processes.  Connect with
+    :class:`~repro.rpc.client.SocketRpcClient` at :attr:`address`.
+    """
+
+    def __init__(
+        self, target: Any, num_handlers: int = 4, name: str = "ipc-socket"
+    ) -> None:
+        self.registry = HandlerRegistry(target)
+        self.name = name
+        self.calls_served = 0
+        self._call_queue: "queue.Queue[tuple[Any, bytes] | None]" = queue.Queue()
+        self._num_handlers = num_handlers
+        self._handlers: list[threading.Thread] = []
+        self._server = wire.FrameServer(self._on_frame, name=name)
+
+    @property
+    def address(self) -> Any:
+        """What :class:`~repro.rpc.client.SocketRpcClient` connects to."""
+        return self._server.address
+
+    def start(self) -> "SocketRpcServer":
+        self._server.start()
+        for i in range(self._num_handlers):
+            t = threading.Thread(
+                target=self._handler_loop,
+                name=f"{self.name}-handler-{i}", daemon=True,
+            )
+            t.start()
+            self._handlers.append(t)
+        return self
+
+    def _on_frame(self, conn: wire.FrameConnection, kind: int, body: bytes) -> None:
+        # runs on the connection's reader thread: enqueue only, so one
+        # slow call never blocks the connection's other requests
+        if kind == wire.FrameKind.RPC_REQ:
+            self._call_queue.put((conn, body))
+
+    def _handler_loop(self) -> None:
+        while True:
+            item = self._call_queue.get()
+            if item is None:
+                break
+            conn, frame = item
+            message = decode_message(frame)
+            assert isinstance(message, RpcCall)
+            response = self.registry.invoke(message)
+            # count before replying so the client never observes a
+            # response ahead of the served-call accounting
+            self.calls_served += 1
+            # best-effort: the client may have hung up mid-call
+            conn.try_send(
+                wire.pack_frame(wire.FrameKind.RPC_REP, encode_message(response))
+            )
+
+    def stop(self) -> None:
+        for _ in self._handlers:
+            self._call_queue.put(None)
+        self._server.stop()
+        for t in self._handlers:
+            t.join(timeout=5)
 
 
 class DataMPIRpcServer:

@@ -8,7 +8,9 @@ cluster sums — the iteration-mode advantage.
 
 from __future__ import annotations
 
-import threading
+import os
+import shutil
+import tempfile
 from typing import Any
 
 import numpy as np
@@ -64,6 +66,7 @@ def kmeans_datampi(
     o_tasks: int,
     a_tasks: int,
     nprocs: int | None = None,
+    conf: dict | None = None,
 ) -> tuple[JobResult, np.ndarray]:
     """One Iteration-mode job; returns (result, final centroids).
 
@@ -74,8 +77,11 @@ def kmeans_datampi(
     forward centroid, exactly like the reference implementation.
     """
     init = initial_centroids(points, k)
-    final = np.zeros_like(init)
-    lock = threading.Lock()
+    # the collection round publishes through a file: with
+    # ``mpi.d.launcher=processes`` the O task runs in a worker process,
+    # where a closure write to driver memory would be lost
+    final_dir = tempfile.mkdtemp(prefix="datampi-kmeans-")
+    final_path = os.path.join(final_dir, "centroids.npy")
 
     def partitioner(key: Any, value: Any, num: int) -> int:
         # fwd keys: cluster ids (int); bwd keys: (o_rank, cluster) tuples
@@ -93,8 +99,7 @@ def kmeans_datampi(
         ctx.state[("centroids", ctx.rank)] = centroids
         if ctx.round == rounds:  # collection round: publish, send nothing
             if ctx.rank == 0:
-                with lock:
-                    final[:] = centroids
+                np.save(final_path, centroids)
             return
         my_points = points[ctx.rank :: ctx.o_size]
         labels = _assign(my_points, centroids)
@@ -126,8 +131,13 @@ def kmeans_datampi(
         mode=Mode.ITERATION,
         rounds=rounds + 1,
         partitioner=partitioner,
+        conf=dict(conf or {}),
     )
-    result = mpidrun(job, nprocs=nprocs, raise_on_error=True)
+    try:
+        result = mpidrun(job, nprocs=nprocs, raise_on_error=True)
+        final = np.load(final_path)
+    finally:
+        shutil.rmtree(final_dir, ignore_errors=True)
     return result, final
 
 

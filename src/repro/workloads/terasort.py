@@ -7,7 +7,9 @@ ranges; the concatenation of the output partitions is globally sorted.
 
 from __future__ import annotations
 
-import threading
+import os
+import shutil
+import tempfile
 from typing import Any
 
 from repro.core import DataMPIJob, Mode, mpidrun
@@ -63,13 +65,17 @@ def terasort_datampi(
 
     O tasks load HDFS splits "by their ranks and the communicator size"
     (§IV-B's utility function); A tasks receive their range already
-    key-sorted by the shuffle and write an output part file.
+    key-sorted by the shuffle and spill an output part to local disk —
+    the MiniDFS block store is in-memory, so with
+    ``mpi.d.launcher=processes`` a worker-side ``write_file`` would be
+    invisible to the driver.  The driver commits the local parts into
+    HDFS after the job, on both backends alike.
     """
     dfs0 = dfs_cluster.client(None)
     boundaries = sample_boundaries(dfs0, input_path, a_tasks)
     splits = compute_splits(dfs0, input_path)
     fmt = FixedLengthRecordFormat(RECORD_LEN, KEY_LEN)
-    write_lock = threading.Lock()
+    spill_dir = tempfile.mkdtemp(prefix="datampi-terasort-")
 
     def o_fn(ctx):
         dfs = dfs_cluster.client(None)
@@ -81,9 +87,8 @@ def terasort_datampi(
         out = bytearray()
         for key, value in ctx.recv_iter():
             out += key + value
-        dfs = dfs_cluster.client(None)
-        with write_lock:
-            dfs.write_file(f"{output_path}/part-{ctx.rank:05d}", bytes(out))
+        with open(os.path.join(spill_dir, f"part-{ctx.rank:05d}"), "wb") as f:
+            f.write(bytes(out))
 
     job = DataMPIJob(
         name="terasort",
@@ -96,7 +101,14 @@ def terasort_datampi(
         partitioner=range_partitioner(boundaries),
         comparator=bytes_compare,
     )
-    return mpidrun(job, nprocs=nprocs, raise_on_error=True)
+    try:
+        result = mpidrun(job, nprocs=nprocs, raise_on_error=True)
+        for name in sorted(os.listdir(spill_dir)):
+            with open(os.path.join(spill_dir, name), "rb") as f:
+                dfs0.write_file(f"{output_path}/{name}", f.read())
+    finally:
+        shutil.rmtree(spill_dir, ignore_errors=True)
+    return result
 
 
 # -- Hadoop -----------------------------------------------------------------------

@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
-import threading
 from collections import Counter
 
 import numpy as np
 
-from repro.core import mapreduce_job, mpidrun
+from repro.core import FileSink, mapreduce_job, mpidrun
 from repro.core.metrics import JobResult
 from repro.hadoop.engine import MiniHadoopCluster
 from repro.hadoop.io_formats import compute_splits
@@ -61,36 +60,41 @@ def wordcount_datampi(
     nprocs: int | None = None,
     conf: dict | None = None,
 ) -> tuple[JobResult, dict[str, int]]:
-    """WordCount over HDFS text via the bipartite model; returns counts."""
+    """WordCount over HDFS text via the bipartite model; returns counts.
+
+    Output goes through a :class:`~repro.core.output.FileSink`, so the
+    counts come back intact on both rank backends (with
+    ``mpi.d.launcher=processes`` the A tasks run in worker processes and
+    an in-memory collector would stay empty).
+    """
     dfs0 = dfs_cluster.client(None)
     splits = compute_splits(dfs0, input_path)
     from repro.hadoop.io_formats import TextInputFormat
 
     fmt = TextInputFormat()
-    out: dict[str, int] = {}
-    lock = threading.Lock()
 
     def provider(rank: int, size: int):
         dfs = dfs_cluster.client(None)
         for index in range(rank, len(splits), size):
             yield from fmt.read_split(dfs, splits[index])
 
-    def collector(_rank: int, word: str, count: int) -> None:
-        with lock:
-            out[word] = count
-
-    job = mapreduce_job(
-        "wordcount",
-        provider,
-        _mapper,
-        _reducer,
-        collector,
-        o_tasks=o_tasks,
-        a_tasks=a_tasks,
-        conf=conf,
-        combiner=_combiner,
-    )
-    result = mpidrun(job, nprocs=nprocs, raise_on_error=True)
+    sink = FileSink.temporary("wordcount")
+    try:
+        job = mapreduce_job(
+            "wordcount",
+            provider,
+            _mapper,
+            _reducer,
+            sink,
+            o_tasks=o_tasks,
+            a_tasks=a_tasks,
+            conf=conf,
+            combiner=_combiner,
+        )
+        result = mpidrun(job, nprocs=nprocs, raise_on_error=True)
+        out = sink.merged()
+    finally:
+        sink.cleanup()
     return result, out
 
 

@@ -1,0 +1,14 @@
+"""Shared fixtures: backend parametrization for integration tests.
+
+Tests taking the ``launcher`` fixture run once per rank substrate —
+``threads`` (in-process, zero-copy) and ``processes`` (one OS process
+per rank over the socket router).  The contract under test is that the
+engine, supervision and chaos machinery behave identically on both.
+"""
+
+import pytest
+
+
+@pytest.fixture(params=["threads", "processes"])
+def launcher(request):
+    return request.param

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+import pickle
 import threading
 from collections import defaultdict
 from typing import Any
@@ -26,6 +28,54 @@ class Collector:
 
     def all_pairs(self) -> list[tuple[Any, Any]]:
         return [kv for pairs in self.by_task.values() for kv in pairs]
+
+
+class FileCollector:
+    """Output sink that survives a process boundary.
+
+    With ``mpi.d.launcher=processes`` A tasks run in worker processes, so
+    an in-memory :class:`Collector` in the driver never sees their
+    output.  This sink appends each pair to a per-task pickle stream
+    under ``directory``; the driver reads the files after the job.  Works
+    identically on the thread backend, so tests parametrized over
+    launchers use it for both.
+    """
+
+    def __init__(self, directory) -> None:
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+
+    def _path(self, rank: int) -> str:
+        return os.path.join(self.directory, f"part-{rank:05d}.pkl")
+
+    def __call__(self, rank: int, key: Any, value: Any) -> None:
+        # append-mode open per record: atomic enough for one writer per
+        # task file, and robust to abrupt worker death mid-job
+        with open(self._path(rank), "ab") as f:
+            pickle.dump((key, value), f)
+
+    def by_task(self) -> dict[int, list[tuple[Any, Any]]]:
+        out: dict[int, list[tuple[Any, Any]]] = defaultdict(list)
+        for name in sorted(os.listdir(self.directory)):
+            if not name.startswith("part-"):
+                continue
+            rank = int(name[len("part-"):].split(".")[0])
+            with open(os.path.join(self.directory, name), "rb") as f:
+                while True:
+                    try:
+                        out[rank].append(pickle.load(f))
+                    except EOFError:
+                        break
+        return dict(out)
+
+    def merged(self) -> dict[Any, Any]:
+        out: dict[Any, Any] = {}
+        for pairs in self.by_task().values():
+            out.update(pairs)
+        return out
+
+    def all_pairs(self) -> list[tuple[Any, Any]]:
+        return [kv for pairs in self.by_task().values() for kv in pairs]
 
 
 def int_range_input(n: int):

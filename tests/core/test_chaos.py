@@ -5,6 +5,11 @@ shuffle results — benign faults are absorbed transparently (duplicate
 dedup by sequence number, FIFO-preserving delay), destructive faults are
 detected (sequence gaps, truncation markers) and, with fault tolerance
 on, healed by a supervised restart.
+
+Every mpidrun test here runs on both rank backends (the ``launcher``
+fixture).  On the process backend the injector lives at the driver-side
+router — the assertions on counts, events and rule hits read the same
+canonical injector either way.
 """
 
 import time
@@ -13,15 +18,16 @@ from repro.core import mapreduce_job, mpidrun
 from repro.core.constants import MPI_D_Constants as K, SHUFFLE_TAG
 from repro.mpi import FaultInjector
 
-from tests.core.helpers import Collector, expected_wordcount, wordcount_pieces
+from tests.core.helpers import FileCollector, expected_wordcount, wordcount_pieces
 
 TEXTS = [f"w{i % 7} w{(i * 3) % 5} chaos common" for i in range(40)]
 O_TASKS, A_TASKS, NPROCS = 4, 2, 2
 
 
-def make_job(out, conf=None):
+def make_job(out, conf=None, launcher="threads"):
     provider, mapper, reducer = wordcount_pieces(TEXTS)
-    base = {K.SHUFFLE_BATCH_BYTES: 64}  # many small envelopes per channel
+    # many small envelopes per channel
+    base = {K.SHUFFLE_BATCH_BYTES: 64, K.LAUNCHER: launcher}
     base.update(conf or {})
     return mapreduce_job(
         "chaos-wc", provider, mapper, reducer, out,
@@ -44,35 +50,35 @@ def ft_conf(tmp_path, **extra):
 
 
 class TestBenignFaults:
-    def test_duplicated_envelopes_never_double_count(self):
+    def test_duplicated_envelopes_never_double_count(self, tmp_path, launcher):
         injector = FaultInjector()
         injector.duplicate(tag=SHUFFLE_TAG)  # every shuffle envelope, twice
-        out = Collector()
-        result = mpidrun(make_job(out), nprocs=NPROCS, raise_on_error=True,
-                         fault_injector=injector)
+        out = FileCollector(tmp_path / "out")
+        result = mpidrun(make_job(out, launcher=launcher), nprocs=NPROCS,
+                         raise_on_error=True, fault_injector=injector)
         assert result.success
         assert injector.counts["duplicate"] > 0
         assert out.merged() == expected_wordcount(TEXTS)
 
-    def test_delayed_envelopes_preserve_order_and_results(self):
+    def test_delayed_envelopes_preserve_order_and_results(self, tmp_path, launcher):
         injector = FaultInjector()
         injector.delay(0.01, tag=SHUFFLE_TAG, max_matches=8)
-        out = Collector()
-        result = mpidrun(make_job(out), nprocs=NPROCS, raise_on_error=True,
-                         fault_injector=injector)
+        out = FileCollector(tmp_path / "out")
+        result = mpidrun(make_job(out, launcher=launcher), nprocs=NPROCS,
+                         raise_on_error=True, fault_injector=injector)
         assert result.success
         assert injector.counts["delay"] == 8
         assert out.merged() == expected_wordcount(TEXTS)
 
 
 class TestDestructiveFaults:
-    def test_dropped_envelope_detected_and_healed_by_restart(self, tmp_path):
+    def test_dropped_envelope_detected_and_healed_by_restart(self, tmp_path, launcher):
         injector = FaultInjector()
         injector.drop(tag=SHUFFLE_TAG, max_matches=1)  # transient loss
-        out = Collector()
+        out = FileCollector(tmp_path / "out")
         start = time.monotonic()
-        result = mpidrun(make_job(out, ft_conf(tmp_path)), nprocs=NPROCS,
-                         timeout=120.0, fault_injector=injector)
+        result = mpidrun(make_job(out, ft_conf(tmp_path), launcher=launcher),
+                         nprocs=NPROCS, timeout=120.0, fault_injector=injector)
         assert time.monotonic() - start < 60.0
         assert result.success
         assert result.restarts == 1
@@ -80,12 +86,12 @@ class TestDestructiveFaults:
         assert out.merged() == expected_wordcount(TEXTS)
         assert result.failures  # the lost envelope left a structured trace
 
-    def test_truncated_envelope_detected_and_healed_by_restart(self, tmp_path):
+    def test_truncated_envelope_detected_and_healed_by_restart(self, tmp_path, launcher):
         injector = FaultInjector()
         injector.truncate(tag=SHUFFLE_TAG, skip_first=3, max_matches=1)
-        out = Collector()
-        result = mpidrun(make_job(out, ft_conf(tmp_path)), nprocs=NPROCS,
-                         timeout=120.0, fault_injector=injector)
+        out = FileCollector(tmp_path / "out")
+        result = mpidrun(make_job(out, ft_conf(tmp_path), launcher=launcher),
+                         nprocs=NPROCS, timeout=120.0, fault_injector=injector)
         assert result.success
         assert result.restarts == 1
         assert injector.counts["truncate"] == 1
@@ -94,12 +100,13 @@ class TestDestructiveFaults:
 
 
 class TestInjectorMechanics:
-    def test_rules_are_deterministic_and_audited(self, tmp_path):
+    def test_rules_are_deterministic_and_audited(self, tmp_path, launcher):
         injector = FaultInjector()
         rule = injector.drop(tag=SHUFFLE_TAG, skip_first=2, max_matches=1)
-        out = Collector()
+        out = FileCollector(tmp_path / "out")
         result = mpidrun(
-            make_job(out, ft_conf(tmp_path, **{K.JOB_MAX_RESTARTS: 1})),
+            make_job(out, ft_conf(tmp_path, **{K.JOB_MAX_RESTARTS: 1}),
+                     launcher=launcher),
             nprocs=NPROCS, timeout=120.0, fault_injector=injector,
         )
         assert result.success

@@ -45,3 +45,15 @@ class TestCli:
 
     def test_registry_mirrors_paper_programs(self):
         assert {"Sort", "WordCount", "TopK"} <= set(APPLICATIONS)
+
+    @pytest.mark.parametrize("launcher", ["threads", "processes"])
+    def test_launcher_flag_selects_the_backend(self, capsys, launcher):
+        assert main([f"--launcher={launcher}", "-O", "3", "-A", "2",
+                     "-M", "mapreduce", "-jar", "demos.jar",
+                     "WordCount", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "distinct" in out and "success=True" in out
+
+    def test_launcher_flag_rejects_unknown_backend(self, capsys):
+        assert main(["--launcher=fibers", "-O", "2", "-A", "2",
+                     "-M", "common", "-jar", "demos.jar", "Sort", "20"]) != 0

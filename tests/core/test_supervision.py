@@ -5,6 +5,10 @@ One ``mpidrun`` call must ride out an injected crash (restart + reload),
 a severed worker must be blamed by name within the heartbeat deadline,
 and every failure path must produce a precise structured record instead
 of a hang or a bare timeout.
+
+Every test here runs on both rank backends (the ``launcher`` fixture):
+supervision must behave identically whether ranks are threads or OS
+processes behind the socket router.
 """
 
 import time
@@ -16,7 +20,12 @@ from repro.core.constants import CONTROL_TAG, MPI_D_Constants as K
 from repro.core.engine import WorkerEngine
 from repro.mpi import FaultInjector
 
-from tests.core.helpers import Collector, expected_wordcount, wordcount_pieces
+from tests.core.helpers import (
+    Collector,
+    FileCollector,
+    expected_wordcount,
+    wordcount_pieces,
+)
 
 TEXTS = [f"alpha w{i % 7} w{(i * 3) % 5} omega" for i in range(40)]
 O_TASKS, A_TASKS, NPROCS = 4, 2, 2
@@ -26,9 +35,10 @@ def _combiner(word, counts):
     yield sum(counts)
 
 
-def make_job(out, ft_dir, conf=None):
+def make_job(out, ft_dir, conf=None, launcher="threads"):
     provider, mapper, reducer = wordcount_pieces(TEXTS)
     base = {
+        K.LAUNCHER: launcher,
         K.FT_ENABLED: True,
         K.FT_DIR: str(ft_dir),
         K.JOB_ID: "sup-wc",
@@ -45,11 +55,11 @@ def make_job(out, ft_dir, conf=None):
 
 
 class TestAutoResume:
-    def test_single_call_rides_out_injected_crash(self, tmp_path):
+    def test_single_call_rides_out_injected_crash(self, tmp_path, launcher):
         expected = expected_wordcount(TEXTS)
-        out = Collector()
+        out = FileCollector(tmp_path / "out")
         result = mpidrun(
-            make_job(out, tmp_path, conf={
+            make_job(out, tmp_path, launcher=launcher, conf={
                 K.JOB_MAX_RESTARTS: 2,
                 K.INJECT_CRASH_AFTER_RECORDS: 12,
                 K.INJECT_CRASH_TASK: 1,
@@ -68,9 +78,9 @@ class TestAutoResume:
         assert task_failures[0].task_id == 1
         assert "injected crash" in task_failures[0].error
 
-    def test_no_restart_budget_reports_structured_cause(self, tmp_path):
+    def test_no_restart_budget_reports_structured_cause(self, tmp_path, launcher):
         result = mpidrun(
-            make_job(Collector(), tmp_path, conf={
+            make_job(Collector(), tmp_path, launcher=launcher, conf={
                 K.INJECT_CRASH_AFTER_RECORDS: 12,
                 K.INJECT_CRASH_TASK: 1,
             }),
@@ -87,9 +97,9 @@ class TestAutoResume:
         assert primary.traceback
         assert "injected crash" in result.error
 
-    def test_task_max_attempts_stops_the_retry_loop(self, tmp_path):
+    def test_task_max_attempts_stops_the_retry_loop(self, tmp_path, launcher):
         result = mpidrun(
-            make_job(Collector(), tmp_path, conf={
+            make_job(Collector(), tmp_path, launcher=launcher, conf={
                 K.JOB_MAX_RESTARTS: 5,
                 K.TASK_MAX_ATTEMPTS: 2,
                 K.INJECT_CRASH_AFTER_RECORDS: 12,
@@ -108,13 +118,13 @@ class TestAutoResume:
 
 
 class TestHeartbeatDetection:
-    def test_severed_worker_blamed_by_name_within_deadline(self, tmp_path):
+    def test_severed_worker_blamed_by_name_within_deadline(self, tmp_path, launcher):
         injector = FaultInjector()
         injector.sever(2)  # worker 1: globals are driver=0, workers=1..n
         out = Collector()
         start = time.monotonic()
         result = mpidrun(
-            make_job(out, tmp_path, conf={
+            make_job(out, tmp_path, launcher=launcher, conf={
                 K.HEARTBEAT_DEADLINE_SECONDS: 1.0,
                 K.HEARTBEAT_INTERVAL_SECONDS: 0.05,
                 K.PLANE_TIMEOUT_SECONDS: 30.0,
@@ -131,13 +141,13 @@ class TestHeartbeatDetection:
         assert "worker 1" in result.error
         assert "deadline" in result.error
 
-    def test_deadline_zero_disables_detection(self, tmp_path):
+    def test_deadline_zero_disables_detection(self, tmp_path, launcher):
         # a healthy job under heartbeats: detection must not misfire even
         # while enabled, and disabling it changes nothing for clean runs
         for deadline in (0, 2.0):
-            out = Collector()
+            out = FileCollector(tmp_path / f"out{deadline}")
             result = mpidrun(
-                make_job(out, tmp_path / f"d{deadline}", conf={
+                make_job(out, tmp_path / f"d{deadline}", launcher=launcher, conf={
                     K.HEARTBEAT_DEADLINE_SECONDS: deadline,
                     K.HEARTBEAT_INTERVAL_SECONDS: 0.05,
                 }),
@@ -150,51 +160,55 @@ class TestHeartbeatDetection:
 
 class TestDriverRobustness:
     def test_unknown_control_message_aborts_instead_of_hanging(
-        self, tmp_path, monkeypatch
+        self, tmp_path, monkeypatch, launcher
     ):
+        # on the process backend the monkeypatched class is inherited by
+        # the forked workers, so the bogus report fires there too
         def bogus_report(self):
             self.parent.send(("bogus", self.rank), dest=0, tag=CONTROL_TAG)
 
         monkeypatch.setattr(WorkerEngine, "_report", bogus_report)
         start = time.monotonic()
-        result = mpidrun(make_job(Collector(), tmp_path), nprocs=NPROCS,
-                         timeout=120.0)
+        result = mpidrun(make_job(Collector(), tmp_path, launcher=launcher),
+                         nprocs=NPROCS, timeout=120.0)
         assert time.monotonic() - start < 60.0
         assert not result.success
         assert "unknown control message" in result.error
 
 
 class TestStreamingRoundFailures:
-    def _streaming_job(self, a_fn, conf=None):
+    def _streaming_job(self, a_fn, launcher, conf=None):
         def o_fn(ctx):
             for i in range(20):
                 ctx.send(f"k{i % 3}", i)
 
-        base = {K.PLANE_TIMEOUT_SECONDS: 1.0}
+        base = {K.PLANE_TIMEOUT_SECONDS: 1.0, K.LAUNCHER: launcher}
         base.update(conf or {})
         return DataMPIJob(
             "stream-fail", o_fn, a_fn, o_tasks=1, a_tasks=1,
             mode=Mode.STREAMING, conf=base,
         )
 
-    def test_stuck_a_task_raises_descriptive_timeout(self, tmp_path):
+    def test_stuck_a_task_raises_descriptive_timeout(self, tmp_path, launcher):
         def stuck_a(ctx):
             for _ in ctx.recv_iter():
                 pass
             time.sleep(60)  # never finishes within the plane budget
 
         start = time.monotonic()
-        result = mpidrun(self._streaming_job(stuck_a), nprocs=1, timeout=120.0)
+        result = mpidrun(self._streaming_job(stuck_a, launcher), nprocs=1,
+                         timeout=120.0)
         assert time.monotonic() - start < 60.0
         assert not result.success
         assert "still running" in result.error
         assert "plane timeout" in result.error
 
-    def test_consumer_error_outranks_stuck_siblings(self, tmp_path):
+    def test_consumer_error_outranks_stuck_siblings(self, tmp_path, launcher):
         def failing_a(ctx):
             raise ValueError("consumer exploded")
 
-        result = mpidrun(self._streaming_job(failing_a), nprocs=1, timeout=120.0)
+        result = mpidrun(self._streaming_job(failing_a, launcher), nprocs=1,
+                         timeout=120.0)
         assert not result.success
         task_failures = [r for r in result.failures if r.kind == "task"]
         assert task_failures and task_failures[0].phase == "A"

@@ -5,9 +5,14 @@ import threading
 import pytest
 
 from repro.common.errors import RPCError
-from repro.rpc.client import DataMPIRpcClient, HadoopRpcClient, RpcProxy
+from repro.rpc.client import (
+    DataMPIRpcClient,
+    HadoopRpcClient,
+    RpcProxy,
+    SocketRpcClient,
+)
 from repro.rpc.protocol import RpcCall, RpcResponse, decode_message, encode_message
-from repro.rpc.server import DataMPIRpcServer, HadoopRpcServer
+from repro.rpc.server import DataMPIRpcServer, HadoopRpcServer, SocketRpcServer
 from repro.mpi import run_world
 
 
@@ -121,6 +126,98 @@ class TestHadoopRpc:
         server.stop()
         with pytest.raises(RPCError):
             server.connect()
+
+
+class TestSocketRpc:
+    """The Hadoop server shape over the shared repro.net.wire loops."""
+
+    @pytest.fixture()
+    def server(self):
+        server = SocketRpcServer(Calculator(), num_handlers=2).start()
+        yield server
+        server.stop()
+
+    def test_basic_call(self, server):
+        client = SocketRpcClient(server.address)
+        try:
+            assert client.call("add", 2, 3) == 5
+            assert server.calls_served == 1
+        finally:
+            client.close()
+
+    def test_proxy_sugar(self, server):
+        client = SocketRpcClient(server.address)
+        try:
+            proxy = RpcProxy(client)
+            assert proxy.add(10, 20) == 30
+            assert proxy.echo(["deep", {"k": 1}]) == ["deep", {"k": 1}]
+        finally:
+            client.close()
+
+    def test_handler_exception_propagates(self, server):
+        client = SocketRpcClient(server.address)
+        try:
+            with pytest.raises(RPCError, match="intentional"):
+                client.call("fail")
+        finally:
+            client.close()
+
+    def test_unknown_method(self, server):
+        client = SocketRpcClient(server.address)
+        try:
+            with pytest.raises(RPCError, match="no such RPC method"):
+                client.call("nonexistent")
+        finally:
+            client.close()
+
+    def test_concurrent_clients(self, server):
+        results = {}
+
+        def worker(i):
+            client = SocketRpcClient(server.address)
+            try:
+                results[i] = client.call("add", i, i)
+            finally:
+                client.close()
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results == {i: 2 * i for i in range(8)}
+
+    def test_concurrent_calls_one_client(self, server):
+        # the handler pool can reply out of order; the client's reader
+        # thread must route each response back to the right caller
+        client = SocketRpcClient(server.address)
+        results = {}
+
+        def worker(i):
+            results[i] = client.call("echo", i)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(10)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        client.close()
+        assert results == {i: i for i in range(10)}
+
+    def test_call_after_close_raises(self, server):
+        client = SocketRpcClient(server.address)
+        client.close()
+        with pytest.raises(RPCError, match="closed"):
+            client.call("add", 1, 1)
+
+    def test_dict_target(self):
+        server = SocketRpcServer({"double": lambda x: 2 * x}).start()
+        client = SocketRpcClient(server.address)
+        try:
+            assert client.call("double", 21) == 42
+        finally:
+            client.close()
+            server.stop()
 
 
 class TestDataMPIRpc:

@@ -253,3 +253,41 @@ class TestTopK:
     def test_reference_tie_break_deterministic(self):
         words = ["b", "a", "c", "a", "b", "c"]
         assert topk_reference(words, 2) == [("a", 2), ("b", 2)]
+
+
+class TestProcessBackendParity:
+    """The paper workloads must produce identical results when every
+    rank is an OS process (``mpi.d.launcher=processes``) instead of a
+    thread — outputs travel through files/DFS commits, never through
+    driver-memory closures."""
+
+    CONF = {"mpi.d.launcher": "processes"}
+
+    def test_wordcount_matches_reference_on_processes(self):
+        cluster = MiniDFSCluster(num_nodes=3)
+        lines = generate_text(200)
+        write_text_to_dfs(cluster.client(None), "/wc/in", lines)
+        result, counts = wordcount_datampi(
+            cluster, "/wc/in", o_tasks=3, a_tasks=2, nprocs=3, conf=self.CONF
+        )
+        assert result.success
+        assert counts == wordcount_reference(lines)
+
+    def test_terasort_globally_sorted_on_processes(self):
+        cluster = MiniDFSCluster(num_nodes=4, block_size=50 * RECORD_LEN)
+        teragen_to_dfs(cluster.client(0), "/tera/in", 400)
+        result = terasort_datampi(
+            cluster, "/tera/in", "/tera/out", o_tasks=4, a_tasks=3,
+            nprocs=4, conf=self.CONF,
+        )
+        assert result.success
+        assert verify_terasort_output(cluster.client(None), "/tera/out", 400)
+
+    def test_kmeans_matches_lloyd_on_processes(self):
+        points = generate_points(240, 3)
+        reference = kmeans_reference(points, 3, 4)
+        result, centroids = kmeans_datampi(
+            points, 3, 4, o_tasks=3, a_tasks=2, nprocs=3, conf=self.CONF
+        )
+        assert result.success
+        np.testing.assert_allclose(centroids, reference, rtol=1e-10)
