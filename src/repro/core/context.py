@@ -201,6 +201,29 @@ class TaskContext:
                 return
             yield record
 
+    def recv_batch(self):
+        """This task's whole input as one merged record batch, or ``None``.
+
+        Available only when no pair has been consumed yet and the entire
+        partition is resident as sealed batches (no disk spills, no
+        object-tuple blocks, not pipelined) — the zero-materialization
+        fast path for byte workloads: iterate ``batch.iter_views()`` and
+        never build a Python object per record.  Callers must fall back
+        to :meth:`recv` / :meth:`recv_iter` on ``None``.
+        """
+        if self._recv_iter is not None or self._pipelined:
+            return None
+        if self._recv_plane is None:
+            raise DataMPIError(
+                f"{self.kind} task {self.task_id} has nothing to Recv from"
+            )
+        batch = self._recv_plane.merged_batch(self.task_id)
+        if batch is not None:
+            self.metrics.records_received += batch.count
+            # the input is consumed; recv() afterwards sees end-of-stream
+            self._recv_iter = iter(())
+        return batch
+
     # -- lifecycle ----------------------------------------------------------------------
     def close(self) -> None:
         if self._cp_writer is not None:

@@ -37,6 +37,7 @@ from repro.core.sorter import RunStore
 from repro.mpi.datatypes import ANY_SOURCE
 from repro.mpi.transport import TruncatedPayload
 from repro.obs.tracer import TRACER as _T
+from repro.serde.batch import RecordBatch
 from repro.serde.comparators import Compare
 from repro.serde.serialization import Serializer
 
@@ -143,19 +144,36 @@ class ShufflePlane:
             )
         return self.rpls[partition].merged()
 
+    def merged_batch(self, partition: int) -> "RecordBatch | None":
+        """Post-completion partition payload as one contiguous batch.
+
+        ``None`` when the partition holds object runs or spilled to disk;
+        callers fall back to :meth:`merged_iter`.
+        """
+        if not self.complete.is_set():
+            raise DataMPIError(
+                f"plane {self.plane_id}: partition {partition} read before EOS"
+            )
+        return self.rpls[partition].merged_batch()
+
     def stream_iter(self, partition: int) -> Iterator[KV]:
         """Live iterator (Streaming mode): yields pairs as they arrive.
 
-        The queue carries whole blocks (tuples of records); per-partition
-        record order is preserved because the receiver thread enqueues
-        blocks in arrival order and each block is unpacked in order here.
+        The queue carries whole blocks (tuples of records, or sealed
+        record batches decoded lazily here); per-partition record order
+        is preserved because the receiver thread enqueues blocks in
+        arrival order and each block is unpacked in order here.
         """
         stream = self.streams[partition]
+        serializer = self.config.serializer
         while True:
             item = stream.get()
             if item is _STREAM_EOS:
                 return
-            yield from item
+            if isinstance(item, RecordBatch):
+                yield from item.iter_pairs(serializer)
+            else:
+                yield from item
 
     def wait_complete(self, timeout: float | None = None) -> None:
         deadline = None if timeout is None else _now() + timeout

@@ -18,7 +18,8 @@ from typing import Any, Callable, Iterable, Iterator
 
 from repro.common.records import kv_run_bytes
 from repro.obs.tracer import TRACER as _T
-from repro.serde.comparators import Compare, default_compare, sort_key
+from repro.serde.batch import BatchBuilder, RecordBatch, concat_batches
+from repro.serde.comparators import Compare, bytes_compare, default_compare, sort_key
 from repro.serde.io import ChunkedDataInput, DataOutput
 from repro.serde.serialization import Serializer
 
@@ -51,7 +52,8 @@ def _native_class(key: Any) -> type | None:
 def sort_block(records: list[KV], cmp: Compare | None = None) -> list[KV]:
     """Stable in-memory sort of one block by key."""
     cmp = cmp or default_compare
-    if cmp is default_compare:
+    if cmp is default_compare or cmp is bytes_compare:
+        # bytes_compare orders exactly like native ``<`` on bytes keys
         try:
             return sorted(records, key=_key_of)
         except TypeError:
@@ -75,7 +77,9 @@ def merge_runs(
     cmp = cmp or default_compare
     heads: list[tuple[KV, int, Iterator[KV]]] = []
     native_class: type | None = None
-    native = cmp is default_compare
+    # bytes_compare is ``<`` on bytes: raw-key merges (TeraSort) take the
+    # native path too instead of bouncing through cmp_to_key
+    native = cmp is default_compare or cmp is bytes_compare
     for idx, run in enumerate(runs):
         it = iter(run)
         first = next(it, None)
@@ -84,7 +88,11 @@ def merge_runs(
         heads.append((first, idx, it))
         if native:
             cls = _native_class(first[0])
-            if cls is None or (native_class is not None and cls is not native_class):
+            if (
+                cls is None
+                or (cmp is bytes_compare and cls is not bytes)
+                or (native_class is not None and cls is not native_class)
+            ):
                 native = False
             else:
                 native_class = cls
@@ -133,6 +141,27 @@ def _drain_wrapped(
             heapq.heappush(heap, (key_fn(nxt[0]), idx, seq + 1, nxt, it))
 
 
+def merge_batches(
+    batches: list[RecordBatch], cmp: Compare | None, serializer: Serializer
+) -> RecordBatch:
+    """K-way merge sealed batches into one batch, bytes-first.
+
+    Only the keys are decoded (to drive the heap); record payloads are
+    copied as opaque slices into the output batch — no value ever
+    materializes.  Raw batches merge on ``bytes`` key slices, which the
+    native heap fast path compares at C speed.
+    """
+    if cmp is None:
+        return concat_batches(batches)
+    builder = BatchBuilder(serializer, raw=batches[0].raw if batches else False)
+    add_record = builder.add_record
+    for _key, record in merge_runs(
+        [batch.iter_keyed(serializer) for batch in batches], cmp
+    ):
+        add_record(record)
+    return builder.seal()
+
+
 def group_by_key(sorted_records: Iterable[KV]) -> Iterator[tuple[Any, list[Any]]]:
     """Group a key-sorted stream into (key, [values]) — the reduce input."""
     it = iter(sorted_records)
@@ -179,6 +208,8 @@ class SpillFile:
         count: int,
         nbytes: int,
         compressed: bool = False,
+        batch: bool = False,
+        raw: bool = False,
     ):
         self.path = path
         self.serializer = serializer
@@ -186,6 +217,10 @@ class SpillFile:
         #: bytes on disk (post-compression)
         self.nbytes = nbytes
         self.compressed = compressed
+        #: True when the file is one sealed record batch written verbatim
+        #: (length-prefixed layout) instead of back-to-back serialize_kv
+        self.batch = batch
+        self.raw = raw
 
     def __iter__(self) -> Iterator[KV]:
         """Stream the run back with buffered incremental reads.
@@ -196,8 +231,23 @@ class SpillFile:
         """
         with open(self.path, "rb") as f:
             src = ChunkedDataInput(self._chunks(f))
-            for _ in range(self.count):
-                yield self.serializer.deserialize_kv(src)
+            if self.batch:
+                if self.raw:
+                    for _ in range(self.count):
+                        key = src.read_bytes(src.read_vint())
+                        value = src.read_bytes(src.read_vint())
+                        yield key, value
+                else:
+                    deserialize = self.serializer.deserialize
+                    for _ in range(self.count):
+                        src.read_vint()  # record framing; encoding delimits
+                        key = deserialize(src)
+                        src.read_vint()
+                        value = deserialize(src)
+                        yield key, value
+            else:
+                for _ in range(self.count):
+                    yield self.serializer.deserialize_kv(src)
 
     def _chunks(self, f) -> Iterator[bytes]:
         if not self.compressed:
@@ -251,6 +301,26 @@ def spill_run(
     return SpillFile(path, serializer, len(records), len(payload), compress)
 
 
+def spill_batch(
+    batch: RecordBatch,
+    serializer: Serializer,
+    directory: str,
+    stem: str,
+    compress: bool = False,
+) -> SpillFile:
+    """Write a sealed batch to disk verbatim — no per-record re-encode."""
+    payload = batch.data if isinstance(batch.data, bytes) else bytes(batch.data)
+    if compress:
+        payload = zlib.compress(payload, level=1)
+    fd, path = tempfile.mkstemp(prefix=f"{stem}-", suffix=".spill", dir=directory)
+    with os.fdopen(fd, "wb") as f:
+        f.write(payload)
+    return SpillFile(
+        path, serializer, batch.count, len(payload), compress,
+        batch=True, raw=batch.raw,
+    )
+
+
 class RunStore:
     """Accumulates runs for one partition, spilling past a memory budget.
 
@@ -274,7 +344,9 @@ class RunStore:
         self.memory_budget = memory_budget
         self.stem = stem
         self.compress_spills = compress_spills
-        self.memory_runs: list[list[KV]] = []
+        #: in-memory runs: object lists (legacy blocks) or sealed
+        #: :class:`RecordBatch` byte blocks (bytes-first datapath)
+        self.memory_runs: list[list[KV] | RecordBatch] = []
         #: cached payload estimate per in-memory run, parallel to
         #: ``memory_runs`` — sized once on entry, never re-scanned
         self.run_nbytes: list[int] = []
@@ -301,6 +373,11 @@ class RunStore:
         while self.memory_bytes > self.memory_budget and self.memory_runs:
             self._spill_largest()
 
+    def add_batch(self, batch: RecordBatch, nbytes: int | None = None) -> None:
+        """Add a sealed record batch as one run — O(1) on arrival; the
+        batch bytes spill and merge without per-record re-encoding."""
+        self.add_run(batch, len(batch.data) if nbytes is None else nbytes)
+
     def _spill_largest(self) -> None:
         """Spill the largest-by-bytes in-memory run (frees the most budget
         per disk write; the old largest-by-count pick could spill a long
@@ -310,10 +387,16 @@ class RunStore:
         nbytes = self.run_nbytes.pop(idx)
         self.memory_bytes = max(0, self.memory_bytes - nbytes)
         t0 = _clock()
-        spill = spill_run(
-            run, self.serializer, self.directory, self.stem,
-            compress=self.compress_spills,
-        )
+        if isinstance(run, RecordBatch):
+            spill = spill_batch(
+                run, self.serializer, self.directory, self.stem,
+                compress=self.compress_spills,
+            )
+        else:
+            spill = spill_run(
+                run, self.serializer, self.directory, self.stem,
+                compress=self.compress_spills,
+            )
         dur = _clock() - t0
         self.spill_seconds += dur
         if _T.enabled:
@@ -340,16 +423,47 @@ class RunStore:
             "rpl.compact", cat="merge",
             args={"stem": self.stem, "runs": len(self.memory_runs)},
         ):
-            merged = list(merge_runs(self.memory_runs, self.cmp)) if self.cmp else [
-                record for run in self.memory_runs for record in run
-            ]
+            merged: list[KV] | RecordBatch
+            if all(isinstance(run, RecordBatch) for run in self.memory_runs):
+                # bytes-first: keys drive the heap, record slices are
+                # copied verbatim — values never materialize
+                merged = merge_batches(self.memory_runs, self.cmp, self.serializer)
+            else:
+                runs = [self._as_pairs(run) for run in self.memory_runs]
+                merged = list(merge_runs(runs, self.cmp)) if self.cmp else [
+                    record for run in runs for record in run
+                ]
         # merging permutes records but never changes their payload size
         total = sum(self.run_nbytes)
         self.memory_runs = [merged]
         self.run_nbytes = [total]
 
+    def _as_pairs(self, run: list[KV] | RecordBatch) -> Iterable[KV]:
+        if isinstance(run, RecordBatch):
+            return run.iter_pairs(self.serializer)
+        return run
+
+    def as_batch(self) -> RecordBatch | None:
+        """The whole store as one merged batch, or ``None``.
+
+        Available when everything is resident as sealed batches (no disk
+        runs, no legacy object runs): raw-byte consumers (TeraSort A
+        tasks) then read the merged partition without materializing any
+        Python objects.  Compacts first if several batches remain.
+        """
+        if self.disk_runs or not self.memory_runs:
+            return None
+        if not all(isinstance(run, RecordBatch) for run in self.memory_runs):
+            return None
+        if len(self.memory_runs) > 1:
+            self.compact(1)
+        run = self.memory_runs[0]
+        return run if isinstance(run, RecordBatch) else None
+
     def __iter__(self) -> Iterator[KV]:
-        runs: list[Iterable[KV]] = list(self.memory_runs) + list(self.disk_runs)
+        runs: list[Iterable[KV]] = [
+            self._as_pairs(run) for run in self.memory_runs
+        ] + list(self.disk_runs)
         if self.cmp is None:
             for run in runs:
                 yield from run

@@ -68,12 +68,18 @@ _RPC_DEADLINE = 120.0
 
 
 def _encode_envelope(dest: int, envelope: Envelope) -> bytes:
-    """Envelope -> wire frame; truncation travels as a header flag."""
+    """Envelope -> wire frame; truncation travels as a header flag.
+
+    Shuffle record-batch payloads take the structured FLAG_BATCH codec
+    (sealed batch bytes copied verbatim, zero pickle); everything else is
+    pickled at this boundary.
+    """
     payload = envelope.payload
     flags = 0
     if isinstance(payload, TruncatedPayload):
         flags |= wire.FLAG_TRUNCATED
         payload = payload.original
+    body, payload_flags = wire.encode_payload(payload)
     return wire.pack_envelope_frame(
         envelope.context,
         envelope.source,
@@ -81,8 +87,8 @@ def _encode_envelope(dest: int, envelope: Envelope) -> bytes:
         envelope.origin,
         dest,
         envelope.nbytes,
-        wire.WIRE_SERDE.dumps(payload),
-        flags,
+        body,
+        flags | payload_flags,
     )
 
 
@@ -92,7 +98,7 @@ def _decode_envelope(
 ) -> Envelope:
     """Wire frame -> Envelope, built in the *destination* interpreter so
     ``seq`` reflects local arrival order (wildcard matching)."""
-    payload = wire.WIRE_SERDE.loads(payload_bytes)
+    payload = wire.decode_payload(payload_bytes, flags)
     if flags & wire.FLAG_TRUNCATED:
         payload = TruncatedPayload(payload)
     return Envelope(context, source, tag, payload, nbytes, origin=origin)
@@ -294,7 +300,7 @@ class RouterTransport(Transport):
         needs_payload = any(rule.match is not None for rule in injector.rules)
         obj: Any = None
         if needs_payload:
-            obj = wire.WIRE_SERDE.loads(payload)
+            obj = wire.decode_payload(payload, flags)
         envelope = Envelope(context, source, tag, obj, nbytes, origin=origin)
         if flags & wire.FLAG_TRUNCATED:
             envelope.payload = TruncatedPayload(envelope.payload)

@@ -21,9 +21,33 @@ Envelope frames carry a fixed struct header so the router can route and
 fault-inject on metadata *without unpickling the payload*::
 
     !5iqB         context, source, tag, origin, dest, nbytes, flags
-    ...           pickled payload (via serde PickleSerializer)
+    ...           payload body (FLAG_BATCH: structured record-batch
+                  layout below; otherwise serde PickleSerializer bytes)
 
-Payloads are pickled at the wire boundary via
+Shuffle batch envelopes — the data-plane hot path — skip pickle
+entirely.  A ``("batch", plane_id, (seq, origin, blocks, eos))`` message
+whose blocks all carry sealed :class:`~repro.serde.batch.RecordBatch`
+payloads is framed with the Writable primitives (FLAG_BATCH set)::
+
+    utf           plane_id
+    vlong         seq
+    vint          origin
+    boolean       eos
+    vint          number of blocks
+    per block:
+      vint        partition_id
+      vlong       nbytes
+      byte        flags: 1 = sorted, 2 = raw batch
+      vint        record count
+      vint        len(batch bytes)
+      ...         batch bytes, copied verbatim from the sealed batch
+
+so the batch bytes sealed by the sender-side buffer travel to the
+receiving process without any re-encode; the decoder hands back batches
+as zero-copy views over the frame body.
+
+Everything else (control traffic, object-tuple blocks, RPC) is pickled
+at the wire boundary via
 :class:`repro.serde.serialization.PickleSerializer` — the same "Java
 Serializable analogue" the shuffle uses, so anything a job can shuffle
 it can also send across the process boundary.
@@ -40,6 +64,7 @@ import threading
 from typing import Any, Callable
 
 from repro.common.logging import get_logger
+from repro.serde.io import DataInput, DataOutput
 from repro.serde.serialization import PickleSerializer
 
 _log = get_logger("net.wire")
@@ -68,6 +93,115 @@ class FrameKind:
 
 #: truncate-fault marker in the envelope header flags byte
 FLAG_TRUNCATED = 0x01
+#: payload is the structured record-batch layout, not pickle
+FLAG_BATCH = 0x02
+
+#: block flag bits inside a FLAG_BATCH body
+_BLOCK_SORTED = 0x01
+_BLOCK_RAW = 0x02
+
+#: lazily resolved (Block, RecordBatch) — net sits below core in the
+#: layering, so the shuffle types are imported on first use only
+_shuffle_types_cache = None
+
+
+def _shuffle_types():
+    global _shuffle_types_cache
+    if _shuffle_types_cache is None:
+        from repro.core.buffers import Block
+        from repro.serde.batch import RecordBatch
+
+        _shuffle_types_cache = (Block, RecordBatch)
+    return _shuffle_types_cache
+
+
+def encode_payload(payload: Any) -> tuple[bytes, int]:
+    """Encode an envelope payload: ``(body, flag_bits)``.
+
+    Shuffle batch messages whose blocks are all sealed record batches use
+    the structured FLAG_BATCH layout (batch bytes copied verbatim, no
+    pickle); everything else falls back to :data:`WIRE_SERDE`.
+    """
+    body = _encode_shuffle_batch(payload)
+    if body is not None:
+        return body, FLAG_BATCH
+    return WIRE_SERDE.dumps(payload), 0
+
+
+def decode_payload(body: bytes, flags: int) -> Any:
+    """Inverse of :func:`encode_payload` (flags from the envelope header)."""
+    if flags & FLAG_BATCH:
+        return _decode_shuffle_batch(body)
+    return WIRE_SERDE.loads(body)
+
+
+def _encode_shuffle_batch(payload: Any) -> bytes | None:
+    """The FLAG_BATCH body for a shuffle batch message, or ``None`` when
+    the payload is not one (caller falls back to pickle)."""
+    if not (isinstance(payload, tuple) and len(payload) == 3):
+        return None
+    kind, plane_id, inner = payload
+    if kind != "batch" or not isinstance(plane_id, str):
+        return None
+    if not (isinstance(inner, tuple) and len(inner) == 4):
+        return None
+    seq, origin, blocks, eos = inner
+    if (
+        not isinstance(seq, int)
+        or not isinstance(origin, int)
+        or not isinstance(eos, bool)
+        or not isinstance(blocks, list)
+    ):
+        return None
+    block_cls, batch_cls = _shuffle_types()
+    for block in blocks:
+        if type(block) is not block_cls or not isinstance(block.records, batch_cls):
+            return None
+    out = DataOutput()
+    out.write_utf(plane_id)
+    out.write_vlong(seq)
+    out.write_vint(origin)
+    out.write_boolean(eos)
+    out.write_vint(len(blocks))
+    for block in blocks:
+        batch = block.records
+        out.write_vint(block.partition_id)
+        out.write_vlong(block.nbytes)
+        out.write_byte(
+            (_BLOCK_SORTED if block.sorted else 0)
+            | (_BLOCK_RAW if batch.raw else 0)
+        )
+        out.write_vint(batch.count)
+        out.write_vint(len(batch.data))
+        out.write_bytes(batch.data)
+    return out.getvalue()
+
+
+def _decode_shuffle_batch(body: bytes) -> Any:
+    """Rebuild the shuffle batch message; batch payloads are zero-copy
+    views over ``body`` (the views keep the frame body alive)."""
+    block_cls, batch_cls = _shuffle_types()
+    src = DataInput(body)
+    plane_id = src.read_utf()
+    seq = src.read_vlong()
+    origin = src.read_vint()
+    eos = src.read_boolean()
+    blocks = []
+    for _ in range(src.read_vint()):
+        partition_id = src.read_vint()
+        nbytes = src.read_vlong()
+        block_flags = src.read_byte()
+        count = src.read_vint()
+        data = src.read_view(src.read_vint())
+        blocks.append(
+            block_cls(
+                partition_id,
+                batch_cls(data, count, raw=bool(block_flags & _BLOCK_RAW)),
+                nbytes,
+                sorted=bool(block_flags & _BLOCK_SORTED),
+            )
+        )
+    return ("batch", plane_id, (seq, origin, blocks, eos))
 
 
 def pack_frame(kind: int, body: bytes = b"") -> bytes:

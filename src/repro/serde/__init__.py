@@ -8,6 +8,13 @@ a registry resolving ``KEY_CLASS``/``VALUE_CLASS`` configuration strings to
 types.
 """
 
+from repro.serde.batch import (
+    BatchBuilder,
+    RecordBatch,
+    batch_from_pairs,
+    concat_batches,
+    sort_batch,
+)
 from repro.serde.io import DataInput, DataOutput
 from repro.serde.registry import resolve_type, type_name
 from repro.serde.serialization import (
@@ -30,6 +37,11 @@ from repro.serde.writable import (
 )
 
 __all__ = [
+    "BatchBuilder",
+    "RecordBatch",
+    "batch_from_pairs",
+    "concat_batches",
+    "sort_batch",
     "DataInput",
     "DataOutput",
     "Writable",

@@ -33,6 +33,14 @@ class DataOutput:
     def getvalue(self) -> bytes:
         return bytes(self._buf)
 
+    def getbuffer(self) -> bytearray:
+        """The internal buffer, borrowed — valid only until the next write.
+
+        Lets callers append the accumulated bytes elsewhere (e.g. a record
+        batch under construction) without the copy ``getvalue`` makes.
+        """
+        return self._buf
+
     def reset(self) -> None:
         self._buf.clear()
 
@@ -119,6 +127,12 @@ class DataInput:
     def position(self) -> int:
         return self._pos
 
+    def seek(self, pos: int) -> None:
+        """Reposition within the underlying buffer (random access)."""
+        if not 0 <= pos <= len(self._view):
+            raise SerializationError(f"seek out of range: {pos}")
+        self._pos = pos
+
     def remaining(self) -> int:
         return len(self._view) - self._pos
 
@@ -137,6 +151,15 @@ class DataInput:
     # -- primitive readers -------------------------------------------------
     def read_bytes(self, n: int) -> bytes:
         return bytes(self._take(n))
+
+    def read_view(self, n: int) -> memoryview:
+        """A zero-copy view of the next ``n`` bytes.
+
+        The view aliases the underlying buffer; holders must not outlive
+        it (record batches sliced out of a wire frame keep the frame's
+        body alive through this view).
+        """
+        return self._take(n)
 
     def read_byte(self) -> int:
         return self._take(1)[0]
@@ -199,6 +222,9 @@ class ChunkedDataInput(DataInput):
         self._buf = bytearray()
         self._exhausted = False
         super().__init__(self._buf)
+
+    def seek(self, pos: int) -> None:
+        raise SerializationError("chunked streams are forward-only")
 
     def _take(self, n: int) -> memoryview:
         if self._pos + n > len(self._view):

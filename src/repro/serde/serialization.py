@@ -13,13 +13,25 @@ handle serialization issues."  Two backends are provided:
 
 from __future__ import annotations
 
+import importlib
 import pickle
 from abc import ABC, abstractmethod
 from typing import Any
 
 from repro.common.errors import SerializationError
 from repro.serde.io import DataInput, DataOutput
-from repro.serde.writable import Writable
+from repro.serde.writable import (
+    BooleanWritable,
+    BytesWritable,
+    DoubleWritable,
+    FloatWritable,
+    IntWritable,
+    LongWritable,
+    NullWritable,
+    Text,
+    VIntWritable,
+    Writable,
+)
 
 # Tags for the writable backend's self-describing encoding.  One tag byte
 # per value keeps records compact while allowing heterogeneous streams.
@@ -34,8 +46,26 @@ _T_LIST = 7
 _T_WRITABLE = 8
 _T_PICKLE = 9
 _T_BIGINT = 10  # Python ints beyond the 64-bit vlong range
+_T_WRITABLE_NAMED = 11  # non-built-in writable: dotted class name + payload
 
 _INT64_MIN, _INT64_MAX = -(2**63), 2**63 - 1
+
+#: fixed wire ids for the built-in writables.  The table (order included)
+#: is part of the wire format: record batches are encoded on the sending
+#: process and decoded on the receiving one, so ids must mean the same
+#: class in every interpreter — never reorder, only append.
+_BUILTIN_WRITABLES: tuple[type, ...] = (
+    Text,
+    IntWritable,
+    VIntWritable,
+    LongWritable,
+    FloatWritable,
+    DoubleWritable,
+    BooleanWritable,
+    BytesWritable,
+    NullWritable,
+)
+_BUILTIN_WRITABLE_IDS = {cls: i for i, cls in enumerate(_BUILTIN_WRITABLES)}
 
 
 class Serializer(ABC):
@@ -74,18 +104,27 @@ class WritableSerializer(Serializer):
     name = "writable"
 
     def __init__(self) -> None:
-        # writable class registry is per-serializer so concurrent jobs with
-        # different custom writables do not interfere
-        self._writable_ids: dict[type, int] = {}
-        self._writable_types: list[type] = []
+        # decode-side cache of dotted name -> class for custom writables
+        self._named_cache: dict[str, type] = {}
 
-    def _writable_id(self, cls: type) -> int:
+    def _resolve_writable(self, name: str) -> type:
+        cls = self._named_cache.get(name)
+        if cls is not None:
+            return cls
+        module_name, _, qualname = name.rpartition(".")
         try:
-            return self._writable_ids[cls]
-        except KeyError:
-            self._writable_ids[cls] = len(self._writable_types)
-            self._writable_types.append(cls)
-            return self._writable_ids[cls]
+            obj: Any = importlib.import_module(module_name)
+            for part in qualname.split("."):
+                obj = getattr(obj, part)
+        except Exception:
+            raise SerializationError(
+                f"cannot resolve writable class {name!r}; custom writables "
+                "must be importable module-level classes"
+            ) from None
+        if not (isinstance(obj, type) and issubclass(obj, Writable)):
+            raise SerializationError(f"{name!r} is not a Writable class")
+        self._named_cache[name] = obj
+        return obj
 
     def serialize(self, value: Any, out: DataOutput) -> None:
         if value is None:
@@ -126,8 +165,14 @@ class WritableSerializer(Serializer):
             for item in value:
                 self.serialize(item, out)
         elif isinstance(value, Writable):
-            out.write_byte(_T_WRITABLE)
-            out.write_vint(self._writable_id(type(value)))
+            cls = type(value)
+            builtin = _BUILTIN_WRITABLE_IDS.get(cls)
+            if builtin is not None:
+                out.write_byte(_T_WRITABLE)
+                out.write_vint(builtin)
+            else:
+                out.write_byte(_T_WRITABLE_NAMED)
+                out.write_utf(f"{cls.__module__}.{cls.__qualname__}")
             value.write(out)
         else:
             # escape hatch mirroring Hadoop's JavaSerialization fallback
@@ -159,12 +204,14 @@ class WritableSerializer(Serializer):
         if tag == _T_WRITABLE:
             cls_id = src.read_vint()
             try:
-                cls = self._writable_types[cls_id]
+                cls = _BUILTIN_WRITABLES[cls_id]
             except IndexError:
                 raise SerializationError(
                     f"unknown writable class id {cls_id}"
                 ) from None
             return cls.read(src)
+        if tag == _T_WRITABLE_NAMED:
+            return self._resolve_writable(src.read_utf()).read(src)
         if tag == _T_PICKLE:
             blob = src.read_bytes(src.read_vint())
             return pickle.loads(blob)

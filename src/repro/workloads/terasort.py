@@ -13,6 +13,7 @@ import tempfile
 from typing import Any
 
 from repro.core import DataMPIJob, Mode, mpidrun
+from repro.core.constants import MPI_D_Constants as K
 from repro.core.metrics import JobResult
 from repro.core.partition import range_partitioner
 from repro.hadoop.engine import MiniHadoopCluster
@@ -85,11 +86,24 @@ def terasort_datampi(
 
     def a_fn(ctx):
         out = bytearray()
-        for key, value in ctx.recv_iter():
-            out += key + value
+        batch = ctx.recv_batch()
+        if batch is not None:
+            # raw-batch fast path: the merged partition is one contiguous
+            # byte block; write key/value slices without materializing a
+            # single Python object per record
+            for key, value in batch.iter_views():
+                out += key
+                out += value
+        else:
+            for key, value in ctx.recv_iter():
+                out += key + value
         with open(os.path.join(spill_dir, f"part-{ctx.rank:05d}"), "wb") as f:
             f.write(bytes(out))
 
+    job_conf = dict(conf or {})
+    # keys and values are already the application's bytes: shuffle them as
+    # raw record batches (no serializer framing on the wire or in spills)
+    job_conf.setdefault(K.SHUFFLE_RAW, True)
     job = DataMPIJob(
         name="terasort",
         o_fn=o_fn,
@@ -97,7 +111,7 @@ def terasort_datampi(
         o_tasks=o_tasks,
         a_tasks=a_tasks,
         mode=Mode.MAPREDUCE,
-        conf=dict(conf or {}),
+        conf=job_conf,
         partitioner=range_partitioner(boundaries),
         comparator=bytes_compare,
     )
