@@ -1,0 +1,241 @@
+"""Recovery-cost benchmark: surgical rank respawn vs. whole-job restart.
+
+A worker process is SIGKILL'd mid-shuffle (the ``kill_rank`` fault at
+the driver-side router) and the same wordcount job heals two ways:
+
+* **surgical** — ``mpi.d.rank.max.respawns`` armed: only the dead rank
+  is respawned, its tasks replayed, its in-flight shuffle batches
+  redelivered; the job never restarts.
+* **whole-job** — the classic supervised path: checkpoint-backed abort
+  and rerun of every rank under ``mpi.d.job.max.restarts``.
+
+Both are compared against an unfaulted **baseline** of the identical
+job.  For each process count the report records wall time, *recovery
+latency* (wall minus baseline: the end-to-end price of healing the
+fault, detection included) and the *wasted-work ratio* (that latency as
+a fraction of a baseline run — how much of a full job's worth of time
+the fault burned; a whole-job restart re-runs every rank so its ratio
+approaches 1.0, surgical replay of one rank should stay well under).
+Raw task-attempt counts are recorded too, but note they only cover
+*reported* work: a SIGKILL'd incarnation takes its partial attempt
+counts to the grave, so attempts alone undercount the restart path's
+waste and show none for the surgical path.  Output is verified
+identical across all three runs.
+
+Writes ``BENCH_RECOVERY.json`` at the repo root; ``--trace-dir DIR``
+additionally saves a flight-recorder journal per faulted run so the
+recovery timeline (``recovery.rank.lost`` → ``recovery.respawn`` →
+``recovery.rank.online``) can be inspected with ``repro trace``.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_recovery.py [--quick] [--out PATH]
+
+or under pytest (quick mode, shape assertions only)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_recovery.py -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.core import FileSink, mapreduce_job, mpidrun  # noqa: E402
+from repro.core.constants import MPI_D_Constants as K, SHUFFLE_TAG  # noqa: E402
+from repro.mpi import FaultInjector  # noqa: E402
+from repro.workloads.wordcount import generate_text, wordcount_reference  # noqa: E402
+
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_RECOVERY.json")
+
+#: sha256 rounds per token: enough compute per task that re-executing
+#: work is visible in wall time, small enough to keep runs short
+HASH_ROUNDS = 40
+
+#: shuffle envelopes to let through before the SIGKILL lands — the job
+#: must be genuinely mid-shuffle, with batches in flight both ways
+KILL_AFTER = 8
+
+
+def _mapper(_key, line, emit):
+    for word in line.split():
+        digest = word.encode()
+        for _ in range(HASH_ROUNDS):
+            digest = hashlib.sha256(digest).digest()
+        emit(word, 1)
+
+
+def _reducer(word, counts, emit):
+    emit(word, sum(counts))
+
+
+def _task_attempts(result) -> int:
+    return result.metrics.o_tasks_run + result.metrics.a_tasks_run
+
+
+def _run(lines, nprocs, conf, injector=None, trace_path=None):
+    sink = FileSink.temporary(f"bench-recovery-{nprocs}")
+
+    def provider(rank, size, _lines=lines):
+        for i, line in enumerate(_lines):
+            if i % size == rank:
+                yield (i, line)
+
+    full_conf = {
+        K.LAUNCHER: "processes",
+        K.SHUFFLE_BATCH_BYTES: 4096,  # plenty of envelopes in flight
+        K.PLANE_TIMEOUT_SECONDS: 120.0,
+    }
+    full_conf.update(conf)
+    if trace_path:
+        full_conf[K.TRACE_PATH] = trace_path
+    job = mapreduce_job(
+        "bench-recovery", provider, _mapper, _reducer, sink,
+        o_tasks=nprocs * 2, a_tasks=nprocs, conf=full_conf,
+    )
+    t0 = time.perf_counter()
+    result = mpidrun(job, nprocs=nprocs, timeout=600.0,
+                     fault_injector=injector)
+    wall = time.perf_counter() - t0
+    assert result.success, f"bench job failed: {result.error}"
+    merged = sink.merged()
+    sink.cleanup()
+    return result, wall, merged
+
+
+def bench_nprocs(nprocs: int, lines, expected, trace_dir: str | None) -> dict:
+    def trace_path(leg):
+        if not trace_dir:
+            return None
+        return os.path.join(trace_dir, f"recovery-{leg}-np{nprocs}.trace.jsonl")
+
+    # -- baseline: same job, no fault, recovery off ---------------------
+    base_result, base_wall, merged = _run(lines, nprocs, {})
+    assert merged == expected
+    base_tasks = _task_attempts(base_result)
+
+    # -- surgical: SIGKILL one rank, respawn it in place ----------------
+    injector = FaultInjector()
+    injector.kill_rank(tag=SHUFFLE_TAG, skip_first=KILL_AFTER, max_matches=1)
+    surg_result, surg_wall, merged = _run(
+        lines, nprocs, {K.RANK_MAX_RESPAWNS: 2},
+        injector=injector, trace_path=trace_path("surgical"),
+    )
+    assert merged == expected
+    assert surg_result.restarts == 0, "surgical leg must not restart the job"
+    assert surg_result.metrics.respawns >= 1
+
+    # -- whole-job: same SIGKILL, classic checkpointed restart ----------
+    injector = FaultInjector()
+    injector.kill_rank(tag=SHUFFLE_TAG, skip_first=KILL_AFTER, max_matches=1)
+    with tempfile.TemporaryDirectory(prefix="bench-recovery-ft-") as ft_dir:
+        restart_result, restart_wall, merged = _run(
+            lines, nprocs,
+            {
+                K.FT_ENABLED: True,
+                K.FT_DIR: ft_dir,
+                K.JOB_ID: f"bench-recovery-{nprocs}",
+                K.FT_INTERVAL_RECORDS: 1000,
+                K.JOB_MAX_RESTARTS: 2,
+                K.RESTART_BACKOFF_SECONDS: 0.01,
+            },
+            injector=injector, trace_path=trace_path("whole-job"),
+        )
+    assert merged == expected
+    assert restart_result.restarts >= 1, "whole-job leg must restart"
+
+    # wasted work as wall-clock: the fraction of a baseline run the
+    # fault cost end-to-end (detection + respawn/restart + recompute)
+    surg_wasted = max(0.0, surg_wall - base_wall) / base_wall
+    restart_wasted = max(0.0, restart_wall - base_wall) / base_wall
+
+    entry = {
+        "nprocs": nprocs,
+        "baseline": {
+            "wall_s": round(base_wall, 3),
+            "task_attempts": base_tasks,
+        },
+        "surgical": {
+            "wall_s": round(surg_wall, 3),
+            "recovery_latency_s": round(surg_wall - base_wall, 3),
+            "wasted_work_ratio": round(surg_wasted, 3),
+            "task_attempts": _task_attempts(surg_result),
+            "respawns": surg_result.metrics.respawns,
+            "redelivered_frames": surg_result.metrics.redelivered_frames,
+            "stale_frames_dropped": surg_result.metrics.stale_frames_dropped,
+            "restarts": surg_result.restarts,
+        },
+        "whole_job": {
+            "wall_s": round(restart_wall, 3),
+            "recovery_latency_s": round(restart_wall - base_wall, 3),
+            "wasted_work_ratio": round(restart_wasted, 3),
+            "task_attempts": _task_attempts(restart_result),
+            "restarts": restart_result.restarts,
+        },
+    }
+    print(
+        f"np={nprocs}: baseline {entry['baseline']['wall_s']}s | "
+        f"surgical +{entry['surgical']['recovery_latency_s']}s "
+        f"(waste {entry['surgical']['wasted_work_ratio']}) | "
+        f"whole-job +{entry['whole_job']['recovery_latency_s']}s "
+        f"(waste {entry['whole_job']['wasted_work_ratio']})"
+    )
+    return entry
+
+
+def run_bench(quick: bool, out_path: str, trace_dir: str | None = None) -> dict:
+    if trace_dir:
+        os.makedirs(trace_dir, exist_ok=True)
+    lines = generate_text(600 if quick else 2400, words_per_line=12)
+    expected = wordcount_reference(lines)
+    report = {
+        "bench": "recovery",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+        "quick": quick,
+        "hash_rounds": HASH_ROUNDS,
+        "lines": len(lines),
+        "runs": [],
+    }
+    for nprocs in [4] if quick else [4, 8]:
+        report["runs"].append(bench_nprocs(nprocs, lines, expected, trace_dir))
+    with open(out_path, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=False)
+        f.write("\n")
+    print(f"wrote {out_path}")
+    return report
+
+
+def test_recovery_bench():
+    """Pytest entry point: quick mode, shape + invariant assertions."""
+    report = run_bench(quick=True, out_path=DEFAULT_OUT)
+    assert report["runs"]
+    for entry in report["runs"]:
+        assert entry["surgical"]["restarts"] == 0
+        assert entry["surgical"]["respawns"] >= 1
+        assert entry["whole_job"]["restarts"] >= 1
+        # surgical replays one rank, the restart re-runs everything: its
+        # wasted-work ratio must be strictly higher
+        assert (entry["whole_job"]["wasted_work_ratio"]
+                > entry["surgical"]["wasted_work_ratio"])
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    parser.add_argument("--trace-dir", default=None)
+    args = parser.parse_args()
+    run_bench(quick=args.quick, out_path=args.out, trace_dir=args.trace_dir)

@@ -20,7 +20,9 @@ class FailureRecord:
     can see exactly which worker, task and attempt went down and why.
     """
 
-    kind: str = "error"  # "task" | "rank" | "heartbeat" | "timeout" | "abort"
+    # "task" | "rank" | "heartbeat" | "timeout" | "abort" | "wire"
+    # (stream severed mid-frame) | "respawn" (surgical recovery exhausted)
+    kind: str = "error"
     worker: int = -1  # worker/rank index within its world (-1 unknown)
     phase: str = ""  # "O" / "A" for task failures, world name otherwise
     task_id: int = -1
@@ -121,6 +123,17 @@ class WorkerLostError(ReproError):
             f"worker {worker} missed the heartbeat deadline "
             f"(silent {silent_for:.1f}s > {deadline:.1f}s)"
         )
+        self.worker = worker
+        self.failures: list[FailureRecord] = [record] if record is not None else []
+
+
+class RankRecoveryError(ReproError):
+    """Surgical rank recovery could not proceed (budget exhausted,
+    redelivery buffer overflowed, or the respawn itself failed); the
+    caller degrades to the whole-job restart path."""
+
+    def __init__(self, worker: int, reason: str, record: "FailureRecord | None" = None):
+        super().__init__(f"rank recovery for worker {worker} failed: {reason}")
         self.worker = worker
         self.failures: list[FailureRecord] = [record] if record is not None else []
 

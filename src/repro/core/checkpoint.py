@@ -270,3 +270,51 @@ class CheckpointManager:
             os.rmdir(self.directory)
         except OSError:
             pass
+
+
+# -- rank-scoped resume manifests (surgical rank recovery) --------------------
+def _manifest_path(ft_dir: str, job_id: str, worker: int) -> str:
+    return os.path.join(ft_dir, job_id, f"rank_{worker}.manifest.json")
+
+
+def write_rank_manifest(
+    ft_dir: str, job_id: str, worker: int, payload: dict
+) -> str:
+    """Persist one rank's recovery manifest (epoch, tasks requeued, …).
+
+    Written by the driver when it respawns a single rank, scoping the
+    resume to that rank's failure domain: the manifest records exactly
+    which incarnation is authoritative and what was replayed, and the
+    reborn rank's O tasks reload their own ``cp_o<task>_*`` rounds — the
+    whole-job checkpoint set is never touched.  Write is atomic
+    (temp + rename), same crash discipline as round files.
+    """
+    import json
+
+    directory = os.path.join(ft_dir, job_id)
+    os.makedirs(directory, exist_ok=True)
+    path = _manifest_path(ft_dir, job_id, worker)
+    manifest = dict(payload)
+    manifest["worker"] = worker
+    manifest["respawns"] = read_rank_manifest(ft_dir, job_id, worker).get(
+        "respawns", 0
+    ) + 1
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, sort_keys=True)
+    os.replace(tmp, path)
+    return path
+
+
+def read_rank_manifest(ft_dir: str, job_id: str, worker: int) -> dict:
+    """The rank's recovery manifest, or ``{}`` when it never respawned
+    (or the manifest is unreadable — recovery state is advisory)."""
+    import json
+
+    try:
+        with open(
+            _manifest_path(ft_dir, job_id, worker), encoding="utf-8"
+        ) as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return {}

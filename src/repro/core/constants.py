@@ -86,6 +86,12 @@ class MPI_D_Constants:
     TASK_MAX_ATTEMPTS = "mpi.d.task.max.attempts"
     #: base of the exponential backoff between restarts, seconds
     RESTART_BACKOFF_SECONDS = "mpi.d.restart.backoff.seconds"
+    #: jitter fraction applied to each restart delay: the computed delay is
+    #: scaled by a uniform factor in [1-j, 1+j] so concurrent supervised
+    #: jobs don't retry in lockstep (0 disables; default 0.25)
+    RESTART_BACKOFF_JITTER = "mpi.d.restart.backoff.jitter"
+    #: seed for the restart jitter RNG (tests pin it for determinism)
+    RESTART_BACKOFF_SEED = "mpi.d.restart.backoff.seed"
     #: worker -> driver heartbeat period, seconds
     HEARTBEAT_INTERVAL_SECONDS = "mpi.d.heartbeat.interval.seconds"
     #: a worker silent this long is declared lost (<= 0 disables detection)
@@ -94,6 +100,16 @@ class MPI_D_Constants:
     PLANE_TIMEOUT_SECONDS = "mpi.d.plane.timeout.seconds"
     #: current job attempt, 1-based (set internally by mpidrun on restarts)
     JOB_ATTEMPT = "mpi.d.job.attempt"
+
+    # -- surgical rank recovery (process backend) ---------------------------------
+    #: respawn a dead rank in place up to this many times per rank per
+    #: attempt before degrading to the whole-job restart path (0 = off,
+    #: every rank death aborts the world as before)
+    RANK_MAX_RESPAWNS = "mpi.d.rank.max.respawns"
+    #: cap on the driver-side redelivery buffer per rank, bytes; overflow
+    #: marks the rank surgically unrecoverable (its death then degrades
+    #: to a whole-job restart)
+    RANK_REDELIVERY_BYTES = "mpi.d.rank.redelivery.bytes"
 
     # -- observability (flight recorder) -------------------------------------------
     #: record spans/instants/counters into a per-job JSONL journal
@@ -125,6 +141,12 @@ class MPI_D_Constants:
 
 #: default sender-side coalescing cap (see ``SHUFFLE_BATCH_BYTES``)
 SHUFFLE_BATCH_BYTES_DEFAULT = 256 * 1024
+
+#: default per-rank redelivery-buffer cap (see ``RANK_REDELIVERY_BYTES``)
+RANK_REDELIVERY_BYTES_DEFAULT = 64 * 1024 * 1024
+
+#: default restart-backoff jitter fraction (see ``RESTART_BACKOFF_JITTER``)
+RESTART_BACKOFF_JITTER_DEFAULT = 0.25
 
 #: internal shuffle tag on the worker world communicator
 SHUFFLE_TAG = 900_001

@@ -474,6 +474,12 @@ class WorkerEngine:
                 t0 = time.perf_counter()
                 self.world.barrier()
                 self._add_phase("communicate", time.perf_counter() - t0)
+                if not self.bidirectional:
+                    # the forward plane is consumed and every peer passed
+                    # the barrier: release its driver-side redelivery
+                    # entries.  Iteration mode never acks — a reborn rank
+                    # replays every round from 0 and needs them all.
+                    self.shuffle.ack_plane(f"fwd:{round_no}")
             t0 = time.perf_counter()
             stats = self.shuffle.stats()
             self.metrics.bytes_sent = stats["bytes_sent"]

@@ -99,6 +99,12 @@ class JobMetrics:
     duration: float = 0.0
     #: automatic supervised restarts it took to produce this result
     restarts: int = 0
+    #: surgical single-rank respawns (process backend; no job restart)
+    respawns: int = 0
+    #: frames replayed to reborn ranks from the redelivery buffer
+    redelivered_frames: int = 0
+    #: zombie-incarnation frames fenced at the router by epoch
+    stale_frames_dropped: int = 0
     #: per-phase seconds summed across workers (Fig. 5's breakdown)
     phase_times: dict = field(default_factory=dict)
     #: :class:`TaskMetrics` for every task attempt across all workers
@@ -121,6 +127,9 @@ class JobMetrics:
             "local_a_tasks": self.local_a_tasks,
             "duration": self.duration,
             "restarts": self.restarts,
+            "respawns": self.respawns,
+            "redelivered_frames": self.redelivered_frames,
+            "stale_frames_dropped": self.stale_frames_dropped,
             "phase_times": dict(self.phase_times),
             "tasks": [t.as_dict() for t in self.tasks],
         }

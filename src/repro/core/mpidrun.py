@@ -24,13 +24,19 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import random
 import shlex
 import tempfile
 import time
 from typing import Any, Mapping
 
 from repro.common.errors import DataMPIError, FailureRecord
-from repro.core.constants import Mode, MPI_D_Constants as K
+from repro.core.constants import (
+    Mode,
+    MPI_D_Constants as K,
+    RANK_REDELIVERY_BYTES_DEFAULT,
+    RESTART_BACKOFF_JITTER_DEFAULT,
+)
 from repro.core.job import DataMPIJob
 from repro.core.metrics import JobResult, WorkerMetrics
 from repro.core.modes import profile_for
@@ -48,8 +54,12 @@ _log = get_logger("core.mpidrun")
 _MAX_BACKOFF = 5.0
 
 #: reporting priority: a task's own failure outranks the liveness symptom
-#: it caused, which outranks generic rank/timeout/abort noise
-_BLAME_ORDER = {"task": 0, "heartbeat": 1, "rank": 2, "timeout": 3, "abort": 4}
+#: it caused, which outranks generic rank/timeout/abort noise; "respawn"
+#: (surgical recovery exhausted) beats the rank/wire records it follows
+_BLAME_ORDER = {
+    "task": 0, "heartbeat": 1, "respawn": 2, "rank": 3, "wire": 4,
+    "timeout": 5, "abort": 6,
+}
 
 #: default cap on working processes (threads on one box)
 MAX_DEFAULT_PROCESSES = 8
@@ -59,6 +69,34 @@ def default_process_count(job: DataMPIJob, cap: int = MAX_DEFAULT_PROCESSES) -> 
     """Paper's Figure 4 sizing: enough processes to host the wider side,
     capped so thread counts stay sane on one machine."""
     return max(1, min(max(job.o_tasks, job.a_tasks), cap))
+
+
+def restart_delay(
+    attempt: int,
+    backoff: float,
+    jitter: float = 0.0,
+    rng: "random.Random | None" = None,
+) -> float:
+    """Backoff before re-running attempt ``attempt + 1``: exponential in
+    the attempt number, capped, then scaled by a uniform factor in
+    ``[1-jitter, 1+jitter]`` so concurrent supervised jobs sharing a
+    machine don't hammer it in lockstep.  Deterministic for a seeded
+    ``rng`` (``mpi.d.restart.backoff.seed``)."""
+    delay = min(_MAX_BACKOFF, backoff * (2 ** (attempt - 1)))
+    if jitter > 0 and delay > 0:
+        delay *= (rng or random).uniform(max(0.0, 1.0 - jitter), 1.0 + jitter)
+    return delay
+
+
+def _recovery_counts(runtime: BaseRuntime) -> tuple[int, int, int]:
+    """(respawns, redelivered frames, stale frames fenced) for one
+    attempt's runtime; zeros on backends without rank recovery."""
+    transport = getattr(runtime, "transport", None)
+    return (
+        int(getattr(runtime, "respawns", 0)),
+        int(getattr(transport, "redelivered_frames", 0)),
+        int(getattr(transport, "stale_frames_dropped", 0)),
+    )
 
 
 def _collect_failures(
@@ -233,6 +271,15 @@ def mpidrun(
     max_restarts = conf.get_int(K.JOB_MAX_RESTARTS, 0) if ft_enabled else 0
     max_task_attempts = max(1, conf.get_int(K.TASK_MAX_ATTEMPTS, 4))
     backoff = conf.get_float(K.RESTART_BACKOFF_SECONDS, 0.1)
+    jitter = conf.get_float(
+        K.RESTART_BACKOFF_JITTER, RESTART_BACKOFF_JITTER_DEFAULT
+    )
+    seed = conf.get(K.RESTART_BACKOFF_SEED)
+    backoff_rng = random.Random(None if seed is None else int(seed))
+    max_respawns = conf.get_int(K.RANK_MAX_RESPAWNS, 0)
+    redelivery_bytes = conf.get_bytes(
+        K.RANK_REDELIVERY_BYTES, RANK_REDELIVERY_BYTES_DEFAULT
+    )
     start = time.perf_counter()
     trace = _TraceSession.maybe(job, conf, nprocs)
     failures: list[FailureRecord] = []
@@ -240,6 +287,7 @@ def mpidrun(
     attempt = 0
     result: JobResult | None = None
     reports: dict[int, WorkerMetrics] = {}
+    respawns_total = redelivered_total = stale_total = 0
     try:
         while True:
             attempt += 1
@@ -249,6 +297,8 @@ def mpidrun(
             runtime = create_runtime(
                 launcher, fault_injector=fault_injector, start_method=start_method
             )
+            if isinstance(runtime, ProcessRuntime) and max_respawns > 0:
+                runtime.enable_rank_recovery(max_respawns, redelivery_bytes)
             if trace is not None and isinstance(runtime, ProcessRuntime):
                 # workers of this attempt write their tracer events here
                 runtime.trace_shard_prefix = f"{trace.path}.a{attempt}"
@@ -258,6 +308,10 @@ def mpidrun(
                     timeout=timeout, name="mpidrun",
                 )
             except Exception as exc:  # noqa: BLE001 - folded into the JobResult
+                counts = _recovery_counts(runtime)
+                respawns_total += counts[0]
+                redelivered_total += counts[1]
+                stale_total += counts[2]
                 attempt_failures = _collect_failures(runtime, exc, attempt)
                 failures.extend(attempt_failures)
                 if trace is not None:
@@ -271,7 +325,7 @@ def mpidrun(
                     if task_attempts[key] >= max_task_attempts:
                         exhausted = key
                 if attempt <= max_restarts and exhausted is None:
-                    delay = min(_MAX_BACKOFF, backoff * (2 ** (attempt - 1)))
+                    delay = restart_delay(attempt, backoff, jitter, backoff_rng)
                     _log.warning(
                         "job %s attempt %d failed (%s); restarting in %.2fs "
                         "(%d restart(s) left)",
@@ -300,11 +354,27 @@ def mpidrun(
                     restarts=attempt - 1,
                     failures=list(failures),
                 )
+                result.metrics.respawns = respawns_total
+                result.metrics.redelivered_frames = redelivered_total
+                result.metrics.stale_frames_dropped = stale_total
                 break
             reports = results[0]
+            counts = _recovery_counts(runtime)
+            respawns_total += counts[0]
+            redelivered_total += counts[1]
+            stale_total += counts[2]
             metrics = merge_reports(reports)
             metrics.duration = time.perf_counter() - start
             metrics.restarts = attempt - 1
+            metrics.respawns = respawns_total
+            metrics.redelivered_frames = redelivered_total
+            metrics.stale_frames_dropped = stale_total
+            if respawns_total:
+                _log.info(
+                    "job %s survived %d surgical rank respawn(s) "
+                    "(%d frame(s) redelivered, %d zombie frame(s) fenced)",
+                    job.name, respawns_total, redelivered_total, stale_total,
+                )
             if attempt > 1:
                 _log.info(
                     "job %s recovered after %d restart(s), %d record(s) "

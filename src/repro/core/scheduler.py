@@ -25,6 +25,7 @@ from repro.common.errors import (
     DataMPIError,
     FailureRecord,
     JobFailedError,
+    RankRecoveryError,
     WorkerLostError,
 )
 from repro.common.logging import get_logger
@@ -51,18 +52,46 @@ class TaskScheduler:
         self._shared: dict[tuple[str, int], deque[int]] = {}
         #: (phase, round, worker) -> pinned deque (data-centric scheduling)
         self._pinned: dict[tuple[str, int, int], deque[int]] = {}
+        #: (phase, round, worker) -> replay deque (surgical rank recovery);
+        #: drained ahead of the regular queues and pinned to the reborn
+        #: worker — replay must land on the same rank so its re-sent
+        #: shuffle streams mirror the originals partition-for-partition
+        self._replay: dict[tuple[str, int, int], deque[int]] = {}
         self.assigned: list[tuple[str, int, int, int]] = []  # audit trail
 
     def _o_is_pinned(self) -> bool:
         return self.job.mode is Mode.ITERATION
 
+    def requeue_worker(self, worker: int) -> int:
+        """Re-enqueue every task ever assigned to ``worker`` (its failure
+        domain, nothing more) for replay by its reborn incarnation;
+        returns the number of tasks requeued."""
+        for key in [k for k in self._replay if k[2] == worker]:
+            del self._replay[key]
+        seen: set[tuple[str, int, int]] = set()
+        requeued = 0
+        for phase, round_no, w, task_id in self.assigned:
+            if w != worker:
+                continue
+            key = (phase, round_no, task_id)
+            if key in seen:
+                continue
+            seen.add(key)
+            self._replay.setdefault(
+                (phase, round_no, worker), deque()
+            ).append(task_id)
+            requeued += 1
+        return requeued
+
     def next_task(self, phase: str, round_no: int, worker: int) -> int | None:
         if phase not in ("O", "A"):
             raise DataMPIError(f"unknown phase {phase!r}")
-        if phase == "A" or self._o_is_pinned():
-            queue = self._pinned_queue(phase, round_no, worker)
-        else:
-            queue = self._shared_queue(phase, round_no)
+        queue = self._replay.get((phase, round_no, worker))
+        if not queue:
+            if phase == "A" or self._o_is_pinned():
+                queue = self._pinned_queue(phase, round_no, worker)
+            else:
+                queue = self._shared_queue(phase, round_no)
         if not queue:
             return None
         task_id = queue.popleft()
@@ -124,6 +153,13 @@ class WorkerSupervisor:
     def finish(self, worker: int) -> None:
         self.done.add(worker)
 
+    def reset(self, worker: int) -> None:
+        """A reborn incarnation of ``worker`` is coming up: restart its
+        liveness clock and forget its last assignment."""
+        self.last_seen[worker] = _now()
+        self.done.discard(worker)
+        self.last_assignment.pop(worker, None)
+
     def check(self) -> None:
         """Raise :class:`WorkerLostError` for the stalest expired worker."""
         if self.deadline <= 0:
@@ -178,12 +214,88 @@ def driver_main(comm: Any, job: DataMPIJob, nprocs: int) -> dict[int, WorkerMetr
     scheduler = TaskScheduler(job, nprocs)
     supervisor = WorkerSupervisor(nprocs, deadline, attempt=attempt)
     reports: dict[int, WorkerMetrics] = {}
+    # -- surgical rank recovery plumbing (process backend only) --------------
+    runtime = getattr(comm, "runtime", None)
+    worker_gids = dict(enumerate(getattr(inter, "remote_group", ())))
+    gid_to_worker = {gid: w for w, gid in worker_gids.items()}
+    pending_fn = getattr(runtime, "pending_respawns", None)
+    respawn_fn = getattr(runtime, "respawn_rank", None)
+
+    def _try_respawn(worker: int, gid: int) -> bool:
+        """Fork a replacement for one dead rank and replay only its
+        failure domain; False when surgical recovery is off/exhausted."""
+        if respawn_fn is None:
+            return False
+        t0 = _now()
+        epoch = respawn_fn(gid)
+        if epoch is None:
+            return False
+        requeued = scheduler.requeue_worker(worker)
+        supervisor.reset(worker)
+        if conf.get_bool(K.FT_ENABLED, False):
+            from repro.core.checkpoint import write_rank_manifest
+
+            write_rank_manifest(
+                conf.get(K.FT_DIR) or "",
+                conf.get_str(K.JOB_ID, job.name),
+                worker,
+                {
+                    "gid": gid,
+                    "epoch": epoch,
+                    "attempt": attempt,
+                    "tasks_requeued": requeued,
+                },
+            )
+        if _T.enabled:
+            _T.instant(
+                "recovery.respawn", cat="recovery",
+                args={
+                    "worker": worker, "gid": gid, "epoch": epoch,
+                    "tasks_requeued": requeued,
+                    "driver_latency_s": round(_now() - t0, 6),
+                },
+            )
+        _log.warning(
+            "respawned worker %d (global rank %d) at epoch %d; "
+            "%d task(s) requeued for replay", worker, gid, epoch, requeued,
+        )
+        return True
+
+    def _supervise() -> None:
+        """Heartbeat check + respawn servicing, recovery-aware: a dead
+        rank is respawned in place when the budget allows; otherwise the
+        original failure propagates (degrading to a whole-job restart)."""
+        if pending_fn is not None:
+            for gid in pending_fn():
+                worker = gid_to_worker.get(gid)
+                if worker is None or worker in supervisor.done:
+                    continue  # already reported: no successor needed
+                if not _try_respawn(worker, gid):
+                    record = FailureRecord(
+                        kind="respawn",
+                        worker=worker,
+                        attempt=attempt,
+                        error=(
+                            f"worker {worker} (global rank {gid}) died and "
+                            f"cannot be respawned (budget exhausted or "
+                            f"redelivery overflow); degrading to whole-job "
+                            f"restart"
+                        ),
+                    )
+                    raise RankRecoveryError(worker, record.error, record)
+        try:
+            supervisor.check()
+        except WorkerLostError as lost:
+            gid = worker_gids.get(lost.worker)
+            if gid is None or not _try_respawn(lost.worker, gid):
+                raise
+
     try:
         while len(reports) < nprocs:
             try:
                 message = inter.recv(source=ANY_SOURCE, tag=CONTROL_TAG, timeout=poll)
             except TimeoutError:
-                supervisor.check()
+                _supervise()
                 continue
             kind = message[0]
             if kind == "req":
@@ -213,7 +325,7 @@ def driver_main(comm: Any, job: DataMPIJob, nprocs: int) -> dict[int, WorkerMetr
                 )
             else:
                 raise DataMPIError(f"unknown control message {message[0]!r}")
-            supervisor.check()
+            _supervise()
     except BaseException as exc:
         # never leave workers blocked on a driver that is about to die
         comm.abort(reason=f"driver failed: {exc!r}")

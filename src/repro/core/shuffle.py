@@ -221,6 +221,21 @@ class _Batch:
         self.items = 0
 
 
+class _Channel:
+    """Receive-side state of one (plane, origin) stream under rank
+    recovery: blocks stage here until the origin's EOS commits them
+    atomically, so a stream cut short by a death leaves no half-applied
+    contribution behind."""
+
+    __slots__ = ("epoch", "last", "staged", "committed")
+
+    def __init__(self) -> None:
+        self.epoch = 0
+        self.last = -1
+        self.staged: list[Block] = []
+        self.committed = False
+
+
 class ShuffleService:
     """Sender + receiver threads of one worker process."""
 
@@ -245,6 +260,20 @@ class ShuffleService:
         #: drop duplicated envelopes and detect lost ones (chaos tolerance)
         self._send_seq: dict[tuple[str, int], int] = {}
         self.duplicates_dropped = 0
+        # -- surgical rank recovery (process backend) -----------------------
+        # This incarnation's epoch (> 0 after a respawn) and whether the
+        # world runs with rank recovery armed.  A reborn sender announces
+        # ("reset", plane, (rank, epoch)) ahead of each re-sent stream so
+        # receivers can tell a replay from a duplicate; receivers then
+        # *stage* each (plane, origin) stream and commit it atomically at
+        # that origin's EOS — a stream cut short by a death is discarded
+        # wholesale instead of half-applied (coalescing boundaries are
+        # nondeterministic, so replayed batches never line up seq-by-seq).
+        runtime = getattr(world, "runtime", None)
+        self.epoch = getattr(runtime, "rank_epoch", 0)
+        self.recovery = bool(getattr(runtime, "rank_recovery", False))
+        self._reset_announced: set[tuple[str, int]] = set()
+        self.replays_dropped = 0
         self._sender = threading.Thread(
             target=self._sender_loop, daemon=True, name=f"shuffle-send-{self.rank}"
         )
@@ -332,6 +361,16 @@ class ShuffleService:
         self._send_seq[key] = seq
         trace_t0 = _T.clock() if _T.enabled else 0.0
         try:
+            if self.recovery and self.epoch > 0 and key not in self._reset_announced:
+                # reborn incarnation: tell the receiver its (plane, origin)
+                # channel restarts from seq 0 at this epoch before the
+                # first batch of the re-sent stream arrives
+                self._reset_announced.add(key)
+                self.world.send(
+                    ("reset", plane_id, (self.rank, self.epoch)),
+                    dest=dest,
+                    tag=SHUFFLE_TAG,
+                )
             self.world.send(
                 ("batch", plane_id, (seq, self.rank, batch.blocks, batch.eos)),
                 dest=dest,
@@ -385,8 +424,18 @@ class ShuffleService:
         treatment.  Any receiver-side failure aborts the whole world; a
         dead receiver thread must never leave peers blocked on a plane
         that cannot complete.
+
+        With rank recovery armed, each (plane, origin) stream is
+        *staged* and committed atomically at that origin's EOS, and a
+        ``("reset", plane, (origin, epoch))`` announcement from a reborn
+        sender either discards the partial staging (stream restarts from
+        seq 0) or, when the stream already committed, marks the whole
+        replay as droppable — a rank's contribution is applied exactly
+        once, whole, no matter how many times it dies mid-stream.
         """
         last_seq: dict[tuple[str, int], int] = {}
+        channels: dict[tuple[str, int], _Channel] = {}
+        staging = self.recovery
         while True:
             try:
                 message = self.world.recv(source=ANY_SOURCE, tag=SHUFFLE_TAG)
@@ -402,11 +451,49 @@ class ShuffleService:
                 kind, plane_id, payload = message
                 if kind == "shutdown":
                     return
+                if kind == "reset":
+                    origin, epoch = payload
+                    key = (plane_id, origin)
+                    channel = channels.get(key)
+                    if channel is None:
+                        channel = channels[key] = _Channel()
+                    if epoch > channel.epoch:
+                        channel.epoch = epoch
+                        if not channel.committed:
+                            # stream died mid-flight: discard the partial
+                            # staging, the replay restarts from seq 0
+                            channel.staged = []
+                            channel.last = -1
+                        if _T.enabled:
+                            _T.instant(
+                                "shuffle.stream_reset", cat="recovery",
+                                args={"plane": plane_id, "origin": origin,
+                                      "epoch": epoch,
+                                      "committed": channel.committed},
+                            )
+                    continue
                 plane = self.plane(plane_id)
                 if kind == "batch":
                     seq, origin, blocks, eos = payload
                     key = (plane_id, origin)
-                    last = last_seq.get(key, -1)
+                    if staging:
+                        channel = channels.get(key)
+                        if channel is None:
+                            channel = channels[key] = _Channel()
+                        if channel.committed:
+                            # a replayed stream whose first life already
+                            # landed in full: drop it wholesale
+                            self.replays_dropped += 1
+                            if _T.enabled:
+                                _T.instant(
+                                    "shuffle.replay_dropped", cat="recovery",
+                                    args={"plane": plane_id, "origin": origin,
+                                          "seq": seq},
+                                )
+                            continue
+                        last = channel.last
+                    else:
+                        last = last_seq.get(key, -1)
                     if seq <= last:
                         # duplicated envelope: already applied in full
                         self.duplicates_dropped += 1
@@ -429,10 +516,23 @@ class ShuffleService:
                             f"process {origin} (expected seq {last + 1}, "
                             f"got {seq})"
                         )
-                    last_seq[key] = seq
                     trace_t0 = _T.clock() if _T.enabled else 0.0
-                    for block in blocks:
-                        plane.add_block(block)
+                    if staging:
+                        channel.last = seq
+                        channel.staged.extend(blocks)
+                        if eos:
+                            # commit the whole stream atomically
+                            for block in channel.staged:
+                                plane.add_block(block)
+                            channel.staged = []
+                            channel.committed = True
+                            plane.add_eos()
+                    else:
+                        last_seq[key] = seq
+                        for block in blocks:
+                            plane.add_block(block)
+                        if eos:
+                            plane.add_eos()
                     if _T.enabled and blocks:
                         _T.complete(
                             "shuffle.recv.batch", trace_t0,
@@ -440,8 +540,6 @@ class ShuffleService:
                             args={"plane": plane_id, "origin": origin,
                                   "blocks": len(blocks)},
                         )
-                    if eos:
-                        plane.add_eos()
                 elif kind == "block":  # un-coalesced single block (direct callers)
                     plane.add_block(payload)
                 elif kind == "eos":
@@ -455,6 +553,17 @@ class ShuffleService:
                     reason=f"shuffle receiver rank {self.rank}: {exc!r}"
                 )
                 return
+
+    def ack_plane(self, plane_id: str) -> None:
+        """This rank has fully consumed ``plane_id``: release its entries
+        in the driver-side redelivery buffer (process backend with
+        recovery armed; a no-op everywhere else)."""
+        if not self.recovery:
+            return
+        runtime = getattr(self.world, "runtime", None)
+        ack = getattr(runtime, "ack_plane", None)
+        if ack is not None:
+            ack(plane_id)
 
     # -- lifecycle ---------------------------------------------------------------
     def drain_sends(self) -> None:
@@ -487,6 +596,7 @@ class ShuffleService:
             ),
             "spilled_bytes": sum(p.spilled_bytes() for p in self._planes.values()),
             "duplicates_dropped": self.duplicates_dropped,
+            "replays_dropped": self.replays_dropped,
         }
 
     def spill_seconds(self) -> float:

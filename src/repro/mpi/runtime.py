@@ -338,12 +338,111 @@ class ProcessRuntime(BaseRuntime):
         self.start_method = start_method
         #: set by mpidrun when tracing: workers write journal shards here
         self.trace_shard_prefix = trace_shard_prefix
+        #: surgical rank recovery (off until ``enable_rank_recovery``)
+        self.rank_recovery_enabled = False
+        self.respawns = 0
+        self._respawn_queue: list[int] = []
         super().__init__(fault_injector)
+        if fault_injector is not None:
+            # let kill_rank rules SIGKILL the victim's worker process
+            fault_injector.kill_callback = self._kill_rank_process
 
     def _make_transport(self) -> Transport:
         from repro.mpi.socket_transport import RouterTransport
 
         return RouterTransport(self)
+
+    # -- surgical rank recovery ----------------------------------------------
+    def enable_rank_recovery(
+        self, max_respawns: int, redelivery_bytes: int
+    ) -> None:
+        """Arm rank-level recovery: a worker-process death respawns only
+        that rank (up to ``max_respawns`` times per rank) instead of
+        aborting the world."""
+        self.rank_recovery_enabled = max_respawns > 0
+        self._transport.configure_recovery(max_respawns, redelivery_bytes)
+
+    def request_rank_respawn(self, gids: Sequence[int]) -> None:
+        """Router callback (reader thread): queue dead ranks for the
+        driver loop to respawn."""
+        with self._lock:
+            for gid in gids:
+                if gid not in self._respawn_queue:
+                    self._respawn_queue.append(gid)
+
+    def pending_respawns(self) -> list[int]:
+        """Drain the queue of ranks awaiting a respawn (driver loop)."""
+        with self._lock:
+            pending, self._respawn_queue = self._respawn_queue, []
+            return pending
+
+    def respawn_rank(self, gid: int) -> int | None:
+        """Fork a replacement process for ``gid``; returns the new epoch,
+        or ``None`` when the rank is not surgically recoverable (the
+        caller degrades to the whole-job restart path)."""
+        import dataclasses
+        import multiprocessing
+        import os
+        import signal
+
+        from repro.mpi.socket_transport import _worker_process_main
+
+        transport = self._transport
+        if not transport.recovery_eligible(gid):
+            return None
+        spec = None
+        with self._lock:
+            for _, candidate in reversed(self._procs):
+                if candidate.gid == gid:
+                    spec = candidate
+                    break
+        if spec is None:
+            return None
+        epoch, old_pid = transport.begin_respawn(gid)
+        if old_pid is not None and old_pid != os.getpid():
+            # make sure the old incarnation is dead before its successor
+            # speaks — its future frames are fenced by epoch regardless
+            try:
+                os.kill(old_pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):
+                pass
+        new_spec = dataclasses.replace(
+            spec,
+            epoch=epoch,
+            name=f"{spec.world_name}[{spec.rank}]e{epoch}",
+            trace_shard=(
+                f"{self.trace_shard_prefix}.shard-g{gid}e{epoch}.jsonl"
+                if self.trace_shard_prefix
+                else None
+            ),
+        )
+        ctx = multiprocessing.get_context(self.start_method)
+        proc = ctx.Process(
+            target=_worker_process_main,
+            args=(new_spec,),
+            name=new_spec.name,
+            daemon=True,
+        )
+        with self._lock:
+            self._procs.append((proc, new_spec))
+        proc.start()
+        self.respawns += 1
+        return epoch
+
+    def _kill_rank_process(self, gid: int) -> bool:
+        """FaultInjector ``kill_rank`` hook: SIGKILL the process hosting
+        global rank ``gid`` (a real, uncooperative death)."""
+        import os
+        import signal
+
+        pid = self._transport.pid_of(gid)
+        if pid is None or pid == os.getpid():
+            return False
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            return False
+        return True
 
     def launch_children(
         self,

@@ -30,6 +30,17 @@ Semantics are those of the threaded backend, preserved deliberately:
   :class:`FailureRecord`\\ s when it can; a connection that drops without
   a BYE is recorded as a rank failure and aborts the world, so a
   SIGKILL'd worker surfaces as structured evidence, not a hang.
+* **Surgical rank recovery** — with ``mpi.d.rank.max.respawns > 0`` the
+  router does better than aborting: a no-goodbye disconnect marks the
+  rank *recovering*, the runtime forks a replacement with an incremented
+  **rank epoch**, and the reincarnation's HELLO replays that rank's
+  worker-world traffic from a bounded per-rank **redelivery buffer**
+  (shuffle batches its first life received but took to the grave).
+  Every envelope carries its sender's epoch in the wire header, so a
+  zombie — a rank declared dead that is still limping — has its frames
+  fenced at the hub (``stale_frames_dropped``) instead of corrupting its
+  successor's streams.  Budget exhaustion or buffer overflow degrades to
+  the pre-existing whole-job abort/restart path.
 
 Payloads are pickled only at the wire boundary
 (:data:`repro.net.wire.WIRE_SERDE`); with the default ``fork`` start
@@ -59,6 +70,7 @@ from repro.mpi.transport import (
 from repro.net import wire
 from repro.net.wire import FrameConnection, FrameKind
 from repro.obs.tracer import TRACER as _T
+from repro.serde.io import DataInput
 
 _log = get_logger("mpi.socket_transport")
 
@@ -67,12 +79,14 @@ _log = get_logger("mpi.socket_transport")
 _RPC_DEADLINE = 120.0
 
 
-def _encode_envelope(dest: int, envelope: Envelope) -> bytes:
+def _encode_envelope(dest: int, envelope: Envelope, epoch: int = 0) -> bytes:
     """Envelope -> wire frame; truncation travels as a header flag.
 
     Shuffle record-batch payloads take the structured FLAG_BATCH codec
     (sealed batch bytes copied verbatim, zero pickle); everything else is
-    pickled at this boundary.
+    pickled at this boundary.  ``epoch`` is the sender's rank epoch — the
+    router fences frames whose epoch lags the sender's current
+    incarnation (zombie defense).
     """
     payload = envelope.payload
     flags = 0
@@ -89,6 +103,7 @@ def _encode_envelope(dest: int, envelope: Envelope) -> bytes:
         envelope.nbytes,
         body,
         flags | payload_flags,
+        epoch=epoch,
     )
 
 
@@ -104,6 +119,57 @@ def _decode_envelope(
     return Envelope(context, source, tag, payload, nbytes, origin=origin)
 
 
+class _RedeliveryBuffer:
+    """Bounded, in-order store of the worker-world frames forwarded to one
+    rank, so a reincarnation can be replayed the shuffle batches (and
+    barrier traffic) its first life received but took to the grave.
+
+    Entries are tagged with the shuffle plane id when the frame is a
+    FLAG_BATCH record batch (peeked cheaply from the payload header);
+    ACK frames from the consumer release a plane's entries.  Untagged
+    entries (pickled barrier/collective messages) are held until the
+    rank says BYE.  Overflowing the byte cap evicts oldest-first and
+    latches ``overflowed`` — the rank is then surgically unrecoverable
+    and its death degrades to a whole-job restart.
+    """
+
+    __slots__ = ("cap", "nbytes", "entries", "overflowed")
+
+    def __init__(self, cap: int) -> None:
+        self.cap = cap
+        self.nbytes = 0
+        #: list of (plane_id | None, frame bytes), forwarding order
+        self.entries: list[tuple[str | None, bytes]] = []
+        self.overflowed = False
+
+    def append(self, plane: str | None, frame: bytes) -> None:
+        self.entries.append((plane, frame))
+        self.nbytes += len(frame)
+        while self.nbytes > self.cap and self.entries:
+            _, evicted = self.entries.pop(0)
+            self.nbytes -= len(evicted)
+            self.overflowed = True
+
+    def release_plane(self, plane: str) -> int:
+        kept: list[tuple[str | None, bytes]] = []
+        released = 0
+        for entry in self.entries:
+            if entry[0] == plane:
+                released += 1
+                self.nbytes -= len(entry[1])
+            else:
+                kept.append(entry)
+        self.entries = kept
+        return released
+
+    def frames(self) -> list[bytes]:
+        return [frame for _, frame in self.entries]
+
+    def clear(self) -> None:
+        self.entries = []
+        self.nbytes = 0
+
+
 class RouterTransport(Transport):
     """Driver-side star router: local mailboxes + a gid→socket table.
 
@@ -112,6 +178,13 @@ class RouterTransport(Transport):
     processes and are reached through their HELLO'd connection.  Frames
     deposited before a worker's handshake are buffered and flushed, in
     order, when it arrives.
+
+    With rank recovery configured the router additionally keeps, per
+    worker gid: its current **epoch** (bumped on every respawn, checked
+    against the epoch stamped in each envelope header to fence zombies),
+    its OS pid (so the runtime can SIGKILL a hung incarnation before
+    forking the next), and a :class:`_RedeliveryBuffer` of worker-world
+    frames to replay into the reincarnation.
     """
 
     def __init__(self, runtime: Any) -> None:
@@ -135,9 +208,107 @@ class RouterTransport(Transport):
         #: connections that ended with BYE or FAIL (EOF is then benign)
         self._closed_clean: set[FrameConnection] = set()
         self._stopping = False
+        # -- surgical rank recovery state (inert until configured) ----------
+        #: per-rank respawn budget; 0 keeps the legacy die-on-death path
+        self._max_respawns = 0
+        self._redelivery_cap = 0
+        #: gid -> current epoch (respawn count); frames stamped lower are
+        #: zombie traffic and are dropped
+        self._epochs: dict[int, int] = {}
+        #: connection -> the epoch it HELLO'd with
+        self._conn_epochs: dict[FrameConnection, int] = {}
+        #: gid -> OS pid from its latest HELLO
+        self._pids: dict[int, int] = {}
+        #: context bases of worker worlds whose traffic is redeliverable
+        self._watched_contexts: set[int] = set()
+        self._redelivery: dict[int, _RedeliveryBuffer] = {}
+        self._recovering: set[int] = set()
+        self._respawns: dict[int, int] = {}
+        self._recovery_t0: dict[int, float] = {}
+        self.stale_frames_dropped = 0
+        self.redelivered_frames = 0
         self._server = wire.FrameServer(
             self._handle_frame, self._handle_disconnect, name="mpi-router"
         ).start()
+
+    # -- rank recovery configuration -----------------------------------------
+    def configure_recovery(self, max_respawns: int, redelivery_bytes: int) -> None:
+        """Arm surgical recovery: each rank may be respawned in place up
+        to ``max_respawns`` times, with up to ``redelivery_bytes`` of its
+        inbound worker-world traffic buffered for replay."""
+        with self._lock:
+            self._max_respawns = max(0, int(max_respawns))
+            self._redelivery_cap = int(redelivery_bytes)
+
+    def watch_world(self, group: tuple[int, ...], world_context: int) -> None:
+        """Start buffering the worker-world traffic of ``group`` (its
+        point-to-point and collective context block) for redelivery."""
+        with self._lock:
+            if self._max_respawns <= 0:
+                return
+            self._watched_contexts.add(world_context)
+            for gid in group:
+                self._epochs.setdefault(gid, 0)
+                self._redelivery.setdefault(
+                    gid, _RedeliveryBuffer(self._redelivery_cap)
+                )
+
+    def rank_epoch(self, gid: int) -> int:
+        with self._lock:
+            return self._epochs.get(gid, 0)
+
+    def pid_of(self, gid: int) -> int | None:
+        with self._lock:
+            return self._pids.get(gid)
+
+    def respawn_count(self, gid: int) -> int:
+        with self._lock:
+            return self._respawns.get(gid, 0)
+
+    def recovery_eligible(self, gid: int) -> bool:
+        """Can this rank still be respawned in place?"""
+        with self._lock:
+            return self._eligible_locked(gid)
+
+    def _eligible_locked(self, gid: int) -> bool:
+        if self._max_respawns <= 0:
+            return False
+        buf = self._redelivery.get(gid)
+        if buf is None or buf.overflowed:
+            return False
+        return self._respawns.get(gid, 0) < self._max_respawns
+
+    def begin_recovery(self, gid: int) -> bool:
+        """Mark ``gid`` recovering: its parked frames are discarded (they
+        would be stale by redelivery time), new worker-world traffic
+        accumulates in the redelivery buffer, and anything else bound for
+        it is dropped until the reincarnation's HELLO."""
+        with self._lock:
+            if not self._eligible_locked(gid):
+                return False
+            if gid not in self._recovering:
+                self._recovering.add(gid)
+                self._parked.pop(gid, None)
+                self._recovery_t0[gid] = _now()
+            return True
+
+    def begin_respawn(self, gid: int) -> tuple[int, int | None]:
+        """Charge the budget and bump the epoch for a respawn of ``gid``;
+        returns ``(new_epoch, old_pid)``.  The caller (ProcessRuntime)
+        kills the old pid and forks the replacement."""
+        with self._lock:
+            if gid not in self._recovering:
+                # heartbeat-triggered: the incarnation may still be
+                # connected (hung, not dead) — fence and replace it anyway
+                self._recovering.add(gid)
+                self._parked.pop(gid, None)
+                self._recovery_t0.setdefault(gid, _now())
+            self._respawns[gid] = self._respawns.get(gid, 0) + 1
+            self._epochs[gid] = self._epochs.get(gid, 0) + 1
+            # drop the old route: traffic now lands in the redelivery
+            # buffer (worker-world) or is discarded (stale control)
+            self._routes.pop(gid, None)
+            return self._epochs[gid], self._pids.get(gid)
 
     @property
     def address(self) -> Any:
@@ -220,32 +391,110 @@ class RouterTransport(Transport):
         """Send (or park) one pre-packed frame; the routing lock orders
         parked flushes against direct sends."""
         with self._lock:
-            conn = self._routes.get(dest)
-            if conn is None:
-                if dest not in self._expected:
-                    raise MPIError(f"no route to global rank {dest}")
-                self._parked.setdefault(dest, []).append(frame)
-                return
+            conn = self._park_or_route_locked(dest, frame)
+        if conn is None:
+            return
         try:
             conn.send(frame)
         except OSError:
             # receiver is gone; its disconnect handler owns the fallout
             _log.debug("router: dropping frame for dead rank %d", dest)
 
+    def _park_or_route_locked(self, dest: int, frame: bytes) -> FrameConnection | None:
+        """Route resolution under the lock: a live connection, or None
+        after parking (pre-HELLO) / discarding (mid-recovery — eligible
+        worker-world frames already sit in the redelivery buffer, and
+        anything else would be stale by redelivery time)."""
+        conn = self._routes.get(dest)
+        if conn is not None:
+            return conn
+        if dest not in self._expected:
+            raise MPIError(f"no route to global rank {dest}")
+        if dest not in self._recovering:
+            self._parked.setdefault(dest, []).append(frame)
+        return None
+
+    def _context_watched_locked(self, context: int) -> bool:
+        return any(
+            base <= context < base + 4 for base in self._watched_contexts
+        )
+
+    def _buffer_locked(
+        self, dest: int, context: int, flags: int, payload: bytes, frame: bytes
+    ) -> None:
+        """Record a worker-world frame for possible redelivery.  Control
+        traffic (intercomm contexts) is deliberately excluded: replaying
+        a stale task assignment or report ack into a reincarnated rank
+        would corrupt the driver protocol — the control plane instead
+        recovers by re-requesting."""
+        buf = self._redelivery.get(dest)
+        if buf is None or not self._context_watched_locked(context):
+            return
+        plane: str | None = None
+        if flags & wire.FLAG_BATCH:
+            try:
+                plane = DataInput(payload).read_utf()
+            except Exception:  # noqa: BLE001 - peeking must never drop a frame
+                plane = None
+        buf.append(plane, frame)
+
     # -- frame handlers (router reader threads) ------------------------------
     def _handle_frame(self, conn: FrameConnection, kind: int, body: bytes) -> None:
         if kind == FrameKind.ENVELOPE:
             self._on_envelope(body)
         elif kind == FrameKind.HELLO:
-            gid, pid = wire.unpack_obj(body)
+            obj = wire.unpack_obj(body)
+            gid, pid, epoch = obj if len(obj) == 3 else (obj[0], obj[1], 0)
+            redelivered = 0
+            t0 = None
             with self._lock:
+                current = self._epochs.get(gid, 0)
+                if epoch < current:
+                    # a zombie incarnation reconnecting: never route to it
+                    _log.warning(
+                        "router: fencing stale HELLO from rank %d "
+                        "(epoch %d < %d)", gid, epoch, current,
+                    )
+                    return
+                reborn = gid in self._recovering
                 self._routes[gid] = conn
                 self._conn_gids.setdefault(conn, set()).add(gid)
+                self._conn_epochs[conn] = epoch
                 self._ever_connected.add(gid)
+                self._pids[gid] = pid
+                if reborn:
+                    self._recovering.discard(gid)
+                    t0 = self._recovery_t0.pop(gid, None)
+                    buf = self._redelivery.get(gid)
+                    if buf is not None:
+                        # replay in original forwarding order; entries stay
+                        # buffered until ACK'd (a second death replays again)
+                        for frame in buf.frames():
+                            conn.try_send(frame)
+                            redelivered += 1
                 parked = self._parked.pop(gid, [])
                 for frame in parked:
                     conn.try_send(frame)
-            _log.debug("router: rank %d online (pid %d)", gid, pid)
+            if reborn:
+                self.redelivered_frames += redelivered
+                latency = (_now() - t0) if t0 is not None else -1.0
+                _T.instant(
+                    "recovery.rank.online",
+                    cat="recovery",
+                    args={
+                        "gid": gid, "epoch": epoch, "pid": pid,
+                        "redelivered_frames": redelivered,
+                        "latency_s": round(latency, 6),
+                    },
+                )
+                _T.counter("recovery.redelivered_frames", redelivered, cat="recovery")
+                _log.info(
+                    "router: rank %d reborn (pid %d, epoch %d, %d frames "
+                    "redelivered, %.3fs offline)",
+                    gid, pid, epoch, redelivered, latency,
+                )
+            else:
+                _log.debug("router: rank %d online (pid %d)", gid, pid)
             if self.abort_flag.is_set():
                 conn.try_send(
                     wire.pack_obj_frame(
@@ -253,6 +502,12 @@ class RouterTransport(Transport):
                         (self.abort_flag.reason, self.abort_flag.errorcode),
                     )
                 )
+        elif kind == FrameKind.ACK:
+            gid, plane_id = wire.unpack_obj(body)
+            with self._lock:
+                buf = self._redelivery.get(gid)
+                if buf is not None:
+                    buf.release_plane(plane_id)
         elif kind == FrameKind.RPC_REQ:
             req_id, method, params = wire.unpack_obj(body)
             try:
@@ -280,18 +535,44 @@ class RouterTransport(Transport):
                 reason = records[0].error if records else "worker failed"
                 self._runtime.record_remote_error(exc, reason)
         elif kind == FrameKind.BYE:
-            self._closed_clean.add(conn)
+            with self._lock:
+                self._closed_clean.add(conn)
+                # the rank finished for good: nothing left to redeliver
+                for gid in self._conn_gids.get(conn, ()):
+                    buf = self._redelivery.get(gid)
+                    if buf is not None:
+                        buf.clear()
         else:
             _log.warning("router: ignoring unknown frame kind %d", kind)
 
     def _on_envelope(self, body: bytes) -> None:
-        (context, source, tag, origin, dest, nbytes, flags, payload) = (
+        (context, source, tag, origin, dest, epoch, nbytes, flags, payload) = (
             wire.unpack_envelope_frame(body)
         )
+        current = self._epochs.get(origin)
+        if current is not None and epoch < current:
+            # a zombie speaking: the rank was declared dead and respawned,
+            # but its old incarnation got a frame out first.  Fence it.
+            self.stale_frames_dropped += 1
+            _T.instant(
+                "recovery.stale_frame.dropped",
+                cat="recovery",
+                args={
+                    "origin": origin, "dest": dest, "epoch": epoch,
+                    "current": current, "tag": tag,
+                },
+            )
+            _T.counter("recovery.stale_frames_dropped", self.stale_frames_dropped, cat="recovery")
+            _log.debug(
+                "router: fenced stale frame from rank %d (epoch %d < %d)",
+                origin, epoch, current,
+            )
+            return
         injector = self.fault_injector
         if injector is None:
             self._deliver_raw(
-                dest, body, context, source, tag, origin, nbytes, flags, payload
+                dest, body, context, source, tag, origin, epoch, nbytes,
+                flags, payload,
             )
             return
         # Materialize an Envelope for the injector.  The payload is only
@@ -312,13 +593,13 @@ class RouterTransport(Transport):
                 FrameKind.ENVELOPE,
                 wire._ENV_HEADER.pack(
                     out.context, out.source, out.tag, out.origin,
-                    dest, out.nbytes, out_flags,
+                    dest, epoch, out.nbytes, out_flags,
                 )
                 + payload,
             )
             self._deliver_raw(
                 dest, frame[wire._LEN.size + 1:], out.context, out.source,
-                out.tag, out.origin, out.nbytes, out_flags, payload,
+                out.tag, out.origin, epoch, out.nbytes, out_flags, payload,
                 prepacked=frame,
             )
 
@@ -330,6 +611,7 @@ class RouterTransport(Transport):
         source: int,
         tag: int,
         origin: int,
+        epoch: int,
         nbytes: int,
         flags: int,
         payload: bytes,
@@ -342,31 +624,80 @@ class RouterTransport(Transport):
             )
             return
         # forwarding re-uses the received body verbatim when unmodified
-        self._forward(
-            dest, prepacked if prepacked is not None else wire.pack_frame(FrameKind.ENVELOPE, body)
+        frame = (
+            prepacked if prepacked is not None
+            else wire.pack_frame(FrameKind.ENVELOPE, body)
         )
+        with self._lock:
+            self._buffer_locked(dest, context, flags, payload, frame)
+            conn = self._park_or_route_locked(dest, frame)
+        if conn is None:
+            return
+        try:
+            conn.send(frame)
+        except OSError:
+            _log.debug("router: dropping frame for dead rank %d", dest)
 
     def _handle_disconnect(self, conn: FrameConnection) -> None:
         with self._lock:
             gids = self._conn_gids.pop(conn, set())
+            conn_epoch = self._conn_epochs.pop(conn, 0)
+            stale = bool(gids) and all(
+                conn_epoch < self._epochs.get(gid, 0) for gid in gids
+            )
             for gid in gids:
                 if self._routes.get(gid) is conn:
                     del self._routes[gid]
             clean = conn in self._closed_clean
             self._closed_clean.discard(conn)
+            truncated = getattr(conn, "truncated", False)
         if clean or self._stopping or self.abort_flag.is_set() or not gids:
             return
-        # EOF without BYE/FAIL: the worker process died ungracefully
+        if stale:
+            # a fenced zombie finally letting go of its socket — its death
+            # was already handled when its successor was spawned
+            _log.debug("router: stale incarnation of %s disconnected", sorted(gids))
+            return
+        # EOF without BYE/FAIL: the worker process died ungracefully.
+        # Try surgical recovery first: mark every gid recovering and hand
+        # the respawn to the runtime (the driver loop forks the
+        # replacement); only when some gid is unrecoverable do we fall
+        # through to the legacy abort -> whole-job-restart path.
+        recoverable = [gid for gid in sorted(gids) if self.begin_recovery(gid)]
+        if len(recoverable) == len(gids):
+            for gid in recoverable:
+                _T.instant(
+                    "recovery.rank.lost",
+                    cat="recovery",
+                    args={"gid": gid, "truncated": bool(truncated)},
+                )
+            _log.warning(
+                "router: worker rank(s) %s died; attempting surgical "
+                "respawn", recoverable,
+            )
+            self._runtime.request_rank_respawn(recoverable)
+            return
         for gid in sorted(gids):
             rank, world = self._rank_info.get(gid, (-1, "worker"))
-            record = FailureRecord(
-                kind="rank",
-                worker=rank,
-                where=f"{world}[{rank}]",
-                error=(
+            if self._max_respawns > 0 and gid not in set(recoverable):
+                kind, why = "respawn", (
+                    f"worker process for global rank {gid} died but is no "
+                    f"longer surgically recoverable (respawn budget "
+                    f"exhausted or redelivery buffer overflow); degrading "
+                    f"to a whole-job restart"
+                )
+            elif truncated:
+                kind, why = "wire", (
+                    f"connection to global rank {gid} severed mid-frame "
+                    f"(process killed or stream corrupted)"
+                )
+            else:
+                kind, why = "rank", (
                     f"worker process for global rank {gid} disconnected "
                     f"without a goodbye (crashed or killed)"
-                ),
+                )
+            record = FailureRecord(
+                kind=kind, worker=rank, where=f"{world}[{rank}]", error=why
             )
             self._runtime.record_failure(record)
         self._runtime.abort(
@@ -403,6 +734,13 @@ class WorkerSpec:
     #: route self-sends through the router so the driver-side injector
     #: sees the same traffic it would on the threaded backend
     chaos_routed: bool = False
+    #: rank epoch: 0 for the first incarnation, bumped on each respawn;
+    #: stamped into every outgoing envelope so the router can fence the
+    #: previous incarnation's zombie frames
+    epoch: int = 0
+    #: surgical rank recovery armed for this world (receivers stage
+    #: shuffle streams and emit plane ACKs)
+    recovery: bool = False
     trace_shard: str | None = None
     trace_epoch: float | None = None
     trace_meta: dict = field(default_factory=dict)
@@ -417,6 +755,7 @@ class WorkerTransport(Transport):
         gid: int,
         conn: FrameConnection,
         chaos_routed: bool,
+        epoch: int = 0,
     ) -> None:
         self.abort_flag = abort_flag
         self.fault_injector = None
@@ -424,6 +763,7 @@ class WorkerTransport(Transport):
         self._conn = conn
         self._endpoint = Endpoint(gid, abort_flag, None)
         self._chaos_routed = chaos_routed
+        self._epoch = epoch
 
     def register(self, gid: int) -> Endpoint:
         if gid != self._gid:
@@ -446,7 +786,7 @@ class WorkerTransport(Transport):
             self._endpoint.deposit(envelope)
             return
         try:
-            self._conn.send(_encode_envelope(dest, envelope))
+            self._conn.send(_encode_envelope(dest, envelope, epoch=self._epoch))
         except OSError:
             self.abort_flag.trip("lost connection to the mpidrun router")
             self._endpoint.wake()
@@ -470,8 +810,12 @@ class WorkerRuntime:
         self._conn = conn
         self.abort_flag = AbortFlag()
         self.fault_injector = None
+        #: this incarnation's epoch / recovery flag (read by the shuffle
+        #: layer to enable staging receivers and epoch-reset streams)
+        self.rank_epoch = spec.epoch
+        self.rank_recovery = spec.recovery
         self._transport = WorkerTransport(
-            self.abort_flag, spec.gid, conn, spec.chaos_routed
+            self.abort_flag, spec.gid, conn, spec.chaos_routed, epoch=spec.epoch
         )
         self._failure_records: list[FailureRecord] = []
         self._rpc_lock = threading.Lock()
@@ -529,6 +873,15 @@ class WorkerRuntime:
         self._failure_records.append(record)
         self._conn.try_send(
             wire.pack_obj_frame(FrameKind.FAIL, ([record], None, False))
+        )
+
+    def ack_plane(self, plane_id: str) -> None:
+        """Tell the router this rank fully consumed a shuffle plane, so
+        its redelivery-buffer entries for that plane can be released."""
+        if not self._spec.recovery:
+            return
+        self._conn.try_send(
+            wire.pack_obj_frame(FrameKind.ACK, (self._spec.gid, plane_id))
         )
 
     def record_error(self, comm: Any, exc: BaseException) -> None:
@@ -599,9 +952,8 @@ class WorkerRuntime:
                 return
             kind, body = frame
             if kind == FrameKind.ENVELOPE:
-                (context, source, tag, origin, _dest, nbytes, flags, payload) = (
-                    wire.unpack_envelope_frame(body)
-                )
+                (context, source, tag, origin, _dest, _epoch, nbytes, flags,
+                 payload) = wire.unpack_envelope_frame(body)
                 self._transport._endpoint.deposit(
                     _decode_envelope(
                         context, source, tag, origin, nbytes, flags, payload
@@ -641,6 +993,9 @@ def launch_worker_processes(
 
     transport: RouterTransport = runtime.transport
     transport.expect(group, name=name)
+    recovery = getattr(runtime, "rank_recovery_enabled", False)
+    if recovery:
+        transport.watch_world(group, world_context)
     ctx = multiprocessing.get_context(runtime.start_method)
     shard_prefix = runtime.trace_shard_prefix
     launched: list[tuple[Any, WorkerSpec]] = []
@@ -658,6 +1013,7 @@ def launch_worker_processes(
             world_name=name,
             name=f"{name}[{rank}]",
             chaos_routed=runtime.fault_injector is not None,
+            recovery=recovery,
             trace_shard=(
                 f"{shard_prefix}.shard-g{gid}.jsonl" if shard_prefix else None
             ),
@@ -682,8 +1038,10 @@ def _worker_process_main(spec: WorkerSpec) -> None:
     if spec.trace_shard:
         _T.enabled = True
         _T.meta = dict(spec.trace_meta)
-    conn = wire.connect_local(spec.address, timeout=30.0)
-    conn.send(wire.pack_obj_frame(FrameKind.HELLO, (spec.gid, os.getpid())))
+    conn = wire.connect_local(spec.address, timeout=30.0, retries=4)
+    conn.send(
+        wire.pack_obj_frame(FrameKind.HELLO, (spec.gid, os.getpid(), spec.epoch))
+    )
     runtime = WorkerRuntime(spec, conn)
     comm = Intracomm(
         runtime, spec.world_context, spec.group, spec.rank, name=spec.world_name

@@ -54,8 +54,11 @@ from time import monotonic as _now
 from typing import Any, Callable, Iterable
 
 from repro.common.errors import MPIAbort, MPIError
+from repro.common.logging import get_logger
 from repro.mpi.datatypes import ANY_SOURCE, ANY_TAG, Status
 from repro.obs.tracer import TRACER as _T
+
+_log = get_logger("mpi.transport")
 
 _seq = itertools.count()
 
@@ -150,7 +153,7 @@ class TruncatedPayload:
         return f"<TruncatedPayload of {type(self.original).__name__}>"
 
 
-_FAULT_ACTIONS = ("drop", "delay", "duplicate", "truncate")
+_FAULT_ACTIONS = ("drop", "delay", "duplicate", "truncate", "kill_rank")
 
 
 @dataclass
@@ -162,6 +165,13 @@ class FaultRule:
     messages through unharmed, and ``max_matches`` bounds how many
     messages the action is applied to — a rule with ``max_matches=2``
     models a transient fault that heals after two hits.
+
+    ``kill_rank`` rules SIGKILL the OS process hosting ``target`` (or the
+    matching envelope's origin rank when ``target`` is ``None``) — a real
+    hard kill, not a cooperative sever, so recovery tests exercise the
+    actual no-goodbye disconnect path.  Only the process backend can
+    honor it (the runtime installs the kill hook); elsewhere it is a
+    counted no-op.
     """
 
     action: str
@@ -174,6 +184,8 @@ class FaultRule:
     skip_first: int = 0
     max_matches: int | None = None
     delay_seconds: float = 0.0
+    #: kill_rank only: global rank whose host process is SIGKILLed
+    target: int | None = None
     #: messages that matched the selector / had the action applied
     hits: int = 0
     applied: int = 0
@@ -223,6 +235,9 @@ class FaultInjector:
         self.counts["sever"] = 0
         #: audit trail: (action, origin, dest, context, tag) per applied fault
         self.events: list[tuple[str, int, int, int, int]] = []
+        #: kill hook installed by the process runtime: global rank -> bool
+        #: (SIGKILLed the hosting process); per-interpreter, never pickled
+        self.kill_callback: Callable[[int], bool] | None = None
 
     # -- serialization -------------------------------------------------------
     # Injectors must pickle cleanly (rules already enforce closure-free
@@ -231,10 +246,12 @@ class FaultInjector:
     def __getstate__(self) -> dict[str, Any]:
         state = dict(self.__dict__)
         del state["_lock"]
+        state["kill_callback"] = None
         return state
 
     def __setstate__(self, state: dict[str, Any]) -> None:
         self.__dict__.update(state)
+        self.kill_callback = state.get("kill_callback")
         self._lock = threading.Lock()
 
     # -- configuration ------------------------------------------------------
@@ -254,6 +271,11 @@ class FaultInjector:
 
     def truncate(self, **selector: Any) -> FaultRule:
         return self.add_rule(FaultRule("truncate", **selector))
+
+    def kill_rank(self, target: int | None = None, **selector: Any) -> FaultRule:
+        """SIGKILL the process hosting ``target`` (default: the matching
+        envelope's origin) when the selector fires.  Process backend only."""
+        return self.add_rule(FaultRule("kill_rank", target=target, **selector))
 
     def sever(self, *ranks: int) -> None:
         """Cut global rank(s) off: all their traffic, both directions,
@@ -298,6 +320,18 @@ class FaultInjector:
                 self.counts[rule.action] += 1
                 self._record(rule.action, dest_rank, envelope)
         if rule is None:
+            return [envelope]
+        if rule.action == "kill_rank":
+            # the envelope itself is delivered untouched: the fault is the
+            # SIGKILL, fired outside the lock (the hook may log/trace)
+            victim = rule.target if rule.target is not None else envelope.origin
+            if self.kill_callback is not None:
+                self.kill_callback(victim)
+            else:
+                _log.warning(
+                    "kill_rank rule fired for rank %d but no kill hook is "
+                    "installed (thread backend?); envelope delivered", victim,
+                )
             return [envelope]
         if rule.action == "drop":
             return []

@@ -20,9 +20,15 @@ Frame layout on the wire::
 Envelope frames carry a fixed struct header so the router can route and
 fault-inject on metadata *without unpickling the payload*::
 
-    !5iqB         context, source, tag, origin, dest, nbytes, flags
+    !6iqB         context, source, tag, origin, dest, epoch, nbytes, flags
     ...           payload body (FLAG_BATCH: structured record-batch
                   layout below; otherwise serde PickleSerializer bytes)
+
+``epoch`` is the sender's rank incarnation number: 0 for a first spawn,
+incremented each time the driver respawns that rank.  The router fences
+stale incarnations with it — a zombie process whose rank was already
+respawned keeps stamping the old epoch, and its frames are dropped at
+the hub instead of corrupting the reincarnated rank's streams.
 
 Shuffle batch envelopes — the data-plane hot path — skip pickle
 entirely.  A ``("batch", plane_id, (seq, origin, blocks, eos))`` message
@@ -57,10 +63,12 @@ from __future__ import annotations
 
 import contextlib
 import os
+import random
 import socket
 import struct
 import tempfile
 import threading
+import time
 from typing import Any, Callable
 
 from repro.common.logging import get_logger
@@ -70,7 +78,7 @@ from repro.serde.serialization import PickleSerializer
 _log = get_logger("net.wire")
 
 _LEN = struct.Struct("!I")
-_ENV_HEADER = struct.Struct("!5iqB")
+_ENV_HEADER = struct.Struct("!6iqB")
 
 #: single serializer instance for the wire boundary (stateless)
 WIRE_SERDE = PickleSerializer()
@@ -81,7 +89,7 @@ MAX_FRAME = 1 << 30  # defensive cap: a corrupt length prefix fails loudly
 class FrameKind:
     """One byte discriminating what a frame body means."""
 
-    HELLO = 1       # worker -> router: (gid, pid) rank handshake
+    HELLO = 1       # worker -> router: (gid, pid, epoch) rank handshake
     ENVELOPE = 2    # either direction: header + pickled payload
     ABORT = 3       # router -> workers: (reason, errorcode); wakes everyone
     ABORT_REQ = 4   # worker -> router: (reason, errorcode) MPI_Abort request
@@ -90,6 +98,8 @@ class FrameKind:
     RPC_REQ = 7     # worker -> router: (req_id, method, pickled args)
     RPC_REP = 8     # router -> worker: (req_id, ok, payload-or-error)
     TRACE = 9       # reserved: inline trace events (shards are file-based)
+    ACK = 10        # worker -> router: (gid, plane_id) plane consumed; the
+                    # router releases that plane's redelivery-buffer entries
 
 #: truncate-fault marker in the envelope header flags byte
 FLAG_TRUNCATED = 0x01
@@ -227,16 +237,37 @@ def pack_envelope_frame(
     nbytes: int,
     payload: bytes,
     flags: int = 0,
+    epoch: int = 0,
 ) -> bytes:
     """ENVELOPE frame: routable header + already-pickled payload bytes."""
-    header = _ENV_HEADER.pack(context, source, tag, origin, dest, nbytes, flags)
+    header = _ENV_HEADER.pack(
+        context, source, tag, origin, dest, epoch, nbytes, flags
+    )
     return pack_frame(FrameKind.ENVELOPE, header + payload)
 
 
-def unpack_envelope_frame(body: bytes) -> tuple[int, int, int, int, int, int, int, bytes]:
-    """(context, source, tag, origin, dest, nbytes, flags, payload_bytes)."""
-    context, source, tag, origin, dest, nbytes, flags = _ENV_HEADER.unpack_from(body)
-    return context, source, tag, origin, dest, nbytes, flags, body[_ENV_HEADER.size:]
+def unpack_envelope_frame(
+    body: bytes,
+) -> tuple[int, int, int, int, int, int, int, int, bytes]:
+    """(context, source, tag, origin, dest, epoch, nbytes, flags, payload)."""
+    context, source, tag, origin, dest, epoch, nbytes, flags = (
+        _ENV_HEADER.unpack_from(body)
+    )
+    return (
+        context, source, tag, origin, dest, epoch, nbytes, flags,
+        body[_ENV_HEADER.size:],
+    )
+
+
+class FrameTruncatedError(ConnectionError):
+    """The peer vanished *mid-frame* (or sent a corrupt length prefix).
+
+    Distinct from a clean EOF at a frame boundary (``recv() -> None``):
+    truncation means bytes were lost in flight — a severed stream or a
+    process killed mid-write — and the connection's last frame cannot be
+    trusted.  Consumers surface it as a ``wire``-kind failure record
+    rather than the generic "peer went away".
+    """
 
 
 class FrameConnection:
@@ -245,12 +276,19 @@ class FrameConnection:
     Writes are serialized by a lock so any thread may send; reads are
     expected from a single reader thread (the accept loop or the worker
     receiver), matching how both consumers use it.
+
+    ``recv`` distinguishes how the peer went away: ``None`` for EOF at a
+    frame boundary (orderly close, or abrupt close between frames) vs
+    :class:`FrameTruncatedError` for EOF inside a frame; ``truncated``
+    latches once the latter happened.
     """
 
     def __init__(self, sock: socket.socket) -> None:
         self._sock = sock
         self._send_lock = threading.Lock()
         self._closed = False
+        #: latched when the peer disappeared mid-frame
+        self.truncated = False
 
     def send(self, frame: bytes) -> None:
         """Send one pre-packed frame; raises ConnectionError when closed."""
@@ -268,27 +306,43 @@ class FrameConnection:
             return False
 
     def recv(self) -> tuple[int, bytes] | None:
-        """One (kind, body) frame, or ``None`` on orderly/abrupt EOF."""
+        """One (kind, body) frame, or ``None`` on EOF at a frame boundary.
+
+        Raises :class:`FrameTruncatedError` when the stream ends inside
+        a frame — the peer died mid-write and data was lost.
+        """
         head = self._recv_exact(_LEN.size)
         if head is None:
             return None
         (length,) = _LEN.unpack(head)
         if not 1 <= length <= MAX_FRAME:
-            raise ConnectionError(f"corrupt frame length {length}")
-        body = self._recv_exact(length)
-        if body is None:
-            return None
+            self.truncated = True
+            raise FrameTruncatedError(f"corrupt frame length {length}")
+        body = self._recv_exact(length, mid_frame=True)
+        assert body is not None  # mid_frame raises instead of returning None
         return body[0], body[1:]
 
-    def _recv_exact(self, n: int) -> bytes | None:
+    def _recv_exact(self, n: int, mid_frame: bool = False) -> bytes | None:
         chunks: list[bytes] = []
         remaining = n
         while remaining:
             try:
                 chunk = self._sock.recv(min(remaining, 1 << 20))
-            except OSError:
+            except OSError as exc:
+                if chunks or mid_frame:
+                    self.truncated = True
+                    raise FrameTruncatedError(
+                        f"stream severed {n - remaining}/{n} bytes into a "
+                        f"{'frame body' if mid_frame else 'length prefix'}"
+                    ) from exc
                 return None
             if not chunk:
+                if chunks or mid_frame:
+                    self.truncated = True
+                    raise FrameTruncatedError(
+                        f"peer closed {n - remaining}/{n} bytes into a "
+                        f"{'frame body' if mid_frame else 'length prefix'}"
+                    )
                 return None
             chunks.append(chunk)
             remaining -= len(chunk)
@@ -325,18 +379,50 @@ def listen_local(name: str = "wire") -> tuple[socket.socket, Any]:
     return server, server.getsockname()
 
 
-def connect_local(address: Any, timeout: float | None = None) -> FrameConnection:
-    """Connect to a :func:`listen_local` address."""
-    if isinstance(address, str):
-        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-    else:
-        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-    if timeout is not None:
-        sock.settimeout(timeout)
-    sock.connect(address)
-    sock.settimeout(None)
-    return FrameConnection(sock)
+#: default jitter source for connect backoff; tests pass a seeded Random
+_CONNECT_RNG = random.Random()
+
+
+def connect_local(
+    address: Any,
+    timeout: float | None = None,
+    retries: int = 0,
+    backoff: float = 0.05,
+    backoff_cap: float = 1.0,
+    rng: random.Random | None = None,
+) -> FrameConnection:
+    """Connect to a :func:`listen_local` address.
+
+    With ``retries > 0``, a refused/failed connect is retried with
+    exponentially growing, jittered, capped delays: attempt *k* sleeps
+    ``min(backoff_cap, backoff * 2**k)`` scaled by a uniform factor in
+    ``[0.5, 1.5)`` so simultaneous reconnectors (a whole world of
+    respawned ranks) don't stampede the accept queue in lockstep.  Pass
+    a seeded ``rng`` for deterministic test schedules.
+    """
+    jitter = rng if rng is not None else _CONNECT_RNG
+    attempt = 0
+    while True:
+        if isinstance(address, str):
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        else:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        if timeout is not None:
+            sock.settimeout(timeout)
+        try:
+            sock.connect(address)
+        except OSError:
+            with contextlib.suppress(OSError):
+                sock.close()
+            if attempt >= retries:
+                raise
+            delay = min(backoff_cap, backoff * (2 ** attempt))
+            time.sleep(delay * (0.5 + jitter.random()))
+            attempt += 1
+            continue
+        sock.settimeout(None)
+        return FrameConnection(sock)
 
 
 def cleanup_local(address: Any) -> None:
@@ -406,7 +492,13 @@ class FrameServer:
     def _read_loop(self, conn: FrameConnection) -> None:
         try:
             while True:
-                frame = conn.recv()
+                try:
+                    frame = conn.recv()
+                except FrameTruncatedError as exc:
+                    # conn.truncated is latched; the disconnect handler
+                    # reads it to blame a severed stream, not a clean exit
+                    _log.warning("%s: %s", self._name, exc)
+                    break
                 if frame is None:
                     break
                 kind, body = frame

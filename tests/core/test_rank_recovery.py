@@ -1,0 +1,345 @@
+"""Surgical rank recovery: respawn-and-replay one dead rank in place.
+
+The process backend must survive a SIGKILL'd worker without restarting
+the whole job: the router fences the dead incarnation behind a rank
+epoch, the driver forks a replacement, the scheduler replays only that
+rank's tasks, and the redelivery buffer re-feeds the shuffle batches the
+first life took to the grave.  Peer ranks block on their planes and
+resume; job output is byte-identical to an unfaulted run.  When the
+respawn budget is spent or the redelivery buffer overflowed, the death
+degrades gracefully to the classic whole-job restart.
+"""
+
+import random
+
+from repro.core import DataMPIJob, Mode, mapreduce_job, mpidrun
+from repro.core.checkpoint import read_rank_manifest, write_rank_manifest
+from repro.core.constants import MPI_D_Constants as K, SHUFFLE_TAG
+from repro.core.mpidrun import restart_delay
+from repro.mpi import FaultInjector
+from repro.mpi.runtime import ProcessRuntime
+from repro.mpi.socket_transport import _RedeliveryBuffer
+from repro.net import wire
+
+from tests.core.helpers import FileCollector, expected_wordcount, wordcount_pieces
+
+TEXTS = [f"w{i % 7} w{(i * 3) % 5} kill recover" for i in range(40)]
+NPROCS = 2
+
+
+def recovery_conf(**extra):
+    conf = {
+        K.SHUFFLE_BATCH_BYTES: 64,  # many small envelopes per channel
+        K.LAUNCHER: "processes",
+        K.RANK_MAX_RESPAWNS: 2,
+        K.PLANE_TIMEOUT_SECONDS: 60.0,
+        K.HEARTBEAT_DEADLINE_SECONDS: 120.0,
+    }
+    conf.update(extra)
+    return conf
+
+
+def run_wordcount(tmp_path, subdir, conf, injector=None, **kwargs):
+    provider, mapper, reducer = wordcount_pieces(TEXTS)
+    out = FileCollector(tmp_path / subdir)
+    job = mapreduce_job(
+        "recovery-wc", provider, mapper, reducer, out,
+        o_tasks=4, a_tasks=2, conf=conf,
+    )
+    result = mpidrun(job, nprocs=NPROCS, timeout=120.0,
+                     fault_injector=injector, **kwargs)
+    return result, out
+
+
+# -- the tentpole: SIGKILL mid-shuffle, no whole-job restart -----------------------
+
+
+class TestSurgicalRecovery:
+    def test_killed_rank_respawns_without_job_restart(self, tmp_path):
+        injector = FaultInjector()
+        rule = injector.kill_rank(tag=SHUFFLE_TAG, skip_first=3, max_matches=1)
+        result, out = run_wordcount(
+            tmp_path, "out", recovery_conf(), injector=injector,
+        )
+        assert result.success
+        assert rule.applied == 1  # the SIGKILL really fired
+        assert result.restarts == 0  # the job itself never restarted
+        assert result.metrics.respawns >= 1  # exactly the dead rank came back
+        assert out.merged() == expected_wordcount(TEXTS)
+
+    def test_faulted_output_is_byte_identical_to_clean_run(self, tmp_path):
+        clean_result, clean = run_wordcount(
+            tmp_path, "clean", recovery_conf(), raise_on_error=True,
+        )
+        injector = FaultInjector()
+        injector.kill_rank(tag=SHUFFLE_TAG, skip_first=3, max_matches=1)
+        faulted_result, faulted = run_wordcount(
+            tmp_path, "faulted", recovery_conf(), injector=injector,
+        )
+        assert clean_result.success and faulted_result.success
+        assert clean_result.metrics.respawns == 0
+        assert faulted_result.metrics.respawns >= 1
+        assert faulted.by_task() == clean.by_task()  # per-task, not just merged
+
+    def test_recovery_writes_a_rank_manifest_with_ft_on(self, tmp_path):
+        injector = FaultInjector()
+        injector.kill_rank(tag=SHUFFLE_TAG, skip_first=3, max_matches=1)
+        conf = recovery_conf(**{
+            K.FT_ENABLED: True,
+            K.FT_DIR: str(tmp_path / "ft"),
+            K.JOB_ID: "recovery-wc",
+            K.FT_INTERVAL_RECORDS: 10,
+        })
+        result, out = run_wordcount(tmp_path, "out", conf, injector=injector)
+        assert result.success
+        assert result.restarts == 0
+        assert out.merged() == expected_wordcount(TEXTS)
+        manifests = [
+            read_rank_manifest(str(tmp_path / "ft"), "recovery-wc", worker)
+            for worker in range(NPROCS)
+        ]
+        recovered = [m for m in manifests if m]
+        assert len(recovered) == 1  # exactly one rank died and came back
+        assert recovered[0]["respawns"] == 1
+        assert recovered[0]["epoch"] == 1
+
+    def test_killed_rank_mid_iteration_replays_its_rounds(self, tmp_path):
+        def build(out, conf):
+            def o_fn(ctx):
+                if ctx.round == 0:
+                    ctx.send(ctx.rank % ctx.a_size, 1.0)
+                else:
+                    total = sum(v for _, v in ctx.recv_iter())
+                    ctx.send(ctx.rank % ctx.a_size, total + 1.0)
+
+            def a_fn(ctx):
+                total = sum(v for _, v in ctx.recv_iter())
+                if ctx.round < 2:
+                    ctx.send(ctx.rank % ctx.o_size, total)
+                else:
+                    out(ctx.rank, "total", total)
+
+            return DataMPIJob("iter-kill", o_fn, a_fn, o_tasks=2, a_tasks=2,
+                              mode=Mode.ITERATION, rounds=3, conf=conf)
+
+        clean = FileCollector(tmp_path / "clean")
+        assert mpidrun(build(clean, recovery_conf()), nprocs=NPROCS,
+                       timeout=120.0, raise_on_error=True).success
+        injector = FaultInjector()
+        injector.kill_rank(tag=SHUFFLE_TAG, skip_first=2, max_matches=1)
+        faulted = FileCollector(tmp_path / "faulted")
+        result = mpidrun(build(faulted, recovery_conf()), nprocs=NPROCS,
+                         timeout=120.0, fault_injector=injector)
+        assert result.success
+        assert result.restarts == 0
+        assert result.metrics.respawns >= 1
+        assert faulted.by_task() == clean.by_task()
+
+    def test_killed_rank_mid_stream_loses_no_records(self, tmp_path):
+        def build(out, conf):
+            def o_fn(ctx):
+                for i in range(60):
+                    ctx.send(i % 2, (ctx.rank * 1000 + i, 1))
+
+            def a_fn(ctx):
+                keys = tuple(sorted(k for k, _ in ctx.recv_iter()))
+                out(ctx.rank, "keys", keys)
+
+            return DataMPIJob("stream-kill", o_fn, a_fn, o_tasks=2, a_tasks=2,
+                              mode=Mode.STREAMING, conf=conf)
+
+        conf = recovery_conf(**{K.SPL_PARTITION_BYTES: 64})
+        clean = FileCollector(tmp_path / "clean")
+        assert mpidrun(build(clean, conf), nprocs=NPROCS, timeout=120.0,
+                       raise_on_error=True).success
+        injector = FaultInjector()
+        injector.kill_rank(tag=SHUFFLE_TAG, skip_first=2, max_matches=1)
+        faulted = FileCollector(tmp_path / "faulted")
+        result = mpidrun(build(faulted, conf), nprocs=NPROCS, timeout=120.0,
+                         fault_injector=injector)
+        assert result.success
+        assert result.restarts == 0
+        assert result.metrics.respawns >= 1
+        assert faulted.by_task() == clean.by_task()
+
+
+class TestGracefulDegradation:
+    def test_redelivery_overflow_degrades_to_whole_job_restart(self, tmp_path):
+        # a 256-byte buffer overflows before the kill lands, so the rank
+        # is not surgically recoverable: the death must degrade to the
+        # classic supervised restart and still produce correct output
+        injector = FaultInjector()
+        injector.kill_rank(tag=SHUFFLE_TAG, skip_first=6, max_matches=1)
+        conf = recovery_conf(**{
+            K.RANK_REDELIVERY_BYTES: 256,
+            K.FT_ENABLED: True,
+            K.FT_DIR: str(tmp_path / "ft"),
+            K.JOB_ID: "recovery-wc",
+            K.JOB_MAX_RESTARTS: 2,
+            K.RESTART_BACKOFF_SECONDS: 0.01,
+        })
+        result, out = run_wordcount(tmp_path, "out", conf, injector=injector)
+        assert result.success
+        assert result.restarts >= 1
+        assert result.metrics.respawns == 0
+        assert any(f.kind == "respawn" for f in result.failures)
+        assert out.merged() == expected_wordcount(TEXTS)
+
+    def test_respawn_budget_gates_eligibility(self):
+        runtime = ProcessRuntime()
+        try:
+            transport = runtime._transport
+            transport.configure_recovery(max_respawns=1, redelivery_bytes=1 << 20)
+            transport.watch_world((1, 2), world_context=4)
+            assert transport.recovery_eligible(1)
+            epoch, _pid = transport.begin_respawn(1)
+            assert epoch == 1
+            # budget spent: no second surgical respawn for rank 1
+            assert not transport.recovery_eligible(1)
+            assert not transport.begin_recovery(1)
+            assert runtime.respawn_rank(1) is None
+            # rank 2 is untouched and still has its full budget
+            assert transport.recovery_eligible(2)
+        finally:
+            runtime._transport.shutdown()
+
+    def test_recovery_is_off_by_default(self):
+        runtime = ProcessRuntime()
+        try:
+            assert not runtime.rank_recovery_enabled
+            assert not runtime._transport.recovery_eligible(1)
+        finally:
+            runtime._transport.shutdown()
+
+
+# -- epoch fencing at the router --------------------------------------------------
+
+
+class TestEpochFencing:
+    @staticmethod
+    def _envelope_body(origin, dest, epoch, obj=("k", 1)):
+        payload, _flags = wire.encode_payload(obj)
+        frame = wire.pack_envelope_frame(
+            context=4, source=origin, tag=SHUFFLE_TAG, origin=origin,
+            dest=dest, nbytes=len(payload), payload=payload, epoch=epoch,
+        )
+        return frame[5:]  # strip length prefix + kind byte
+
+    def test_stale_epoch_frames_are_dropped_at_the_router(self):
+        runtime = ProcessRuntime()
+        try:
+            transport = runtime._transport
+            transport.configure_recovery(max_respawns=2, redelivery_bytes=1 << 20)
+            transport.watch_world((1, 2), world_context=4)
+            mailbox = transport.register(0)  # driver-hosted destination
+            transport.begin_respawn(1)  # rank 1 now lives at epoch 1
+            # a zombie of epoch 0 gets one last frame out: fenced
+            transport._on_envelope(self._envelope_body(origin=1, dest=0, epoch=0))
+            assert transport.stale_frames_dropped == 1
+            assert mailbox.pending_count() == 0
+            # the reincarnation's own traffic passes
+            transport._on_envelope(self._envelope_body(origin=1, dest=0, epoch=1))
+            assert transport.stale_frames_dropped == 1
+            assert mailbox.pending_count() == 1
+            # an unfenced peer at epoch 0 is untouched
+            transport._on_envelope(self._envelope_body(origin=2, dest=0, epoch=0))
+            assert transport.stale_frames_dropped == 1
+            assert mailbox.pending_count() == 2
+        finally:
+            runtime._transport.shutdown()
+
+    def test_epoch_survives_the_wire_header(self):
+        body = self._envelope_body(origin=3, dest=1, epoch=7)
+        (_ctx, _src, _tag, origin, dest, epoch, _n, _flags, _payload) = (
+            wire.unpack_envelope_frame(body)
+        )
+        assert (origin, dest, epoch) == (3, 1, 7)
+
+
+# -- the redelivery buffer --------------------------------------------------------
+
+
+class TestRedeliveryBuffer:
+    def test_frames_kept_in_order_and_released_per_plane(self):
+        buf = _RedeliveryBuffer(cap=1 << 20)
+        buf.append("fwd:0", b"a" * 10)
+        buf.append(None, b"b" * 10)  # barrier traffic: held until BYE
+        buf.append("fwd:0", b"c" * 10)
+        buf.append("fwd:1", b"d" * 10)
+        assert buf.frames() == [b"a" * 10, b"b" * 10, b"c" * 10, b"d" * 10]
+        assert buf.release_plane("fwd:0") == 2
+        assert buf.frames() == [b"b" * 10, b"d" * 10]
+        assert buf.nbytes == 20
+        assert not buf.overflowed
+
+    def test_overflow_evicts_oldest_and_latches(self):
+        buf = _RedeliveryBuffer(cap=25)
+        buf.append("p", b"x" * 10)
+        buf.append("p", b"y" * 10)
+        assert not buf.overflowed
+        buf.append("p", b"z" * 10)  # 30 > 25: oldest evicted
+        assert buf.overflowed  # the rank is no longer replayable
+        assert buf.frames() == [b"y" * 10, b"z" * 10]
+        assert buf.nbytes == 20
+
+    def test_clear_resets_bytes_but_not_the_overflow_latch(self):
+        buf = _RedeliveryBuffer(cap=5)
+        buf.append("p", b"frame-too-big")
+        assert buf.overflowed
+        buf.clear()
+        assert buf.frames() == []
+        assert buf.nbytes == 0
+        assert buf.overflowed  # a lossy history cannot be un-lost
+
+
+# -- satellite: rank-scoped checkpoint manifests ----------------------------------
+
+
+class TestRankManifest:
+    def test_round_trip_and_respawn_accounting(self, tmp_path):
+        path = write_rank_manifest(
+            str(tmp_path), "job-1", worker=3,
+            payload={"gid": 4, "epoch": 1, "tasks_requeued": 2},
+        )
+        manifest = read_rank_manifest(str(tmp_path), "job-1", worker=3)
+        assert path.endswith(".json")
+        assert manifest["worker"] == 3
+        assert manifest["gid"] == 4
+        assert manifest["respawns"] == 1
+        write_rank_manifest(str(tmp_path), "job-1", worker=3,
+                            payload={"gid": 4, "epoch": 2})
+        again = read_rank_manifest(str(tmp_path), "job-1", worker=3)
+        assert again["respawns"] == 2  # accumulates across incarnations
+        assert again["epoch"] == 2
+
+    def test_missing_manifest_reads_as_empty(self, tmp_path):
+        assert read_rank_manifest(str(tmp_path), "nope", worker=0) == {}
+
+
+# -- satellite: seeded jitter on the restart backoff ------------------------------
+
+
+class TestRestartDelay:
+    def test_no_jitter_is_pure_exponential_and_capped(self):
+        assert restart_delay(1, 2.0) == 2.0
+        assert restart_delay(2, 2.0) == 4.0
+        assert restart_delay(3, 2.0) == 5.0  # _MAX_BACKOFF ceiling
+        assert restart_delay(10, 2.0) == 5.0
+
+    def test_jitter_stays_inside_the_band(self):
+        rng = random.Random(42)
+        for attempt in range(1, 6):
+            base = restart_delay(attempt, 1.0)
+            for _ in range(50):
+                delay = restart_delay(attempt, 1.0, jitter=0.25, rng=rng)
+                assert 0.75 * base <= delay <= 1.25 * base
+
+    def test_seeded_rng_makes_the_schedule_deterministic(self):
+        a = [restart_delay(i, 0.5, jitter=0.5, rng=random.Random(7))
+             for i in range(1, 5)]
+        b = [restart_delay(i, 0.5, jitter=0.5, rng=random.Random(7))
+             for i in range(1, 5)]
+        assert a == b
+        c = [restart_delay(i, 0.5, jitter=0.5, rng=random.Random(8))
+             for i in range(1, 5)]
+        assert a != c

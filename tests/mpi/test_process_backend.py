@@ -20,6 +20,7 @@ from repro.net.wire import (
     FLAG_TRUNCATED,
     FrameConnection,
     FrameKind,
+    FrameTruncatedError,
     pack_envelope_frame,
     pack_frame,
     pack_obj_frame,
@@ -40,10 +41,11 @@ class TestWireFrames:
         )
         conn_kind, body = frame[4], frame[5:]
         assert conn_kind == FrameKind.ENVELOPE
-        context, source, tag, origin, dest, nbytes, flags, raw = (
+        context, source, tag, origin, dest, epoch, nbytes, flags, raw = (
             unpack_envelope_frame(body)
         )
         assert (context, source, tag, origin, dest) == (12, 3, 900_001, 7, 5)
+        assert epoch == 0  # default incarnation
         assert nbytes == len(payload)
         assert flags == 0
         assert pickle.loads(raw) == {"key": "value", "n": 41}
@@ -94,7 +96,68 @@ class TestWireFrames:
         a, b = FrameConnection(left), FrameConnection(right)
         a.close()
         assert b.recv() is None
+        assert not b.truncated  # a clean close is not corruption
         b.close()
+
+    def test_mid_frame_eof_raises_and_latches_truncated(self):
+        # a SIGKILL'd peer can die between the length prefix and the body:
+        # that must surface as FrameTruncatedError, not a silent None
+        left, right = socket.socketpair()
+        b = FrameConnection(right)
+        frame = pack_obj_frame(FrameKind.RPC_REQ, {"big": "x" * 512})
+        left.sendall(frame[: len(frame) // 2])
+        left.close()
+        with pytest.raises(FrameTruncatedError):
+            b.recv()
+        assert b.truncated
+        b.close()
+
+    def test_eof_inside_the_length_prefix_is_also_truncation(self):
+        left, right = socket.socketpair()
+        b = FrameConnection(right)
+        left.sendall(b"\x00\x00")  # 2 of the 4 length bytes
+        left.close()
+        with pytest.raises(FrameTruncatedError):
+            b.recv()
+        assert b.truncated
+        b.close()
+
+    def test_connect_local_retries_until_the_listener_appears(self, tmp_path):
+        import random
+        import threading
+        import time
+
+        from repro.net.wire import connect_local
+
+        # a respawned worker may beat the router to the socket: the first
+        # connects fail, the jittered retry loop must absorb that
+        path = str(tmp_path / "late-sock")
+        server_box = []
+
+        def late_listener():
+            time.sleep(0.1)
+            server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            server.bind(path)
+            server.listen(8)
+            server_box.append(server)
+
+        threading.Thread(target=late_listener, daemon=True).start()
+        conn = connect_local(
+            path, timeout=5.0, retries=10, backoff=0.02,
+            rng=random.Random(1234),
+        )
+        conn.close()
+        server_box[0].close()
+
+    def test_connect_local_gives_up_after_its_retry_budget(self, tmp_path):
+        import random
+
+        from repro.net.wire import connect_local
+
+        nobody = str(tmp_path / "nobody-home")
+        with pytest.raises(OSError):
+            connect_local(nobody, timeout=1.0, retries=2, backoff=0.01,
+                          rng=random.Random(5))
 
 
 # -- runtime selection ---------------------------------------------------------
@@ -254,10 +317,11 @@ class TestEnvelopeCodec:
 
         frame = _encode_envelope(dest, env)
         assert frame[4] == FrameKind.ENVELOPE
-        context, source, tag, origin, wire_dest, nbytes, flags, raw = (
+        context, source, tag, origin, wire_dest, epoch, nbytes, flags, raw = (
             unpack_envelope_frame(frame[5:])
         )
         assert wire_dest == dest
+        assert epoch == 0
         return _decode_envelope(context, source, tag, origin, nbytes, flags, raw)
 
     def test_truncated_payload_round_trips_through_the_codec(self):
