@@ -11,7 +11,11 @@ tracer states and writes ``BENCH_OBS.json`` at the repo root:
 * **disabled overhead estimate** — (events the enabled run recorded ×
   measured ns per disabled call) / disabled elapsed time: an upper bound
   on what the *guards alone* cost the disabled hot path, independent of
-  run-to-run throughput noise.  The acceptance bar is < 3%.
+  run-to-run throughput noise.  The acceptance bar is < 3%;
+* **telemetry shipping cost** — mean cost of building + ingesting one
+  telemetry snapshot, swept across shipping intervals: steady-state
+  overhead ≈ snapshot cost / interval.  The bar is < 3% of one core at
+  the default ``mpi.d.telemetry.interval.seconds`` (0.25s).
 
 Run standalone (preferred for stable numbers)::
 
@@ -159,9 +163,64 @@ def bench_shuffle_ab(quick: bool) -> dict:
     }
 
 
+# -- telemetry shipping cost ----------------------------------------------------
+#: intervals (seconds) to sweep; the first is the configured default
+TELEMETRY_SWEEP = (0.25, 0.1, 0.05)
+
+
+def bench_telemetry(quick: bool) -> dict:
+    """Cost of one telemetry snapshot (build + hub ingest) and the
+    steady-state overhead that implies at each shipping interval.
+
+    The shipper thread does exactly this work once per interval, so
+    overhead ≈ snapshot cost / interval — a deterministic estimate,
+    immune to the run-to-run noise an end-to-end A/B would add for an
+    off-hot-path background thread.
+    """
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.telemetry import TelemetryHub, build_snapshot
+
+    n = 2_000 if quick else 20_000
+    registry = MetricsRegistry()
+    counter = registry.counter("bench.records")
+    counter.inc(123_456)
+    phases = {
+        "compute": 1.25, "partition-sort": 0.4, "communicate": 0.8,
+        "merge": 0.3, "checkpoint": 0.1, "control": 0.05,
+    }
+    shuffle_stats = {
+        "blocks_sent": 640, "bytes_sent": 1 << 22, "envelopes_sent": 80,
+        "records_received": 100_000, "blocks_received": 640,
+        "spilled_bytes": 0, "duplicates_dropped": 0, "replays_dropped": 0,
+    }
+    queue_stats = {"pending": 3, "bytes_in": 4096}
+    hub = TelemetryHub(ring=256)
+
+    t0 = time.perf_counter()
+    for seq in range(n):
+        hub.ingest(build_snapshot(
+            rank=0, epoch=0, seq=seq, phases=phases, shuffle=shuffle_stats,
+            queue=queue_stats, tasks={"o": 4, "a": 2}, registry=registry,
+        ))
+    per_snapshot_s = (time.perf_counter() - t0) / n
+
+    sweep = {
+        str(interval): round(per_snapshot_s / interval * 100.0, 4)
+        for interval in TELEMETRY_SWEEP
+    }
+    return {
+        "snapshots": n,
+        "snapshot_cost_us": round(per_snapshot_s * 1e6, 2),
+        "overhead_pct_by_interval": sweep,
+        "default_interval_s": TELEMETRY_SWEEP[0],
+        "default_overhead_pct": sweep[str(TELEMETRY_SWEEP[0])],
+    }
+
+
 def run_all(quick: bool) -> dict:
     null_calls = bench_null_calls(quick)
     shuffle = bench_shuffle_ab(quick)
+    telemetry = bench_telemetry(quick)
     # guards-only cost of the disabled hot path: every event the enabled
     # run recorded corresponds to a call site the disabled run also hit
     worst_call_ns = max(
@@ -178,10 +237,14 @@ def run_all(quick: bool) -> dict:
         },
         "null_calls": null_calls,
         "shuffle": shuffle,
+        "telemetry": telemetry,
         "disabled_overhead_pct_estimate": round(disabled_pct, 3),
         "acceptance": {
             "bar_pct": 3.0,
-            "passed": disabled_pct < 3.0,
+            "passed": (
+                disabled_pct < 3.0
+                and telemetry["default_overhead_pct"] < 3.0
+            ),
         },
     }
 
@@ -207,6 +270,7 @@ def test_bench_obs_overhead_quick(emit):
     assert report["null_calls"]["span_ns"] < 2000  # sanity, not a perf bar
     assert report["shuffle"]["enabled"]["events_recorded"] > 0
     assert report["disabled_overhead_pct_estimate"] < 3.0
+    assert report["telemetry"]["default_overhead_pct"] < 3.0
     assert report["acceptance"]["passed"]
 
 

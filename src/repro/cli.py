@@ -30,6 +30,15 @@ console script, so ``repro trace <journal>`` works)::
 
     $ mpidrun trace /tmp/wc.jsonl --top 5
     $ mpidrun trace /tmp/wc.jsonl --out trace.json   # chrome://tracing
+
+``--telemetry`` turns on the live telemetry plane: every rank ships
+periodic metric snapshots to a driver-side hub exposed over RPC, and
+``top`` polls it into a live per-rank table (or Prometheus text)::
+
+    $ mpidrun --telemetry=/tmp/wc.endpoint --launcher=processes \\
+          -O 4 -A 2 -M mapreduce -jar demos.jar WordCount 300 &
+    $ mpidrun top /tmp/wc.endpoint            # live per-rank table
+    $ mpidrun top /tmp/wc.endpoint --prom     # Prometheus exposition
 """
 
 from __future__ import annotations
@@ -172,7 +181,7 @@ def _check_launcher(backend: str) -> str:
 
 def _extract_obs_flags(argv: list[str]) -> tuple[list[str], dict, str | None]:
     """Strip ``--trace[=PATH]`` / ``--metrics-json[=PATH]`` /
-    ``--launcher=BACKEND`` from ``argv``.
+    ``--launcher=BACKEND`` / ``--telemetry[=ENDPOINT_FILE]`` from ``argv``.
 
     Returns (remaining argv, conf overrides for the launch, metrics-json
     output path or None).  The flags live outside the paper's mpidrun
@@ -191,6 +200,11 @@ def _extract_obs_flags(argv: list[str]) -> tuple[list[str], dict, str | None]:
             i += 1
         elif tok.startswith("--launcher="):
             conf[K.LAUNCHER] = _check_launcher(tok.split("=", 1)[1])
+        elif tok == "--telemetry":
+            conf[K.TELEMETRY_ENABLED] = True
+        elif tok.startswith("--telemetry="):
+            conf[K.TELEMETRY_ENABLED] = True
+            conf[K.TELEMETRY_ENDPOINT_FILE] = tok.split("=", 1)[1]
         elif tok == "--trace":
             conf[K.TRACE_ENABLED] = True
         elif tok.startswith("--trace="):
@@ -282,6 +296,158 @@ def trace_main(argv: list[str]) -> int:
     return 0
 
 
+def _resolve_telemetry_endpoint(spec: str) -> Any:
+    """Turn a ``repro top`` endpoint argument into an RPC address.
+
+    Accepts the endpoint file ``--telemetry=FILE`` writes (JSON with an
+    ``address`` key), a raw ``host:port`` pair, or an AF_UNIX socket
+    path.
+    """
+    import os
+
+    if os.path.isfile(spec):
+        with open(spec, encoding="utf-8") as f:
+            try:
+                doc = json.load(f)
+            except ValueError as exc:
+                raise DataMPIError(f"{spec} is not an endpoint file: {exc}")
+        address = doc.get("address") if isinstance(doc, dict) else None
+        if address is None:
+            raise DataMPIError(f"{spec} has no 'address' key")
+        if isinstance(address, list):
+            return (address[0], int(address[1]))
+        return address
+    if ":" in spec and not spec.startswith("/"):
+        host, _, port = spec.rpartition(":")
+        try:
+            return (host, int(port))
+        except ValueError:
+            raise DataMPIError(f"bad host:port endpoint {spec!r}") from None
+    return spec
+
+
+def _format_top_table(rows: list[dict], rollups: dict) -> str:
+    """Render one refresh of the ``repro top`` per-rank table."""
+    lines: list[str] = []
+    lines.append(
+        f"ranks {rollups.get('ranks_reporting', 0)}"
+        f"/{rollups.get('ranks_expected', 0) or '?'} reporting  "
+        f"done={rollups.get('ranks_done', 0)}  "
+        f"snapshots={rollups.get('snapshots_ingested', 0)}  "
+        f"straggler={rollups.get('straggler_score', 0.0):.2f}  "
+        f"skew={rollups.get('shuffle_skew', 0.0):.2f}"
+    )
+    recovery = rollups.get("recovery") or {}
+    if any(recovery.values()):
+        lines.append(
+            "recovery: " + "  ".join(
+                f"{k}={v}" for k, v in sorted(recovery.items()) if v
+            )
+        )
+    header = (
+        f"{'rank':>4} {'ep':>2} {'st':>7} {'wall':>8} {'cpu':>7} "
+        f"{'rss_mb':>7} {'sent_mb':>8} {'recv':>8} {'pend':>5} "
+        f"{'o/a':>7} {'age':>5}"
+    )
+    lines.append(header)
+    for row in sorted(rows, key=lambda r: r.get("rank", -1)):
+        tasks = row.get("tasks") or {}
+        lines.append(
+            f"{row.get('rank', -1):>4} {row.get('epoch', 0):>2} "
+            f"{row.get('status', '?'):>7} "
+            f"{row.get('wall_s', 0.0):>7.2f}s {row.get('cpu_s', 0.0):>6.2f}s "
+            f"{row.get('rss_mb', 0.0):>7.1f} "
+            f"{row.get('bytes_sent', 0) / 1e6:>8.2f} "
+            f"{row.get('records_received', 0):>8} "
+            f"{row.get('pending', 0):>5} "
+            f"{tasks.get('o', 0):>3}/{tasks.get('a', 0):<3} "
+            f"{row.get('age_s', 0.0):>4.1f}s"
+        )
+    return "\n".join(lines)
+
+
+def top_main(argv: list[str]) -> int:
+    """``repro top <endpoint>`` — poll a job's live telemetry plane."""
+    import argparse
+    import time
+
+    from repro.common.errors import RPCError
+    from repro.rpc import SocketRpcClient
+
+    parser = argparse.ArgumentParser(
+        prog="repro top",
+        description="Live per-rank table for a running job launched with "
+        "--telemetry (polls the driver's telemetry RPC endpoint).",
+    )
+    parser.add_argument(
+        "endpoint",
+        help="endpoint file written by --telemetry=FILE, host:port, or "
+        "an AF_UNIX socket path",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=1.0, metavar="S",
+        help="seconds between refreshes (default 1.0)",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=0, metavar="N",
+        help="stop after N refreshes (default: until interrupted or the "
+        "job's endpoint goes away)",
+    )
+    parser.add_argument(
+        "--once", action="store_true", help="single refresh (same as "
+        "--iterations=1)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit per-rank rows and rollups as JSON instead of a table",
+    )
+    parser.add_argument(
+        "--prom", action="store_true",
+        help="emit the Prometheus text exposition instead of a table",
+    )
+    args = parser.parse_args(argv)
+    iterations = 1 if args.once else args.iterations
+    try:
+        address = _resolve_telemetry_endpoint(args.endpoint)
+    except DataMPIError as exc:
+        print(f"repro top: {exc}", file=sys.stderr)
+        return 2
+    try:
+        client = SocketRpcClient(address, timeout=10.0)
+    except OSError as exc:
+        print(f"repro top: cannot connect to {address!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    count = 0
+    try:
+        while True:
+            try:
+                if args.prom:
+                    print(client.call("telemetry_scrape"), end="")
+                else:
+                    rows = client.call("telemetry_ranks")
+                    rollups = client.call("telemetry_rollups")
+                    if args.json:
+                        print(json.dumps(
+                            {"ranks": rows, "rollups": rollups}, default=repr
+                        ))
+                    else:
+                        print(_format_top_table(rows, rollups))
+            except (OSError, RPCError) as exc:
+                print(f"repro top: endpoint gone ({exc})", file=sys.stderr)
+                return 0 if count else 2
+            count += 1
+            if iterations and count >= iterations:
+                return 0
+            time.sleep(args.interval)
+            if not (args.json or args.prom):
+                print()
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        client.close()
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in ("-h", "--help"):
@@ -290,6 +456,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv[0] == "top":
+        return top_main(argv[1:])
     try:
         argv, conf, metrics_json = _extract_obs_flags(argv)
         options = parse_mpidrun_command("mpidrun " + " ".join(argv))

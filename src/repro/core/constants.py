@@ -129,6 +129,19 @@ class MPI_D_Constants:
     #: also write a Chrome/Perfetto trace.json next to the journal
     TRACE_CHROME = "mpi.d.trace.chrome"
 
+    # -- live telemetry plane ------------------------------------------------------
+    #: ship per-rank telemetry snapshots to the driver's TelemetryHub
+    #: while the job runs (served over a SocketRpcServer for `repro top`
+    #: and Prometheus scrapes)
+    TELEMETRY_ENABLED = "mpi.d.telemetry.enabled"
+    #: snapshot shipping period per rank, seconds
+    TELEMETRY_INTERVAL_SECONDS = "mpi.d.telemetry.interval.seconds"
+    #: ring-buffer depth per (rank, epoch) series in the hub
+    TELEMETRY_RING = "mpi.d.telemetry.ring"
+    #: write the hub's RPC endpoint address to this file so concurrent
+    #: clients (`repro top`, scrapers) can find a running job
+    TELEMETRY_ENDPOINT_FILE = "mpi.d.telemetry.endpoint.file"
+
     # -- failure injection (testing) ----------------------------------------------
     #: crash the job after this many total emitted records (-1 = never)
     INJECT_CRASH_AFTER_RECORDS = "mpi.d.inject.crash.after.records"
@@ -147,6 +160,11 @@ RANK_REDELIVERY_BYTES_DEFAULT = 64 * 1024 * 1024
 
 #: default restart-backoff jitter fraction (see ``RESTART_BACKOFF_JITTER``)
 RESTART_BACKOFF_JITTER_DEFAULT = 0.25
+
+#: default telemetry shipping period (see ``TELEMETRY_INTERVAL_SECONDS``)
+TELEMETRY_INTERVAL_DEFAULT = 0.25
+#: default hub ring-buffer depth (see ``TELEMETRY_RING``)
+TELEMETRY_RING_DEFAULT = 256
 
 #: internal shuffle tag on the worker world communicator
 SHUFFLE_TAG = 900_001

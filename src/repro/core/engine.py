@@ -38,6 +38,9 @@ from repro.core.modes import (
 from repro.core.partition import PartitionWindow
 from repro.core.shuffle import PlaneConfig, ShufflePlane, ShuffleService
 from repro.common.logging import get_logger
+from repro.core.constants import TELEMETRY_INTERVAL_DEFAULT
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import build_snapshot
 from repro.obs.tracer import TRACER as _T
 from repro.serde.comparators import default_compare
 from repro.serde.serialization import get_serializer
@@ -83,6 +86,8 @@ class WorkerEngine:
         self.window_fwd = PartitionWindow(job.a_tasks, nprocs)
         self.window_bwd = PartitionWindow(job.o_tasks, nprocs)
         self.metrics = WorkerMetrics(process_rank=self.rank)
+        #: per-rank registry shipped with telemetry snapshots
+        self.registry = MetricsRegistry()
         #: guards phase-bucket accrual (streaming A tasks run on threads)
         self._phase_lock = threading.Lock()
         self.state: dict = {}  # process-local cross-round state (Iteration)
@@ -175,6 +180,76 @@ class WorkerEngine:
         )
         thread.start()
         return stop
+
+    # -- live telemetry ------------------------------------------------------------
+    def _telemetry_snapshot(self, epoch: int, endpoint: Any, seq: int) -> dict:
+        with self._phase_lock:
+            phases = dict(self.metrics.phase_times)
+        return build_snapshot(
+            self.rank, epoch, seq, phases,
+            shuffle=self.shuffle.stats(),
+            queue=endpoint.stats(),
+            tasks={"o": self.metrics.o_tasks_run, "a": self.metrics.a_tasks_run},
+            registry=self.registry,
+        )
+
+    def _start_telemetry(self) -> tuple[threading.Event, threading.Thread] | None:
+        """Ship telemetry snapshots to the driver's hub on an interval
+        thread — via the runtime's TELEMETRY wire frames on the process
+        backend, or straight into the in-process hub on threads."""
+        if not self.conf.get_bool(K.TELEMETRY_ENABLED, False):
+            return None
+        interval = self.conf.get_float(
+            K.TELEMETRY_INTERVAL_SECONDS, TELEMETRY_INTERVAL_DEFAULT
+        )
+        if interval <= 0:
+            return None
+        runtime = getattr(self.world, "runtime", None)
+        ship = getattr(runtime, "ship_telemetry", None)
+        if ship is None:
+            hub = getattr(runtime, "telemetry_hub", None)
+            if hub is None:
+                return None
+            ship = hub.ingest
+        epoch = int(getattr(runtime, "rank_epoch", 0) or 0)
+        endpoint = self.world._my_endpoint()
+        snaps = self.registry.counter("telemetry.snapshots")
+        stop = threading.Event()
+
+        def pump() -> None:
+            seq = 0
+            while True:
+                try:
+                    snaps.inc()
+                    ship(self._telemetry_snapshot(epoch, endpoint, seq))
+                except BaseException:  # noqa: BLE001 - telemetry must not kill the rank
+                    return
+                seq += 1
+                if stop.wait(interval):
+                    # one parting snapshot so final phase totals land
+                    try:
+                        snaps.inc()
+                        ship(self._telemetry_snapshot(epoch, endpoint, seq))
+                    except BaseException:  # noqa: BLE001
+                        pass
+                    return
+
+        thread = threading.Thread(
+            target=pump, daemon=True, name=f"telemetry-w{self.rank}"
+        )
+        thread.start()
+        return stop, thread
+
+    @staticmethod
+    def _stop_telemetry(
+        telemetry: tuple[threading.Event, threading.Thread] | None,
+    ) -> None:
+        """Stop the shipper and wait for its parting snapshot (idempotent)."""
+        if telemetry is None:
+            return
+        stop, thread = telemetry
+        stop.set()
+        thread.join(timeout=2.0)
 
     # -- task contexts -----------------------------------------------------------------
     def _make_o_context(
@@ -463,6 +538,7 @@ class WorkerEngine:
         rounds = self.job.rounds if self.bidirectional else 1
         _T.bind(self.rank)
         hb_stop = self._start_heartbeat()
+        telemetry = self._start_telemetry()
         wall0 = time.perf_counter()
         try:
             for round_no in range(rounds):
@@ -487,14 +563,21 @@ class WorkerEngine:
             self.metrics.records_received = stats["records_received"]
             self.metrics.blocks_received = stats["blocks_received"]
             self.metrics.spilled_bytes = stats["spilled_bytes"]
+            self.metrics.replays_dropped = stats["replays_dropped"]
             # spill happens on the receiver thread concurrently with the
             # buckets above — report it as an overlay, not coverage
             self._add_phase("spill", self.shuffle.spill_seconds())
             self._add_phase("control", time.perf_counter() - t0)
             self.metrics.wall_seconds = time.perf_counter() - wall0
+            # flush the parting telemetry snapshot before the final
+            # report: both ride the same FIFO connection, so the hub is
+            # guaranteed to hold this rank's last word when the
+            # scheduler marks it done
+            self._stop_telemetry(telemetry)
             self._report()
             return self.metrics
         finally:
             if hb_stop is not None:
                 hb_stop.set()
+            self._stop_telemetry(telemetry)
             self.shuffle.shutdown()

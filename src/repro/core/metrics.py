@@ -48,6 +48,8 @@ class WorkerMetrics:
     checkpointed_records: int = 0
     reloaded_records: int = 0
     local_a_tasks: int = 0  # A tasks that ran where their data lived
+    #: whole replayed shuffle streams dropped (rank recovery exactly-once)
+    replays_dropped: int = 0
     #: wall-clock seconds of this worker's engine loop
     wall_seconds: float = 0.0
     #: disjoint main-thread time buckets (compute / partition-sort /
@@ -75,6 +77,7 @@ class WorkerMetrics:
         job.checkpointed_records += self.checkpointed_records
         job.reloaded_records += self.reloaded_records
         job.local_a_tasks += self.local_a_tasks
+        job.replays_dropped += self.replays_dropped
         for phase, seconds in self.phase_times.items():
             job.phase_times[phase] = job.phase_times.get(phase, 0.0) + seconds
         job.tasks.extend(self.tasks)
@@ -105,6 +108,8 @@ class JobMetrics:
     redelivered_frames: int = 0
     #: zombie-incarnation frames fenced at the router by epoch
     stale_frames_dropped: int = 0
+    #: whole replayed shuffle streams dropped by receivers (exactly-once)
+    replays_dropped: int = 0
     #: per-phase seconds summed across workers (Fig. 5's breakdown)
     phase_times: dict = field(default_factory=dict)
     #: :class:`TaskMetrics` for every task attempt across all workers
@@ -130,6 +135,7 @@ class JobMetrics:
             "respawns": self.respawns,
             "redelivered_frames": self.redelivered_frames,
             "stale_frames_dropped": self.stale_frames_dropped,
+            "replays_dropped": self.replays_dropped,
             "phase_times": dict(self.phase_times),
             "tasks": [t.as_dict() for t in self.tasks],
         }

@@ -36,6 +36,7 @@ from repro.core.constants import (
     MPI_D_Constants as K,
     RANK_REDELIVERY_BYTES_DEFAULT,
     RESTART_BACKOFF_JITTER_DEFAULT,
+    TELEMETRY_RING_DEFAULT,
 )
 from repro.core.job import DataMPIJob
 from repro.core.metrics import JobResult, WorkerMetrics
@@ -215,6 +216,12 @@ class _TraceSession:
             summary["phase_times"] = dict(result.metrics.phase_times)
             summary["tasks"] = [t.as_dict() for t in result.metrics.tasks]
             summary["failures"] = [_failure_dict(f) for f in result.failures]
+            summary["recovery"] = {
+                "respawns": result.metrics.respawns,
+                "redelivered_frames": result.metrics.redelivered_frames,
+                "stale_frames_dropped": result.metrics.stale_frames_dropped,
+                "replays_dropped": result.metrics.replays_dropped,
+            }
         summary["workers"] = [
             {
                 "rank": rank,
@@ -239,6 +246,67 @@ class _TraceSession:
             _log.info("chrome trace exported to %s", chrome_path)
         _log.info("flight-recorder journal written to %s", self.path)
         return self.path
+
+
+class _TelemetrySession:
+    """The live telemetry plane around one ``mpidrun`` call.
+
+    Owns the driver-side :class:`~repro.obs.telemetry.TelemetryHub` and
+    the :class:`~repro.rpc.server.SocketRpcServer` that serves it, so a
+    concurrent client can scrape per-rank/rollup metrics (Prometheus
+    text via ``telemetry_scrape``, structured dicts for ``repro top``)
+    *while the job runs*.  The server address is written atomically to
+    ``mpi.d.telemetry.endpoint.file`` so clients can find a running job
+    without coordination.
+    """
+
+    def __init__(self, job: DataMPIJob, conf: Any) -> None:
+        from repro.obs.telemetry import TelemetryHub
+        from repro.rpc.server import SocketRpcServer
+
+        self.hub = TelemetryHub(
+            ring=conf.get_int(K.TELEMETRY_RING, TELEMETRY_RING_DEFAULT)
+        )
+        self.server = SocketRpcServer(
+            self.hub.rpc_target(), num_handlers=2, name=f"telemetry-{job.name}"
+        )
+        self.server.start()
+        self.endpoint_file = str(conf.get(K.TELEMETRY_ENDPOINT_FILE) or "")
+        if self.endpoint_file:
+            import json
+
+            address = self.server.address
+            payload = {
+                "address": list(address) if isinstance(address, tuple) else address,
+                "job": job.name,
+                "pid": os.getpid(),
+            }
+            tmp = f"{self.endpoint_file}.tmp"
+            with open(tmp, "w", encoding="utf-8") as f:
+                json.dump(payload, f)
+            os.replace(tmp, self.endpoint_file)  # pollers never see a partial file
+        _log.info("telemetry endpoint: %r", self.server.address)
+
+    @staticmethod
+    def maybe(job: DataMPIJob, conf: Any) -> "_TelemetrySession | None":
+        if not conf.get_bool(K.TELEMETRY_ENABLED, False):
+            return None
+        return _TelemetrySession(job, conf)
+
+    def attach(self, runtime: BaseRuntime) -> None:
+        """Bind this attempt's runtime: the router forwards TELEMETRY
+        frames to the hub, the scheduler marks rank completion on it, and
+        rollups read live recovery counters off the runtime."""
+        runtime.telemetry_hub = self.hub
+        self.hub.bind_runtime(runtime)
+
+    def close(self) -> None:
+        self.server.stop()
+        if self.endpoint_file:
+            try:
+                os.unlink(self.endpoint_file)  # no stale pointers to a dead server
+            except OSError:
+                pass
 
 
 def mpidrun(
@@ -282,6 +350,7 @@ def mpidrun(
     )
     start = time.perf_counter()
     trace = _TraceSession.maybe(job, conf, nprocs)
+    telemetry = _TelemetrySession.maybe(job, conf)
     failures: list[FailureRecord] = []
     task_attempts: dict[tuple[str, int], int] = {}
     attempt = 0
@@ -302,6 +371,8 @@ def mpidrun(
             if trace is not None and isinstance(runtime, ProcessRuntime):
                 # workers of this attempt write their tracer events here
                 runtime.trace_shard_prefix = f"{trace.path}.a{attempt}"
+            if telemetry is not None:
+                telemetry.attach(runtime)
             try:
                 results = runtime.run(
                     driver_main, 1, args=(attempt_job, nprocs),
@@ -390,6 +461,8 @@ def mpidrun(
             )
             break
     finally:
+        if telemetry is not None:
+            telemetry.close()
         if trace is not None:
             path = trace.close(result, reports)
             if result is not None:

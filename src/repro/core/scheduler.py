@@ -216,6 +216,11 @@ def driver_main(comm: Any, job: DataMPIJob, nprocs: int) -> dict[int, WorkerMetr
     reports: dict[int, WorkerMetrics] = {}
     # -- surgical rank recovery plumbing (process backend only) --------------
     runtime = getattr(comm, "runtime", None)
+    # -- live telemetry: the hub tracks world size and rank completion so
+    # `repro top` can show a status column and honest rollup denominators
+    telemetry_hub = getattr(runtime, "telemetry_hub", None)
+    if telemetry_hub is not None:
+        telemetry_hub.expect(nprocs)
     worker_gids = dict(enumerate(getattr(inter, "remote_group", ())))
     gid_to_worker = {gid: w for w, gid in worker_gids.items()}
     pending_fn = getattr(runtime, "pending_respawns", None)
@@ -312,6 +317,8 @@ def driver_main(comm: Any, job: DataMPIJob, nprocs: int) -> dict[int, WorkerMetr
                 supervisor.beat(worker)
                 supervisor.finish(worker)
                 reports[worker] = metrics
+                if telemetry_hub is not None:
+                    telemetry_hub.mark_done(worker)
                 if _T.enabled:
                     _T.instant(
                         "worker.done", cat="scheduler", args={"worker": worker}

@@ -36,7 +36,7 @@ from repro.core.partition import PartitionWindow
 from repro.core.sorter import RunStore
 from repro.mpi.datatypes import ANY_SOURCE
 from repro.mpi.transport import TruncatedPayload
-from repro.obs.tracer import TRACER as _T
+from repro.obs.tracer import TRACER as _T, flow_id as _flow_id
 from repro.serde.batch import RecordBatch
 from repro.serde.comparators import Compare
 from repro.serde.serialization import Serializer
@@ -308,6 +308,7 @@ class ShuffleService:
             self._send_queue.put(("eos", plane_id, dest, None))
 
     def _sender_loop(self) -> None:
+        _T.bind(self.rank)  # attribute send spans to this rank's lane
         pending: dict[tuple[str, int], _Batch] = {}
         while True:
             if pending:
@@ -371,6 +372,18 @@ class ShuffleService:
                     dest=dest,
                     tag=SHUFFLE_TAG,
                 )
+            flow = 0
+            if _T.enabled:
+                # deterministic causal pair: the receiver recomputes the
+                # same flow id from (plane>dest, origin, seq), and the
+                # pair additionally travels in the envelope header so the
+                # link survives the wire even for wildcard receivers.
+                # dest is part of the name because seq counts per
+                # (plane, dest) channel — without it two same-seq batches
+                # from one rank to different receivers would collide.
+                channel = f"{plane_id}>{dest}"
+                flow = _flow_id(channel, self.rank, seq)
+                _T.set_flow(flow, _flow_id(channel, self.rank, seq, domain=1))
             self.world.send(
                 ("batch", plane_id, (seq, self.rank, batch.blocks, batch.eos)),
                 dest=dest,
@@ -390,7 +403,7 @@ class ShuffleService:
                 args={
                     "plane": plane_id, "dest": dest, "seq": seq,
                     "blocks": len(batch.blocks), "bytes": batch.nbytes,
-                    "eos": batch.eos,
+                    "eos": batch.eos, "flow_out": flow,
                 },
             )
             _T.counter(f"shuffle.r{self.rank}.bytes_sent", self.bytes_sent)
@@ -433,6 +446,7 @@ class ShuffleService:
         replay as droppable — a rank's contribution is applied exactly
         once, whole, no matter how many times it dies mid-stream.
         """
+        _T.bind(self.rank)  # attribute recv spans to this rank's lane
         last_seq: dict[tuple[str, int], int] = {}
         channels: dict[tuple[str, int], _Channel] = {}
         staging = self.recovery
@@ -441,6 +455,7 @@ class ShuffleService:
                 message = self.world.recv(source=ANY_SOURCE, tag=SHUFFLE_TAG)
             except MPIAbort:
                 return  # job aborted; planes will never complete, that's fine
+            flow_in = _T.recv_flow() if _T.enabled else None
             try:
                 if isinstance(message, TruncatedPayload):
                     raise DataMPIError(
@@ -534,11 +549,22 @@ class ShuffleService:
                         if eos:
                             plane.add_eos()
                     if _T.enabled and blocks:
+                        # prefer the pair the envelope header carried; a
+                        # path that lost it (direct deposits in unit
+                        # tests) falls back to recomputing the same id
+                        channel_name = f"{plane_id}>{self.rank}"
+                        trace, parent = (
+                            flow_in if flow_in is not None
+                            else (_flow_id(channel_name, origin, seq),
+                                  _flow_id(channel_name, origin, seq,
+                                           domain=1))
+                        )
                         _T.complete(
                             "shuffle.recv.batch", trace_t0,
                             _T.clock() - trace_t0, cat="shuffle",
                             args={"plane": plane_id, "origin": origin,
-                                  "blocks": len(blocks)},
+                                  "blocks": len(blocks), "seq": seq,
+                                  "flow_in": trace, "flow_parent": parent},
                         )
                 elif kind == "block":  # un-coalesced single block (direct callers)
                     plane.add_block(payload)

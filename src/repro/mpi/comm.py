@@ -22,6 +22,7 @@ from repro.common.records import _size_of
 from repro.mpi.datatypes import ANY_SOURCE, ANY_TAG, Op, Status
 from repro.mpi.request import RecvRequest, Request, SendRequest
 from repro.mpi.transport import Envelope
+from repro.obs.tracer import TRACER as _T
 
 if TYPE_CHECKING:
     from repro.mpi.intercomm import Intercomm
@@ -112,6 +113,10 @@ class Intracomm:
         envelope = self._my_endpoint().receive(
             self.context, source, tag, timeout=timeout
         )
+        if _T.enabled and envelope.trace:
+            # hand the envelope's causal pair to the receiving thread's
+            # instrumentation (it pops the pair onto its span args)
+            _T.note_recv_flow(envelope.trace, envelope.parent)
         if status is not None:
             st = envelope.status()
             status.source, status.tag, status.count = st.source, st.tag, st.count
@@ -150,6 +155,10 @@ class Intracomm:
             context, self._rank, tag, obj, _size_of(obj),
             origin=self.group[self._rank],
         )
+        if _T.enabled:
+            flow = _T.take_flow()
+            if flow is not None:
+                envelope.trace, envelope.parent = flow
         self.runtime.deposit(self._global(dest), envelope)
         return envelope
 

@@ -104,19 +104,22 @@ def _encode_envelope(dest: int, envelope: Envelope, epoch: int = 0) -> bytes:
         body,
         flags | payload_flags,
         epoch=epoch,
+        trace=envelope.trace,
+        parent=envelope.parent,
     )
 
 
 def _decode_envelope(
     context: int, source: int, tag: int, origin: int, nbytes: int,
-    flags: int, payload_bytes: bytes,
+    flags: int, payload_bytes: bytes, trace: int = 0, parent: int = 0,
 ) -> Envelope:
     """Wire frame -> Envelope, built in the *destination* interpreter so
     ``seq`` reflects local arrival order (wildcard matching)."""
     payload = wire.decode_payload(payload_bytes, flags)
     if flags & wire.FLAG_TRUNCATED:
         payload = TruncatedPayload(payload)
-    return Envelope(context, source, tag, payload, nbytes, origin=origin)
+    return Envelope(context, source, tag, payload, nbytes, origin=origin,
+                    trace=trace, parent=parent)
 
 
 class _RedeliveryBuffer:
@@ -508,6 +511,13 @@ class RouterTransport(Transport):
                 buf = self._redelivery.get(gid)
                 if buf is not None:
                     buf.release_plane(plane_id)
+        elif kind == FrameKind.TELEMETRY:
+            hub = getattr(self._runtime, "telemetry_hub", None)
+            if hub is not None:
+                try:
+                    hub.ingest(wire.unpack_obj(body))
+                except Exception:  # noqa: BLE001 - telemetry never kills routing
+                    _log.debug("router: dropped malformed telemetry frame")
         elif kind == FrameKind.RPC_REQ:
             req_id, method, params = wire.unpack_obj(body)
             try:
@@ -546,9 +556,8 @@ class RouterTransport(Transport):
             _log.warning("router: ignoring unknown frame kind %d", kind)
 
     def _on_envelope(self, body: bytes) -> None:
-        (context, source, tag, origin, dest, epoch, nbytes, flags, payload) = (
-            wire.unpack_envelope_frame(body)
-        )
+        (context, source, tag, origin, dest, epoch, trace, parent, nbytes,
+         flags, payload) = wire.unpack_envelope_frame(body)
         current = self._epochs.get(origin)
         if current is not None and epoch < current:
             # a zombie speaking: the rank was declared dead and respawned,
@@ -572,7 +581,7 @@ class RouterTransport(Transport):
         if injector is None:
             self._deliver_raw(
                 dest, body, context, source, tag, origin, epoch, nbytes,
-                flags, payload,
+                flags, payload, trace=trace, parent=parent,
             )
             return
         # Materialize an Envelope for the injector.  The payload is only
@@ -593,14 +602,14 @@ class RouterTransport(Transport):
                 FrameKind.ENVELOPE,
                 wire._ENV_HEADER.pack(
                     out.context, out.source, out.tag, out.origin,
-                    dest, epoch, out.nbytes, out_flags,
+                    dest, epoch, trace, parent, out.nbytes, out_flags,
                 )
                 + payload,
             )
             self._deliver_raw(
                 dest, frame[wire._LEN.size + 1:], out.context, out.source,
                 out.tag, out.origin, epoch, out.nbytes, out_flags, payload,
-                prepacked=frame,
+                prepacked=frame, trace=trace, parent=parent,
             )
 
     def _deliver_raw(
@@ -616,11 +625,14 @@ class RouterTransport(Transport):
         flags: int,
         payload: bytes,
         prepacked: bytes | None = None,
+        trace: int = 0,
+        parent: int = 0,
     ) -> None:
         endpoint = self._endpoints.get(dest)
         if endpoint is not None:
             endpoint.deposit(
-                _decode_envelope(context, source, tag, origin, nbytes, flags, payload)
+                _decode_envelope(context, source, tag, origin, nbytes, flags,
+                                 payload, trace=trace, parent=parent)
             )
             return
         # forwarding re-uses the received body verbatim when unmodified
@@ -884,6 +896,15 @@ class WorkerRuntime:
             wire.pack_obj_frame(FrameKind.ACK, (self._spec.gid, plane_id))
         )
 
+    def ship_telemetry(self, snap: dict) -> None:
+        """Fire-and-forget one telemetry snapshot to the driver's hub.
+
+        ``try_send`` keeps telemetry strictly best-effort: a full socket
+        or a dying connection drops the snapshot instead of blocking the
+        shipper thread or killing the rank.
+        """
+        self._conn.try_send(wire.pack_obj_frame(FrameKind.TELEMETRY, snap))
+
     def record_error(self, comm: Any, exc: BaseException) -> None:
         import traceback as traceback_mod
 
@@ -952,11 +973,12 @@ class WorkerRuntime:
                 return
             kind, body = frame
             if kind == FrameKind.ENVELOPE:
-                (context, source, tag, origin, _dest, _epoch, nbytes, flags,
-                 payload) = wire.unpack_envelope_frame(body)
+                (context, source, tag, origin, _dest, _epoch, trace, parent,
+                 nbytes, flags, payload) = wire.unpack_envelope_frame(body)
                 self._transport._endpoint.deposit(
                     _decode_envelope(
-                        context, source, tag, origin, nbytes, flags, payload
+                        context, source, tag, origin, nbytes, flags, payload,
+                        trace=trace, parent=parent,
                     )
                 )
             elif kind == FrameKind.ABORT:

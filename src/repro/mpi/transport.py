@@ -68,7 +68,7 @@ class Envelope:
 
     __slots__ = (
         "context", "source", "tag", "payload", "nbytes", "seq", "delivered",
-        "origin",
+        "origin", "trace", "parent",
     )
 
     def __init__(
@@ -79,6 +79,8 @@ class Envelope:
         payload: Any,
         nbytes: int,
         origin: int = -1,
+        trace: int = 0,
+        parent: int = 0,
     ) -> None:
         self.context = context
         self.source = source
@@ -90,6 +92,12 @@ class Envelope:
         #: is the communicator-local rank, this is the runtime-wide identity
         #: used by fault-injection rules and failure diagnostics
         self.origin = origin
+        #: causal-tracing pair: flow id linking the sender-side span to
+        #: the receiver-side span, and the emitting span's id.  Zero means
+        #: untraced; the pair travels in the wire header on the process
+        #: backend and on this object on the thread backend.
+        self.trace = trace
+        self.parent = parent
         #: set when a receiver consumes the message (for synchronous sends)
         self.delivered = threading.Event()
 

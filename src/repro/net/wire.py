@@ -20,7 +20,8 @@ Frame layout on the wire::
 Envelope frames carry a fixed struct header so the router can route and
 fault-inject on metadata *without unpickling the payload*::
 
-    !6iqB         context, source, tag, origin, dest, epoch, nbytes, flags
+    !6i3qB        context, source, tag, origin, dest, epoch,
+                  trace, parent, nbytes, flags
     ...           payload body (FLAG_BATCH: structured record-batch
                   layout below; otherwise serde PickleSerializer bytes)
 
@@ -29,6 +30,12 @@ incremented each time the driver respawns that rank.  The router fences
 stale incarnations with it — a zombie process whose rank was already
 respawned keeps stamping the old epoch, and its frames are dropped at
 the hub instead of corrupting the reincarnated rank's streams.
+
+``trace``/``parent`` are the causal-tracing pair: a 63-bit flow id
+linking the sender-side span to the receiver-side span, and the id of
+the emitting span.  Zero means "untraced" — the common case — and
+costs nothing beyond the 16 header bytes.  The exporter turns matched
+pairs into Chrome-trace flow events (see ``repro.obs.journal``).
 
 Shuffle batch envelopes — the data-plane hot path — skip pickle
 entirely.  A ``("batch", plane_id, (seq, origin, blocks, eos))`` message
@@ -78,7 +85,7 @@ from repro.serde.serialization import PickleSerializer
 _log = get_logger("net.wire")
 
 _LEN = struct.Struct("!I")
-_ENV_HEADER = struct.Struct("!6iqB")
+_ENV_HEADER = struct.Struct("!6i3qB")
 
 #: single serializer instance for the wire boundary (stateless)
 WIRE_SERDE = PickleSerializer()
@@ -100,6 +107,8 @@ class FrameKind:
     TRACE = 9       # reserved: inline trace events (shards are file-based)
     ACK = 10        # worker -> router: (gid, plane_id) plane consumed; the
                     # router releases that plane's redelivery-buffer entries
+    TELEMETRY = 11  # worker -> router: one pickled telemetry snapshot dict;
+                    # fire-and-forget (try_send), ingested by the TelemetryHub
 
 #: truncate-fault marker in the envelope header flags byte
 FLAG_TRUNCATED = 0x01
@@ -238,24 +247,27 @@ def pack_envelope_frame(
     payload: bytes,
     flags: int = 0,
     epoch: int = 0,
+    trace: int = 0,
+    parent: int = 0,
 ) -> bytes:
     """ENVELOPE frame: routable header + already-pickled payload bytes."""
     header = _ENV_HEADER.pack(
-        context, source, tag, origin, dest, epoch, nbytes, flags
+        context, source, tag, origin, dest, epoch, trace, parent, nbytes, flags
     )
     return pack_frame(FrameKind.ENVELOPE, header + payload)
 
 
 def unpack_envelope_frame(
     body: bytes,
-) -> tuple[int, int, int, int, int, int, int, int, bytes]:
-    """(context, source, tag, origin, dest, epoch, nbytes, flags, payload)."""
-    context, source, tag, origin, dest, epoch, nbytes, flags = (
+) -> tuple[int, int, int, int, int, int, int, int, int, int, bytes]:
+    """(context, source, tag, origin, dest, epoch, trace, parent, nbytes,
+    flags, payload)."""
+    context, source, tag, origin, dest, epoch, trace, parent, nbytes, flags = (
         _ENV_HEADER.unpack_from(body)
     )
     return (
-        context, source, tag, origin, dest, epoch, nbytes, flags,
-        body[_ENV_HEADER.size:],
+        context, source, tag, origin, dest, epoch, trace, parent, nbytes,
+        flags, body[_ENV_HEADER.size:],
     )
 
 

@@ -13,12 +13,16 @@ Three pieces, all designed to cost nothing when off:
 * :mod:`repro.obs.metrics` — a windowed :class:`MetricsRegistry`
   (counter / gauge / histogram) sampled on an interval thread into
   Fig-11-style utilization time series.
+* :mod:`repro.obs.telemetry` — the live telemetry plane: per-rank
+  snapshot builders and the driver-side :class:`TelemetryHub` that
+  merges them into cluster rollups behind a Prometheus/RPC endpoint
+  (see docs/OBSERVABILITY.md and ``repro top``).
 
 :mod:`repro.obs.inspect` turns a journal back into the paper's tables:
 per-phase time breakdown, top-N slowest tasks, failure timeline.
 """
 
-from repro.obs.tracer import TRACER, Tracer
+from repro.obs.tracer import TRACER, Tracer, flow_id
 from repro.obs.journal import (
     Journal,
     JournalWriter,
@@ -28,15 +32,19 @@ from repro.obs.journal import (
     write_journal,
 )
 from repro.obs.metrics import MetricsRegistry, WindowedSampler
+from repro.obs.telemetry import TelemetryHub, build_snapshot
 
 __all__ = [
     "TRACER",
+    "TelemetryHub",
     "Tracer",
     "Journal",
     "JournalWriter",
     "MetricsRegistry",
     "WindowedSampler",
+    "build_snapshot",
     "export_chrome",
+    "flow_id",
     "read_journal",
     "to_chrome_trace",
     "write_journal",

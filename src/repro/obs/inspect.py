@@ -111,7 +111,7 @@ def failure_timeline(journal: Journal) -> list[dict]:
             "detail": e.get("args") or {},
         }
         for e in journal.instants
-        if e.get("cat") in ("failure", "fault")
+        if e.get("cat") in ("failure", "fault", "recovery")
     ]
     for record in journal.summary.get("failures", []):
         timeline.append(
@@ -148,6 +148,15 @@ def summarize_journal(journal: Journal, n_tasks: int = 10) -> dict[str, Any]:
         "top_tasks": top_tasks(journal, n_tasks),
         "failures": failure_timeline(journal),
         "restarts": journal.summary.get("restarts", 0),
+        "recovery": {
+            counter: int(
+                (journal.summary.get("recovery") or {}).get(counter, 0)
+            )
+            for counter in (
+                "respawns", "redelivered_frames", "stale_frames_dropped",
+                "replays_dropped",
+            )
+        },
         "series": sorted(journal.series),
     }
 
@@ -164,6 +173,15 @@ def format_report(summary: dict[str, Any]) -> str:
         f"nprocs={summary['nprocs']}  events={summary['events']}  "
         f"restarts={summary['restarts']}"
     )
+    recovery = summary.get("recovery") or {}
+    if any(recovery.values()):
+        lines.append(
+            "rank recovery: "
+            f"respawns={recovery.get('respawns', 0)}  "
+            f"redelivered_frames={recovery.get('redelivered_frames', 0)}  "
+            f"stale_frames_dropped={recovery.get('stale_frames_dropped', 0)}  "
+            f"replays_dropped={recovery.get('replays_dropped', 0)}"
+        )
     phases = summary["phase_times"]
     if phases:
         lines.append("")

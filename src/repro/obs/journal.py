@@ -185,6 +185,14 @@ def to_chrome_trace(journal: Journal) -> dict:
     ``pid`` is the rank (driver/unattributed threads land on pid 0),
     ``tid`` is a dense index per thread name with ``thread_name``
     metadata, timestamps are microseconds.
+
+    Spans whose args carry a ``flow_out`` / ``flow_in`` id (the shuffle
+    send/recv instrumentation) additionally emit Chrome flow events: a
+    flow start (``ph: s``) anchored to the sending span and a binding
+    flow finish (``ph: f``, ``bp: e``) anchored to the receiving span,
+    sharing the 63-bit flow id minted by :func:`repro.obs.tracer.flow_id`.
+    Perfetto renders these as arrows from each send to its receive —
+    cross-rank causal traces.
     """
     trace_events: list[dict] = []
     tids: dict[tuple[int, str], int] = {}
@@ -227,8 +235,31 @@ def to_chrome_trace(journal: Journal) -> dict:
             out["cat"] = event["cat"]
         if ph == "X":
             out["dur"] = round(event.get("dur", 0.0) * 1e6, 3)
-            if event.get("args"):
-                out["args"] = event["args"]
+            args = event.get("args")
+            if args:
+                out["args"] = args
+                flow_out = args.get("flow_out")
+                flow_in = args.get("flow_in")
+                # anchor flow endpoints to the span *end* (ts + dur): the
+                # send span always closes before its matched recv span
+                # does, so the arrow points forward in time
+                end_ts = round((event.get("ts", 0.0) + event.get("dur", 0.0)) * 1e6, 3)
+                if flow_out:
+                    trace_events.append(
+                        {
+                            "ph": "s", "pid": pid, "tid": tid, "ts": end_ts,
+                            "id": flow_out, "name": "shuffle.flow",
+                            "cat": "shuffle",
+                        }
+                    )
+                if flow_in:
+                    trace_events.append(
+                        {
+                            "ph": "f", "bp": "e", "pid": pid, "tid": tid,
+                            "ts": end_ts, "id": flow_in,
+                            "name": "shuffle.flow", "cat": "shuffle",
+                        }
+                    )
         elif ph == "i":
             out["s"] = "t"  # thread-scoped instant
             if event.get("args"):

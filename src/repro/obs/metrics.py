@@ -156,7 +156,21 @@ def _process_cpu_seconds() -> float:
     return t.user + t.system
 
 
+try:
+    _PAGE_SIZE = os.sysconf("SC_PAGE_SIZE")
+except (AttributeError, ValueError, OSError):  # non-POSIX
+    _PAGE_SIZE = 4096
+
+
 def _process_rss_bytes() -> float:
+    # /proc/self/statm field 2 is *current* resident pages — the series
+    # can go down after frees.  ru_maxrss is the lifetime high-water
+    # mark, kept only as the non-Linux fallback.
+    try:
+        with open("/proc/self/statm", "rb") as f:
+            return float(int(f.read().split()[1]) * _PAGE_SIZE)
+    except (OSError, ValueError, IndexError):
+        pass
     if _resource is None:
         return 0.0
     # ru_maxrss is KiB on Linux, bytes on macOS; normalize heuristically

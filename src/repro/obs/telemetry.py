@@ -1,0 +1,385 @@
+"""Live telemetry plane: in-flight per-rank metrics and cluster rollups.
+
+The flight recorder (:mod:`repro.obs.journal`) is post-hoc — nothing is
+inspectable until ``mpidrun`` returns.  This module is the *live* half:
+while a job runs, each rank's engine snapshots its metrics registry,
+phase buckets, shuffle/queue state and recovery counters on an interval
+(``mpi.d.telemetry.interval.seconds``) and ships the snapshot to the
+driver:
+
+* **process backend** — a TELEMETRY wire frame (fire-and-forget
+  ``try_send``) through the rank's existing router connection;
+* **thread backend** — a direct :meth:`TelemetryHub.ingest` call (the
+  hub lives in the same interpreter).
+
+The driver-side :class:`TelemetryHub` keeps a bounded ring per
+``(rank, epoch)`` series — a reincarnated rank gets a *new* series, so
+its counters never clobber its predecessor's — and merges the latest
+snapshots into cluster rollups: per-phase p50/p99, a straggler score
+(slowest rank vs median), shuffle skew (max bytes sent vs median) and
+live recovery counts read off the runtime at scrape time.
+
+Two read paths, both served by a :class:`repro.rpc.server.SocketRpcServer`
+the driver starts next to the job (its address is written to
+``mpi.d.telemetry.endpoint.file``):
+
+* ``telemetry_scrape`` — Prometheus text exposition (``datampi_*``
+  families), for scrapers;
+* ``telemetry_ranks`` / ``telemetry_rollups`` / ``telemetry_meta`` —
+  structured dicts, polled by the ``repro top <endpoint>`` CLI.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from typing import Any, Callable
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    _process_cpu_seconds,
+    _process_rss_bytes,
+)
+
+__all__ = ["TelemetryHub", "build_snapshot", "COVERAGE_PHASES"]
+
+#: the disjoint engine phase buckets (mirrors ``repro.obs.inspect``)
+COVERAGE_PHASES = (
+    "compute", "partition-sort", "communicate", "merge", "checkpoint",
+    "control",
+)
+
+
+def _percentile(values: list[float], q: float) -> float:
+    """Linear-interpolation percentile without the numpy dependency —
+    snapshots are small (one value per rank) and the hub must import
+    even where ``repro.common.stats`` (numpy) is unavailable."""
+    if not values:
+        return 0.0
+    data = sorted(values)
+    if len(data) == 1:
+        return data[0]
+    pos = (len(data) - 1) * (q / 100.0)
+    lo = int(pos)
+    hi = min(lo + 1, len(data) - 1)
+    frac = pos - lo
+    return data[lo] * (1.0 - frac) + data[hi] * frac
+
+
+def build_snapshot(
+    rank: int,
+    epoch: int,
+    seq: int,
+    phases: dict[str, float],
+    shuffle: dict[str, int] | None = None,
+    queue: dict[str, int] | None = None,
+    tasks: dict[str, int] | None = None,
+    registry: MetricsRegistry | None = None,
+) -> dict[str, Any]:
+    """One rank-side telemetry snapshot (a plain dict: it crosses the
+    wire pickled and must stay cheap to build on the shipper thread)."""
+    return {
+        "rank": rank,
+        "epoch": epoch,
+        "seq": seq,
+        "pid": os.getpid(),
+        "ts": time.time(),
+        "phases": dict(phases),
+        "shuffle": dict(shuffle or {}),
+        "queue": dict(queue or {}),
+        "tasks": dict(tasks or {}),
+        "process": {
+            "cpu_seconds": _process_cpu_seconds(),
+            "rss_bytes": _process_rss_bytes(),
+        },
+        "metrics": registry.snapshot() if registry is not None else {},
+    }
+
+
+class TelemetryHub:
+    """Driver-side aggregator of per-rank telemetry series.
+
+    Series are keyed by ``(rank, epoch)`` in bounded rings: a respawned
+    rank reports under a bumped epoch and therefore under a *fresh* key,
+    so the dead incarnation's last counters survive next to (not under)
+    its successor's.  ``latest()`` surfaces the highest epoch per rank.
+
+    Thread-safe: router reader threads ingest while RPC handler threads
+    scrape.
+    """
+
+    def __init__(self, ring: int = 256) -> None:
+        self._lock = threading.Lock()
+        self._ring = max(1, int(ring))
+        self._series: dict[tuple[int, int], deque] = {}
+        self._done: set[int] = set()
+        self._expected = 0
+        self._runtime: Any = None
+        self.snapshots_ingested = 0
+        self._t0 = time.time()
+
+    # -- wiring ---------------------------------------------------------------
+    def bind_runtime(self, runtime: Any) -> None:
+        """Read live recovery counters off this runtime at scrape time."""
+        self._runtime = runtime
+
+    def expect(self, nprocs: int) -> None:
+        """The scheduler announces the world size (rollup denominators)."""
+        with self._lock:
+            self._expected = nprocs
+            self._done.clear()
+
+    def mark_done(self, rank: int) -> None:
+        """The scheduler saw this rank's final report."""
+        with self._lock:
+            self._done.add(rank)
+
+    # -- write path -----------------------------------------------------------
+    def ingest(self, snap: dict[str, Any]) -> None:
+        """Accept one snapshot (router reader thread or engine thread)."""
+        if not isinstance(snap, dict) or "rank" not in snap:
+            return
+        key = (int(snap["rank"]), int(snap.get("epoch", 0)))
+        with self._lock:
+            ring = self._series.get(key)
+            if ring is None:
+                ring = self._series[key] = deque(maxlen=self._ring)
+            ring.append(snap)
+            self.snapshots_ingested += 1
+
+    # -- read path ------------------------------------------------------------
+    def series_keys(self) -> list[tuple[int, int]]:
+        with self._lock:
+            return sorted(self._series)
+
+    def series(self, rank: int, epoch: int = 0) -> list[dict[str, Any]]:
+        with self._lock:
+            return list(self._series.get((rank, epoch), ()))
+
+    def latest(self) -> dict[int, dict[str, Any]]:
+        """Newest snapshot per rank, from that rank's highest epoch."""
+        with self._lock:
+            best: dict[int, tuple[int, dict[str, Any]]] = {}
+            for (rank, epoch), ring in self._series.items():
+                if not ring:
+                    continue
+                held = best.get(rank)
+                if held is None or epoch > held[0]:
+                    best[rank] = (epoch, ring[-1])
+            return {rank: snap for rank, (_e, snap) in best.items()}
+
+    def _recovery_counts(self) -> dict[str, int]:
+        runtime = self._runtime
+        transport = getattr(runtime, "_transport", None)
+        counts = {
+            "respawns": int(getattr(runtime, "respawns", 0) or 0),
+            "redelivered_frames": int(
+                getattr(transport, "redelivered_frames", 0) or 0
+            ),
+            "stale_frames_dropped": int(
+                getattr(transport, "stale_frames_dropped", 0) or 0
+            ),
+        }
+        replays = duplicates = 0
+        for snap in self.latest().values():
+            shuffle = snap.get("shuffle", {})
+            replays += int(shuffle.get("replays_dropped", 0))
+            duplicates += int(shuffle.get("duplicates_dropped", 0))
+        counts["replays_dropped"] = replays
+        counts["duplicates_dropped"] = duplicates
+        return counts
+
+    def per_rank(self) -> list[dict[str, Any]]:
+        """One row per live rank for the ``repro top`` table."""
+        with self._lock:
+            done = set(self._done)
+        rows = []
+        for rank, snap in sorted(self.latest().items()):
+            phases = snap.get("phases", {})
+            shuffle = snap.get("shuffle", {})
+            q = snap.get("queue", {})
+            rows.append(
+                {
+                    "rank": rank,
+                    "epoch": snap.get("epoch", 0),
+                    "pid": snap.get("pid", 0),
+                    "seq": snap.get("seq", 0),
+                    "age_s": round(time.time() - snap.get("ts", 0.0), 3),
+                    "phases": {k: round(v, 4) for k, v in phases.items()},
+                    "wall_s": round(sum(phases.values()), 4),
+                    "bytes_sent": int(shuffle.get("bytes_sent", 0)),
+                    "records_received": int(shuffle.get("records_received", 0)),
+                    "pending": int(q.get("pending", 0)),
+                    "bytes_in": int(q.get("bytes_in", 0)),
+                    "cpu_s": round(
+                        snap.get("process", {}).get("cpu_seconds", 0.0), 3
+                    ),
+                    "rss_mb": round(
+                        snap.get("process", {}).get("rss_bytes", 0.0) / 2**20, 1
+                    ),
+                    "tasks": snap.get("tasks", {}),
+                    "status": "done" if rank in done else "running",
+                }
+            )
+        return rows
+
+    def rollups(self) -> dict[str, Any]:
+        """Cluster-level view computed from the latest snapshot per rank."""
+        latest = self.latest()
+        phase_q: dict[str, dict[str, float]] = {}
+        for phase in COVERAGE_PHASES:
+            values = [
+                float(s.get("phases", {}).get(phase, 0.0))
+                for s in latest.values()
+            ]
+            values = [v for v in values if v > 0.0]
+            if values:
+                phase_q[phase] = {
+                    "p50": round(_percentile(values, 50.0), 6),
+                    "p99": round(_percentile(values, 99.0), 6),
+                    "max": round(max(values), 6),
+                    "ranks": len(values),
+                }
+        walls = [
+            sum(s.get("phases", {}).values()) for s in latest.values()
+        ]
+        sent = [
+            float(s.get("shuffle", {}).get("bytes_sent", 0))
+            for s in latest.values()
+        ]
+
+        def skew(values: list[float]) -> float:
+            positive = [v for v in values if v > 0.0]
+            if not positive:
+                return 0.0
+            med = _percentile(positive, 50.0)
+            return round(max(positive) / med, 4) if med > 0 else 0.0
+
+        with self._lock:
+            done, expected = len(self._done), self._expected
+            ingested = self.snapshots_ingested
+        return {
+            "ranks_reporting": len(latest),
+            "ranks_done": done,
+            "ranks_expected": expected,
+            "snapshots_ingested": ingested,
+            "uptime_s": round(time.time() - self._t0, 3),
+            "phases": phase_q,
+            "straggler_score": skew(walls),
+            "shuffle_skew": skew(sent),
+            "recovery": self._recovery_counts(),
+        }
+
+    # -- Prometheus text exposition -------------------------------------------
+    def prometheus_text(self) -> str:
+        """Text exposition format, 0.0.4 (the format every Prometheus
+        scraper speaks); served over the job's SocketRpcServer."""
+        lines: list[str] = []
+
+        def family(name: str, kind: str, help_text: str) -> None:
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+
+        latest = self.latest()
+        family("datampi_phase_seconds", "gauge",
+               "Cumulative seconds per engine phase bucket, per rank.")
+        for rank, snap in sorted(latest.items()):
+            for phase, seconds in sorted(snap.get("phases", {}).items()):
+                lines.append(
+                    f'datampi_phase_seconds{{rank="{rank}",phase="{phase}"}}'
+                    f" {seconds:.6f}"
+                )
+        rollups = self.rollups()
+        family("datampi_phase_quantile_seconds", "gauge",
+               "Cross-rank phase time quantiles (latest snapshot per rank).")
+        for phase, quantiles in sorted(rollups["phases"].items()):
+            for q_name in ("p50", "p99"):
+                quantile = "0.5" if q_name == "p50" else "0.99"
+                lines.append(
+                    f'datampi_phase_quantile_seconds{{phase="{phase}",'
+                    f'quantile="{quantile}"}} {quantiles[q_name]:.6f}'
+                )
+        family("datampi_shuffle_bytes_sent_total", "counter",
+               "Shuffle payload bytes sent, per rank.")
+        family("datampi_shuffle_records_received_total", "counter",
+               "Shuffle records received, per rank.")
+        family("datampi_queue_pending", "gauge",
+               "Envelopes pending in the rank's mailbox.")
+        family("datampi_queue_bytes", "gauge",
+               "Payload bytes pending in the rank's mailbox.")
+        family("datampi_process_cpu_seconds_total", "counter",
+               "Process CPU time (user+system), per rank.")
+        family("datampi_process_rss_bytes", "gauge",
+               "Current resident set size, per rank.")
+        family("datampi_telemetry_snapshots_total", "counter",
+               "Snapshots received from each (rank, epoch) series.")
+        for rank, snap in sorted(latest.items()):
+            shuffle = snap.get("shuffle", {})
+            q = snap.get("queue", {})
+            process = snap.get("process", {})
+            label = f'rank="{rank}"'
+            lines.append(
+                f"datampi_shuffle_bytes_sent_total{{{label}}}"
+                f" {int(shuffle.get('bytes_sent', 0))}"
+            )
+            lines.append(
+                f"datampi_shuffle_records_received_total{{{label}}}"
+                f" {int(shuffle.get('records_received', 0))}"
+            )
+            lines.append(
+                f"datampi_queue_pending{{{label}}} {int(q.get('pending', 0))}"
+            )
+            lines.append(
+                f"datampi_queue_bytes{{{label}}} {int(q.get('bytes_in', 0))}"
+            )
+            lines.append(
+                f"datampi_process_cpu_seconds_total{{{label}}}"
+                f" {process.get('cpu_seconds', 0.0):.3f}"
+            )
+            lines.append(
+                f"datampi_process_rss_bytes{{{label}}}"
+                f" {process.get('rss_bytes', 0.0):.0f}"
+            )
+        with self._lock:
+            per_series = {
+                key: len(ring) for key, ring in sorted(self._series.items())
+            }
+        for (rank, epoch), count in per_series.items():
+            lines.append(
+                f'datampi_telemetry_snapshots_total{{rank="{rank}",'
+                f'epoch="{epoch}"}} {count}'
+            )
+        family("datampi_straggler_score", "gauge",
+               "Slowest rank wall time over the median (1.0 = balanced).")
+        lines.append(f"datampi_straggler_score {rollups['straggler_score']}")
+        family("datampi_shuffle_skew", "gauge",
+               "Max rank shuffle bytes sent over the median.")
+        lines.append(f"datampi_shuffle_skew {rollups['shuffle_skew']}")
+        recovery = rollups["recovery"]
+        family("datampi_recovery_total", "counter",
+               "Rank-recovery event counts (live, from the runtime).")
+        for counter, value in sorted(recovery.items()):
+            lines.append(
+                f'datampi_recovery_total{{event="{counter}"}} {value}'
+            )
+        family("datampi_ranks_reporting", "gauge",
+               "Ranks with at least one telemetry snapshot.")
+        lines.append(f"datampi_ranks_reporting {rollups['ranks_reporting']}")
+        family("datampi_ranks_done", "gauge",
+               "Ranks whose final report reached the scheduler.")
+        lines.append(f"datampi_ranks_done {rollups['ranks_done']}")
+        return "\n".join(lines) + "\n"
+
+    def rpc_target(self) -> dict[str, Callable]:
+        """Handler dict for :class:`repro.rpc.server.SocketRpcServer`."""
+        return {
+            "telemetry_scrape": self.prometheus_text,
+            "telemetry_ranks": self.per_rank,
+            "telemetry_rollups": self.rollups,
+            "telemetry_meta": lambda: {
+                "series": [list(k) for k in self.series_keys()],
+                "snapshots_ingested": self.snapshots_ingested,
+            },
+        }

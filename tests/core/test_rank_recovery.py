@@ -250,7 +250,8 @@ class TestEpochFencing:
 
     def test_epoch_survives_the_wire_header(self):
         body = self._envelope_body(origin=3, dest=1, epoch=7)
-        (_ctx, _src, _tag, origin, dest, epoch, _n, _flags, _payload) = (
+        (_ctx, _src, _tag, origin, dest, epoch, _trace, _parent, _n, _flags,
+         _payload) = (
             wire.unpack_envelope_frame(body)
         )
         assert (origin, dest, epoch) == (3, 1, 7)

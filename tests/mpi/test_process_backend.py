@@ -41,11 +41,12 @@ class TestWireFrames:
         )
         conn_kind, body = frame[4], frame[5:]
         assert conn_kind == FrameKind.ENVELOPE
-        context, source, tag, origin, dest, epoch, nbytes, flags, raw = (
+        context, source, tag, origin, dest, epoch, trace, parent, nbytes, flags, raw = (
             unpack_envelope_frame(body)
         )
         assert (context, source, tag, origin, dest) == (12, 3, 900_001, 7, 5)
         assert epoch == 0  # default incarnation
+        assert (trace, parent) == (0, 0)  # untraced by default
         assert nbytes == len(payload)
         assert flags == 0
         assert pickle.loads(raw) == {"key": "value", "n": 41}
@@ -317,12 +318,15 @@ class TestEnvelopeCodec:
 
         frame = _encode_envelope(dest, env)
         assert frame[4] == FrameKind.ENVELOPE
-        context, source, tag, origin, wire_dest, epoch, nbytes, flags, raw = (
+        context, source, tag, origin, wire_dest, epoch, trace, parent, nbytes, flags, raw = (
             unpack_envelope_frame(frame[5:])
         )
         assert wire_dest == dest
         assert epoch == 0
-        return _decode_envelope(context, source, tag, origin, nbytes, flags, raw)
+        return _decode_envelope(
+            context, source, tag, origin, nbytes, flags, raw,
+            trace=trace, parent=parent,
+        )
 
     def test_truncated_payload_round_trips_through_the_codec(self):
         original = {"data": list(range(20))}

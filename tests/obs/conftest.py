@@ -1,0 +1,6 @@
+import pytest
+
+
+@pytest.fixture(params=["threads", "processes"])
+def launcher(request):
+    return request.param

@@ -1,0 +1,505 @@
+"""The live telemetry plane: snapshots, hub rollups, scraping, flows.
+
+Covers the tentpole invariants:
+
+* per-rank snapshots ship while the job runs and a concurrent client
+  can scrape Prometheus text / per-rank tables over RPC mid-run;
+* the hub keys series by ``(rank, epoch)`` so a respawned rank's
+  reborn incarnation never clobbers its predecessor's history;
+* shuffle send/recv spans carry a deterministic causal pair that the
+  Chrome exporter turns into cross-rank flow arrows;
+* ``repro top`` renders the hub over the endpoint file.
+"""
+
+import importlib
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.core import DataMPIJob, mapreduce_job, mpidrun
+from repro.core.constants import MPI_D_Constants as K, SHUFFLE_TAG
+from repro.mpi import FaultInjector
+from repro.obs.journal import Journal, merge_shards, read_journal, to_chrome_trace
+from repro.obs.inspect import format_report, summarize_journal
+from repro.obs.metrics import _process_rss_bytes
+from repro.obs.telemetry import COVERAGE_PHASES, TelemetryHub, build_snapshot
+from repro.obs.tracer import flow_id
+
+from tests.core.helpers import FileCollector, expected_wordcount, wordcount_pieces
+
+_mpidrun_mod = importlib.import_module("repro.core.mpidrun")
+
+
+# -- flow ids ---------------------------------------------------------------------
+
+
+class TestFlowId:
+    def test_deterministic_across_processes(self):
+        # blake2b, not hash(): the sender and receiver run in different
+        # processes with different PYTHONHASHSEEDs and must still agree
+        assert flow_id("fwd:0>1", 3, 7) == flow_id("fwd:0>1", 3, 7)
+
+    def test_fits_a_signed_wire_header_field(self):
+        for seq in range(64):
+            assert 0 <= flow_id("fwd:0>0", 1, seq) < 1 << 63
+
+    def test_domains_and_channels_do_not_collide(self):
+        base = flow_id("fwd:0>1", 3, 7)
+        assert base != flow_id("fwd:0>1", 3, 7, domain=1)  # span vs flow
+        assert base != flow_id("fwd:0>2", 3, 7)  # different receiver
+        assert base != flow_id("fwd:0>1", 2, 7)  # different origin
+        assert base != flow_id("fwd:0>1", 3, 8)  # different batch
+
+
+# -- the RSS gauge fix ------------------------------------------------------------
+
+
+class TestProcessRss:
+    def test_reports_current_rss_not_the_high_water_mark(self):
+        rss = _process_rss_bytes()
+        assert rss > 0
+        if os.path.exists("/proc/self/statm"):
+            with open("/proc/self/statm", "rb") as f:
+                pages = int(f.read().split()[1])
+            statm = pages * os.sysconf("SC_PAGE_SIZE")
+            # the gauge must track /proc (current), allowing for the
+            # allocation churn between the two reads
+            assert abs(rss - statm) / statm < 0.5
+
+
+# -- snapshots --------------------------------------------------------------------
+
+
+class TestBuildSnapshot:
+    def test_snapshot_shape(self):
+        snap = build_snapshot(
+            rank=2, epoch=1, seq=5, phases={"compute": 0.5},
+            shuffle={"bytes_sent": 10}, queue={"pending": 1, "bytes_in": 64},
+            tasks={"o": 3, "a": 1},
+        )
+        assert snap["rank"] == 2
+        assert snap["epoch"] == 1
+        assert snap["seq"] == 5
+        assert snap["pid"] == os.getpid()
+        assert snap["phases"] == {"compute": 0.5}
+        assert snap["process"]["rss_bytes"] > 0
+        assert snap["process"]["cpu_seconds"] >= 0
+
+
+def _snap(rank, epoch=0, seq=0, wall=1.0, bytes_sent=0, **over):
+    snap = build_snapshot(
+        rank=rank, epoch=epoch, seq=seq,
+        phases={"compute": wall},
+        shuffle={"bytes_sent": bytes_sent, "records_received": 0,
+                 "replays_dropped": 0, "duplicates_dropped": 0},
+        queue={"pending": 0, "bytes_in": 0},
+        tasks={"o": 0, "a": 0},
+    )
+    snap.update(over)
+    return snap
+
+
+# -- the hub ----------------------------------------------------------------------
+
+
+class TestTelemetryHub:
+    def test_series_keyed_by_rank_and_epoch(self):
+        hub = TelemetryHub()
+        hub.ingest(_snap(0, epoch=0, seq=0))
+        hub.ingest(_snap(0, epoch=0, seq=1))
+        hub.ingest(_snap(0, epoch=1, seq=0))  # reborn incarnation
+        assert set(hub.series_keys()) == {(0, 0), (0, 1)}
+        # the predecessor's history survives the respawn
+        assert len(hub.series(0, epoch=0)) == 2
+        assert len(hub.series(0, epoch=1)) == 1
+
+    def test_latest_prefers_the_highest_epoch(self):
+        hub = TelemetryHub()
+        hub.ingest(_snap(0, epoch=0, seq=9))
+        hub.ingest(_snap(0, epoch=1, seq=0))
+        latest = hub.latest()
+        assert latest[0]["epoch"] == 1
+
+    def test_ring_is_bounded(self):
+        hub = TelemetryHub(ring=4)
+        for seq in range(32):
+            hub.ingest(_snap(1, seq=seq))
+        series = hub.series(1)
+        assert len(series) == 4
+        assert series[-1]["seq"] == 31  # keeps the newest
+
+    def test_malformed_snapshots_are_dropped_not_fatal(self):
+        hub = TelemetryHub()
+        hub.ingest(None)
+        hub.ingest(b"garbage")
+        hub.ingest({"no_rank": True})
+        assert hub.series_keys() == []
+        assert hub.snapshots_ingested == 0
+
+    def test_rollups_quantiles_and_scores(self):
+        hub = TelemetryHub()
+        hub.expect(4)
+        for rank, wall in enumerate([1.0, 1.0, 1.0, 3.0]):
+            hub.ingest(_snap(rank, wall=wall, bytes_sent=100 * (rank + 1)))
+        hub.mark_done(0)
+        rollups = hub.rollups()
+        assert rollups["ranks_expected"] == 4
+        assert rollups["ranks_reporting"] == 4
+        assert rollups["ranks_done"] == 1
+        compute = rollups["phases"]["compute"]
+        assert compute["p50"] == pytest.approx(1.0)
+        assert compute["max"] == pytest.approx(3.0)
+        # slowest rank took 3x the median wall -> straggler score 3
+        assert rollups["straggler_score"] == pytest.approx(3.0)
+        # 400 bytes vs median 250 -> skew 1.6
+        assert rollups["shuffle_skew"] == pytest.approx(1.6)
+
+    def test_prometheus_text_exposition(self):
+        hub = TelemetryHub()
+        hub.expect(2)
+        hub.ingest(_snap(0, wall=0.5, bytes_sent=128))
+        hub.ingest(_snap(1, epoch=1, wall=0.7))
+        text = hub.prometheus_text()
+        assert text.endswith("\n")
+        for family in (
+            "datampi_phase_seconds",
+            "datampi_phase_quantile_seconds",
+            "datampi_shuffle_bytes_sent_total",
+            "datampi_queue_pending",
+            "datampi_process_rss_bytes",
+            "datampi_telemetry_snapshots_total",
+            "datampi_straggler_score",
+            "datampi_shuffle_skew",
+            "datampi_recovery_total",
+            "datampi_ranks_reporting",
+        ):
+            assert f"# TYPE {family}" in text, family
+        assert 'datampi_shuffle_bytes_sent_total{rank="0"} 128' in text
+        assert 'rank="1",epoch="1"' in text  # reborn label visible
+
+    def test_rpc_target_exposes_the_scrape_methods(self):
+        hub = TelemetryHub()
+        hub.ingest(_snap(0))
+        target = hub.rpc_target()
+        assert "# HELP" in target["telemetry_scrape"]()
+        assert target["telemetry_ranks"]()[0]["rank"] == 0
+        assert target["telemetry_rollups"]()["ranks_reporting"] == 1
+
+
+# -- live shipping ----------------------------------------------------------------
+
+
+def _wordcount_job(name, conf, texts, out, o_tasks=4, a_tasks=2):
+    provider, mapper, reducer = wordcount_pieces(texts)
+    return mapreduce_job(
+        name, provider, mapper, reducer, out, o_tasks=o_tasks,
+        a_tasks=a_tasks, conf=conf,
+    )
+
+
+@pytest.fixture
+def captured_hub(monkeypatch):
+    """Capture the driver-side hub that mpidrun wires up internally."""
+    captured = {}
+    orig = _mpidrun_mod._TelemetrySession.attach
+
+    def attach(self, runtime):
+        captured["hub"] = self.hub
+        orig(self, runtime)
+
+    monkeypatch.setattr(_mpidrun_mod._TelemetrySession, "attach", attach)
+    return captured
+
+
+TEXTS = [f"tele w{i % 7} w{(i * 3) % 5} live" for i in range(40)]
+
+
+class TestLiveTelemetry:
+    def test_every_rank_ships_snapshots(self, tmp_path, launcher, captured_hub):
+        out = FileCollector(tmp_path / "out")
+        conf = {
+            K.LAUNCHER: launcher,
+            K.TELEMETRY_ENABLED: True,
+            K.TELEMETRY_INTERVAL_SECONDS: 0.05,
+        }
+        result = mpidrun(
+            _wordcount_job("tele-wc", conf, TEXTS, out), nprocs=2,
+            timeout=120.0, raise_on_error=True,
+        )
+        assert result.success
+        assert out.merged() == expected_wordcount(TEXTS)
+        hub = captured_hub["hub"]
+        latest = hub.latest()
+        assert set(latest) == {0, 1}
+        rollups = hub.rollups()
+        assert rollups["ranks_reporting"] == 2
+        assert rollups["ranks_done"] == 2
+        assert "# HELP" in hub.prometheus_text()
+
+    def test_concurrent_scrape_mid_run_on_process_backend(self, tmp_path):
+        from repro.rpc import SocketRpcClient
+
+        endpoint_file = str(tmp_path / "job.endpoint")
+        scrapes = []
+
+        def scraper():
+            deadline = time.monotonic() + 60
+            while not os.path.exists(endpoint_file):
+                if time.monotonic() > deadline:
+                    return
+                time.sleep(0.02)
+            with open(endpoint_file, encoding="utf-8") as f:
+                doc = json.load(f)
+            address = doc["address"]
+            if isinstance(address, list):
+                address = tuple(address)
+            client = SocketRpcClient(address, timeout=15.0)
+            try:
+                while True:
+                    try:
+                        scrapes.append(
+                            (client.call("telemetry_scrape"),
+                             client.call("telemetry_rollups"))
+                        )
+                    except Exception:
+                        return  # job finished, endpoint gone
+                    time.sleep(0.05)
+            finally:
+                client.close()
+
+        def slow_o(ctx):
+            for i in range(ctx.rank, 80, ctx.o_size):
+                ctx.send(f"w{i % 9}", 1)
+                time.sleep(0.005)  # keep the job alive long enough to scrape
+
+        def a_fn(ctx):
+            list(ctx.recv_iter())
+
+        thread = threading.Thread(target=scraper)
+        thread.start()
+        job = DataMPIJob(
+            name="scrape-wc", o_fn=slow_o, a_fn=a_fn, o_tasks=4, a_tasks=2,
+            conf={
+                K.LAUNCHER: "processes",
+                K.TELEMETRY_ENABLED: True,
+                K.TELEMETRY_INTERVAL_SECONDS: 0.05,
+                K.TELEMETRY_ENDPOINT_FILE: endpoint_file,
+            },
+        )
+        result = mpidrun(job, nprocs=2, timeout=120.0, raise_on_error=True)
+        thread.join(timeout=60)
+        assert result.success
+        assert scrapes, "no scrape landed while the job ran"
+        text, rollups = scrapes[-1]
+        assert "# TYPE datampi_phase_seconds gauge" in text
+        assert rollups["ranks_reporting"] >= 1
+        # the endpoint file is torn down with the job
+        assert not os.path.exists(endpoint_file)
+
+    def test_respawned_rank_does_not_clobber_predecessor(
+        self, tmp_path, captured_hub
+    ):
+        injector = FaultInjector()
+        rule = injector.kill_rank(tag=SHUFFLE_TAG, skip_first=3, max_matches=1)
+        out = FileCollector(tmp_path / "out")
+        conf = {
+            K.SHUFFLE_BATCH_BYTES: 64,
+            K.LAUNCHER: "processes",
+            K.RANK_MAX_RESPAWNS: 2,
+            K.PLANE_TIMEOUT_SECONDS: 60.0,
+            K.HEARTBEAT_DEADLINE_SECONDS: 120.0,
+            K.TELEMETRY_ENABLED: True,
+            K.TELEMETRY_INTERVAL_SECONDS: 0.02,
+        }
+        result = mpidrun(
+            _wordcount_job("tele-respawn", conf, TEXTS, out), nprocs=2,
+            timeout=120.0, fault_injector=injector, raise_on_error=True,
+        )
+        assert result.success
+        assert rule.applied == 1
+        assert result.metrics.respawns >= 1
+        assert out.merged() == expected_wordcount(TEXTS)
+        hub = captured_hub["hub"]
+        keys = hub.series_keys()
+        epochs = {}
+        for rank, epoch in keys:
+            epochs.setdefault(rank, set()).add(epoch)
+        reborn = [rank for rank, eps in epochs.items() if len(eps) > 1]
+        assert reborn, f"no rank reported from two incarnations: {keys}"
+        rank = reborn[0]
+        # both lives kept their own series; latest() follows the new one
+        assert len(hub.series(rank, epoch=0)) >= 1
+        assert len(hub.series(rank, epoch=1)) >= 1
+        assert hub.latest()[rank]["epoch"] == 1
+        assert hub.rollups()["recovery"]["respawns"] >= 1
+
+
+# -- trace shards and causal flows ------------------------------------------------
+
+
+class TestTraceShardsAndFlows:
+    def test_merge_keeps_both_incarnations_shards(self, tmp_path):
+        # respawned workers write shard-g<gid>e<epoch>.jsonl next to the
+        # journal; the merge must collect both lives, not let the reborn
+        # shard shadow its predecessor
+        journal = tmp_path / "wc.trace.jsonl"
+        first = tmp_path / "wc.trace.jsonl.a0.shard-g1.jsonl"
+        reborn = tmp_path / "wc.trace.jsonl.a0.shard-g1e1.jsonl"
+        first.write_text(json.dumps(
+            {"ph": "i", "name": "life-0", "ts": 1.0, "rank": 1}) + "\n")
+        reborn.write_text(json.dumps(
+            {"ph": "i", "name": "life-1", "ts": 2.0, "rank": 1}) + "\n")
+        events = merge_shards(str(journal), cleanup=False)
+        assert {e["name"] for e in events} == {"life-0", "life-1"}
+
+    def test_chrome_trace_links_sender_and_receiver_spans(
+        self, tmp_path, launcher
+    ):
+        path = str(tmp_path / "flow.trace.jsonl")
+
+        def o_fn(ctx):
+            for i in range(ctx.rank, 60, ctx.o_size):
+                ctx.send(f"k{i % 7}", 1)
+
+        def a_fn(ctx):
+            list(ctx.recv_iter())
+
+        job = DataMPIJob(
+            name="flow", o_fn=o_fn, a_fn=a_fn, o_tasks=2, a_tasks=2,
+            conf={K.LAUNCHER: launcher, K.TRACE_ENABLED: True,
+                  K.TRACE_PATH: path},
+        )
+        result = mpidrun(job, nprocs=2, timeout=120.0, raise_on_error=True)
+        trace = to_chrome_trace(read_journal(result.trace_path))
+        starts = [e for e in trace["traceEvents"] if e.get("ph") == "s"]
+        finishes = [e for e in trace["traceEvents"] if e.get("ph") == "f"]
+        assert starts and finishes
+        linked = {e["id"] for e in starts} & {e["id"] for e in finishes}
+        assert linked, "no send/recv flow pair shares an id"
+        for event in finishes:
+            assert event["bp"] == "e"  # bind to the enclosing recv span
+        # at least one arrow crosses ranks (different chrome pids)
+        start_pids = {e["id"]: e["pid"] for e in starts}
+        assert any(
+            start_pids.get(e["id"]) not in (None, e["pid"]) for e in finishes
+        )
+
+
+# -- recovery counters in repro trace ---------------------------------------------
+
+
+class TestTraceRecoverySummary:
+    def _journal(self, recovery):
+        return Journal(
+            meta={"job": "wc"},
+            events=[
+                {"ph": "i", "name": "recovery.respawn", "cat": "recovery",
+                 "ts": 1.0, "rank": -1, "args": {"gid": 1}},
+            ],
+            summary={"wall_seconds": 2.0, "nprocs": 2, "restarts": 0,
+                     "recovery": recovery},
+        )
+
+    def test_summary_carries_the_recovery_counters(self):
+        journal = self._journal(
+            {"respawns": 1, "redelivered_frames": 3,
+             "stale_frames_dropped": 2, "replays_dropped": 1}
+        )
+        summary = summarize_journal(journal)
+        assert summary["recovery"]["respawns"] == 1
+        assert summary["recovery"]["redelivered_frames"] == 3
+        # respawn instants now ride the failure timeline
+        assert any(f["cat"] == "recovery" for f in summary["failures"])
+        report = format_report(summary)
+        assert "rank recovery:" in report
+        assert "respawns=1" in report
+        assert "recovery.respawn" in report
+
+    def test_clean_runs_stay_quiet(self):
+        journal = self._journal({})
+        journal.events = []
+        summary = summarize_journal(journal)
+        assert summary["recovery"]["respawns"] == 0
+        assert "rank recovery:" not in format_report(summary)
+
+
+# -- repro top --------------------------------------------------------------------
+
+
+class TestReproTop:
+    @pytest.fixture
+    def served_hub(self, tmp_path):
+        from repro.rpc.server import SocketRpcServer
+
+        hub = TelemetryHub()
+        hub.expect(2)
+        hub.ingest(_snap(0, wall=0.5, bytes_sent=100))
+        hub.ingest(_snap(1, wall=0.6, bytes_sent=200))
+        hub.mark_done(1)
+        server = SocketRpcServer(hub.rpc_target(), num_handlers=2,
+                                 name="test-telemetry")
+        server.start()
+        endpoint = tmp_path / "job.endpoint"
+        address = server.address
+        endpoint.write_text(json.dumps({
+            "address": list(address) if isinstance(address, tuple) else address,
+            "job": "wc", "pid": os.getpid(),
+        }))
+        yield str(endpoint)
+        server.stop()
+
+    def test_top_once_renders_the_per_rank_table(self, served_hub, capsys):
+        from repro.cli import main
+
+        assert main(["top", served_hub, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "ranks 2/2 reporting" in out
+        assert "done=1" in out
+        for line in out.splitlines():
+            if line.strip().startswith("0 "):
+                break
+        assert " 0 " in out and " 1 " in out  # both rank rows
+
+    def test_top_prom_emits_the_exposition(self, served_hub, capsys):
+        from repro.cli import main
+
+        assert main(["top", served_hub, "--prom", "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE datampi_phase_seconds gauge" in out
+
+    def test_top_json_is_machine_readable(self, served_hub, capsys):
+        from repro.cli import main
+
+        assert main(["top", served_hub, "--once", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert {row["rank"] for row in doc["ranks"]} == {0, 1}
+        assert doc["rollups"]["ranks_reporting"] == 2
+
+    def test_top_fails_cleanly_without_an_endpoint(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["top", str(tmp_path / "missing.endpoint"), "--once"]) == 2
+
+
+# -- launch flag ------------------------------------------------------------------
+
+
+class TestTelemetryFlag:
+    def test_telemetry_flag_sets_the_conf(self):
+        from repro.cli import _extract_obs_flags
+
+        rest, conf, _ = _extract_obs_flags(
+            ["--telemetry=/tmp/ep.json", "-O", "2"])
+        assert rest == ["-O", "2"]
+        assert conf[K.TELEMETRY_ENABLED] is True
+        assert conf[K.TELEMETRY_ENDPOINT_FILE] == "/tmp/ep.json"
+
+    def test_bare_telemetry_flag_enables_without_endpoint(self):
+        from repro.cli import _extract_obs_flags
+
+        _, conf, _ = _extract_obs_flags(["--telemetry"])
+        assert conf[K.TELEMETRY_ENABLED] is True
+        assert K.TELEMETRY_ENDPOINT_FILE not in conf
