@@ -39,6 +39,17 @@ periodic metric snapshots to a driver-side hub exposed over RPC, and
           -O 4 -A 2 -M mapreduce -jar demos.jar WordCount 300 &
     $ mpidrun top /tmp/wc.endpoint            # live per-rank table
     $ mpidrun top /tmp/wc.endpoint --prom     # Prometheus exposition
+
+``--profile[=HZ]`` turns on the per-rank sampling profiler (collapsed
+stacks folded into the trace journal; inspect with ``flame``), and
+``--doctor[=PATH]`` runs the driver-side diagnosis engine that watches
+for stragglers and stalls and writes a ranked ``doctor.json``::
+
+    $ mpidrun --trace=/tmp/wc.jsonl --profile=50 --doctor=/tmp/wc.doctor.json \\
+          -O 4 -A 2 -M mapreduce -jar demos.jar WordCount 300
+    $ mpidrun flame /tmp/wc.jsonl --out wc.collapsed --speedscope wc.speedscope.json
+    $ mpidrun doctor /tmp/wc.doctor.json      # ranked findings + captures
+    $ mpidrun doctor /tmp/wc.endpoint --capture   # live, with a stack capture
 """
 
 from __future__ import annotations
@@ -181,7 +192,8 @@ def _check_launcher(backend: str) -> str:
 
 def _extract_obs_flags(argv: list[str]) -> tuple[list[str], dict, str | None]:
     """Strip ``--trace[=PATH]`` / ``--metrics-json[=PATH]`` /
-    ``--launcher=BACKEND`` / ``--telemetry[=ENDPOINT_FILE]`` from ``argv``.
+    ``--launcher=BACKEND`` / ``--telemetry[=ENDPOINT_FILE]`` /
+    ``--profile[=HZ]`` / ``--doctor[=PATH]`` from ``argv``.
 
     Returns (remaining argv, conf overrides for the launch, metrics-json
     output path or None).  The flags live outside the paper's mpidrun
@@ -210,6 +222,21 @@ def _extract_obs_flags(argv: list[str]) -> tuple[list[str], dict, str | None]:
         elif tok.startswith("--trace="):
             conf[K.TRACE_ENABLED] = True
             conf[K.TRACE_PATH] = tok.split("=", 1)[1]
+        elif tok == "--profile":
+            conf[K.PROFILE_ENABLED] = True
+        elif tok.startswith("--profile="):
+            conf[K.PROFILE_ENABLED] = True
+            try:
+                conf[K.PROFILE_HZ] = float(tok.split("=", 1)[1])
+            except ValueError:
+                raise DataMPIError(
+                    f"--profile wants a sampling rate in Hz, got {tok!r}"
+                ) from None
+        elif tok == "--doctor":
+            conf[K.DOCTOR_ENABLED] = True
+        elif tok.startswith("--doctor="):
+            conf[K.DOCTOR_ENABLED] = True
+            conf[K.DOCTOR_PATH] = tok.split("=", 1)[1]
         elif tok == "--metrics-json":
             if i + 1 >= len(argv):
                 raise DataMPIError("--metrics-json requires a path")
@@ -323,6 +350,15 @@ def _resolve_telemetry_endpoint(spec: str) -> Any:
             return (host, int(port))
         except ValueError:
             raise DataMPIError(f"bad host:port endpoint {spec!r}") from None
+    # the remaining shape is a filesystem path: either the endpoint file
+    # a running job maintains or an AF_UNIX socket.  A path that does not
+    # exist can never connect — fail with a message that says so instead
+    # of a confusing connect error.
+    if not os.path.exists(spec):
+        raise DataMPIError(
+            f"no such endpoint file or socket: {spec} "
+            "(is the job still running with --telemetry?)"
+        )
     return spec
 
 
@@ -448,6 +484,196 @@ def top_main(argv: list[str]) -> int:
         client.close()
 
 
+def flame_main(argv: list[str]) -> int:
+    """``repro flame <journal>`` — flamegraph data from recorded profiles."""
+    import argparse
+
+    from repro.obs import profiler as profiler_mod
+    from repro.obs.journal import read_journal
+
+    parser = argparse.ArgumentParser(
+        prog="repro flame",
+        description="Summarize and export the sampling-profiler data a "
+        "--trace --profile run folded into its journal (collapsed-stack "
+        "text for flamegraph.pl / inferno, speedscope JSON for "
+        "https://speedscope.app).",
+    )
+    parser.add_argument("journal", help="path to a *.trace.jsonl journal")
+    parser.add_argument(
+        "--rank", type=int, default=None, metavar="R",
+        help="only this rank's profile",
+    )
+    parser.add_argument(
+        "--phase", metavar="NAME",
+        help="only samples from this phase bucket (e.g. merge, communicate)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=5, metavar="N",
+        help="hottest stacks to list per rank (default 5)",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH",
+        help="write collapsed-stack lines ('stack count') to PATH",
+    )
+    parser.add_argument(
+        "--speedscope", metavar="PATH",
+        help="write a speedscope JSON document to PATH",
+    )
+    args = parser.parse_args(argv)
+    try:
+        journal = read_journal(args.journal)
+    except OSError as exc:
+        print(f"repro flame: cannot read {args.journal}: {exc}", file=sys.stderr)
+        return 2
+    profiles = journal.profiles
+    if args.rank is not None:
+        profiles = [p for p in profiles if p.get("rank") == args.rank]
+    if args.phase:
+        profiles = [
+            {
+                **p,
+                "stacks": {
+                    ph: stacks
+                    for ph, stacks in (p.get("stacks") or {}).items()
+                    if ph == args.phase
+                },
+            }
+            for p in profiles
+        ]
+        profiles = [p for p in profiles if any(p["stacks"].values())]
+    if not profiles:
+        print(
+            f"repro flame: {args.journal} holds no matching profiles "
+            "(was the job launched with --trace and --profile?)",
+            file=sys.stderr,
+        )
+        return 2
+    for profile in profiles:
+        rank = profile.get("rank", -1)
+        epoch = profile.get("epoch", 0)
+        samples = profile.get("samples", 0)
+        hz = profile.get("hz", 0.0)
+        label = f"rank {rank}" + (f" (epoch {epoch})" if epoch else "")
+        print(f"{label}: {samples} samples @ {hz:g} Hz")
+        by_phase: dict[str, int] = {}
+        flat: list[tuple[int, str, str]] = []
+        for phase, stacks in (profile.get("stacks") or {}).items():
+            for stack, count in stacks.items():
+                by_phase[phase] = by_phase.get(phase, 0) + count
+                flat.append((count, phase, stack))
+        total = sum(by_phase.values()) or 1
+        phase_bits = "  ".join(
+            f"{phase}={100.0 * n / total:.0f}%"
+            for phase, n in sorted(by_phase.items(), key=lambda kv: -kv[1])
+        )
+        print(f"  phases: {phase_bits}")
+        for count, phase, stack in sorted(flat, reverse=True)[: args.top]:
+            leaf = stack.rsplit(";", 1)[-1]
+            print(f"  {100.0 * count / total:5.1f}%  [{phase}] {leaf}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(profiler_mod.to_collapsed(profiles))
+        print(f"collapsed stacks written to {args.out}")
+    if args.speedscope:
+        doc = profiler_mod.to_speedscope(
+            profiles, name=journal.meta.get("job", "datampi")
+        )
+        with open(args.speedscope, "w", encoding="utf-8") as f:
+            json.dump(doc, f)
+        print(f"speedscope profile written to {args.speedscope}")
+    return 0
+
+
+def doctor_main(argv: list[str]) -> int:
+    """``repro doctor <target>`` — straggler/stall diagnosis report."""
+    import argparse
+    import os
+
+    from repro.common.errors import RPCError
+    from repro.obs.doctor import render_report
+    from repro.rpc import SocketRpcClient
+
+    parser = argparse.ArgumentParser(
+        prog="repro doctor",
+        description="Show the diagnosis engine's report: a written "
+        "doctor.json, or live from a running job launched with --doctor "
+        "(give it the --telemetry endpoint).",
+    )
+    parser.add_argument(
+        "target",
+        help="a doctor.json file, or a live endpoint (endpoint file "
+        "written by --telemetry=FILE, host:port, or AF_UNIX socket path)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the raw report JSON"
+    )
+    parser.add_argument(
+        "--capture", action="store_true",
+        help="live endpoints only: trigger an all-rank stack capture "
+        "before fetching the report",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", help="also write the report JSON to PATH"
+    )
+    args = parser.parse_args(argv)
+
+    report: dict | None = None
+    if os.path.isfile(args.target):
+        with open(args.target, encoding="utf-8") as f:
+            try:
+                doc = json.load(f)
+            except ValueError as exc:
+                print(f"repro doctor: {args.target} is not JSON: {exc}",
+                      file=sys.stderr)
+                return 2
+        if isinstance(doc, dict) and "findings" in doc:
+            report = doc  # a written doctor.json
+        # otherwise fall through: an endpoint file also parses as JSON
+
+    if report is None:
+        try:
+            address = _resolve_telemetry_endpoint(args.target)
+        except DataMPIError as exc:
+            print(f"repro doctor: {exc}", file=sys.stderr)
+            return 2
+        try:
+            client = SocketRpcClient(address, timeout=10.0)
+        except OSError as exc:
+            print(f"repro doctor: cannot connect to {address!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        try:
+            if args.capture:
+                client.call("doctor_capture")
+            report = client.call("doctor_report")
+        except RPCError as exc:
+            if "no such RPC method" in str(exc):
+                print(
+                    "repro doctor: this job has no diagnosis engine "
+                    "(launch it with --doctor)",
+                    file=sys.stderr,
+                )
+            else:
+                print(f"repro doctor: {exc}", file=sys.stderr)
+            return 2
+        except OSError as exc:
+            print(f"repro doctor: endpoint gone ({exc})", file=sys.stderr)
+            return 2
+        finally:
+            client.close()
+
+    if args.json:
+        print(json.dumps(report, indent=2, default=repr, sort_keys=True))
+    else:
+        print(render_report(report))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=2, default=repr, sort_keys=True)
+            f.write("\n")
+        print(f"doctor report written to {args.out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in ("-h", "--help"):
@@ -458,6 +684,10 @@ def main(argv: list[str] | None = None) -> int:
         return trace_main(argv[1:])
     if argv[0] == "top":
         return top_main(argv[1:])
+    if argv[0] == "flame":
+        return flame_main(argv[1:])
+    if argv[0] == "doctor":
+        return doctor_main(argv[1:])
     try:
         argv, conf, metrics_json = _extract_obs_flags(argv)
         options = parse_mpidrun_command("mpidrun " + " ".join(argv))
@@ -482,6 +712,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     if result.trace_path:
         print(f"trace journal: {result.trace_path}")
+    if result.doctor_path:
+        findings = len((result.doctor or {}).get("findings") or [])
+        print(
+            f"doctor report: {result.doctor_path} "
+            f"({findings} finding(s); inspect with `repro doctor`)"
+        )
     if metrics_json:
         _write_metrics_json(result, metrics_json)
     return 0 if result.success else 1

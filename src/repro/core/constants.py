@@ -142,6 +142,30 @@ class MPI_D_Constants:
     #: clients (`repro top`, scrapers) can find a running job
     TELEMETRY_ENDPOINT_FILE = "mpi.d.telemetry.endpoint.file"
 
+    # -- sampling profiler ---------------------------------------------------------
+    #: sample every rank's call stacks while the job runs (collapsed
+    #: stacks land in the trace journal; `repro flame` renders them)
+    PROFILE_ENABLED = "mpi.d.profile.enabled"
+    #: sampling rate in Hz (stack walks per second)
+    PROFILE_HZ = "mpi.d.profile.hz"
+
+    # -- doctor (automatic diagnosis) ----------------------------------------------
+    #: run the driver-side diagnosis engine: watch telemetry rollups for
+    #: stall signatures, auto-capture all-rank stack dumps, and write a
+    #: ranked doctor.json report (implies live telemetry)
+    DOCTOR_ENABLED = "mpi.d.doctor.enabled"
+    #: evaluation period, seconds
+    DOCTOR_INTERVAL_SECONDS = "mpi.d.doctor.interval.seconds"
+    #: straggler score (max wall / median wall) that triggers a finding
+    DOCTOR_STRAGGLER_THRESHOLD = "mpi.d.doctor.straggler.threshold"
+    #: seconds a live rank's phase clock may stand still before it is
+    #: declared stalled (and an all-rank stack capture fires)
+    DOCTOR_STALL_SECONDS = "mpi.d.doctor.stall.seconds"
+    #: pending-envelope depth per rank that triggers a queue finding
+    DOCTOR_QUEUE_DEPTH = "mpi.d.doctor.queue.depth"
+    #: where to write the doctor.json report (default: temp dir)
+    DOCTOR_PATH = "mpi.d.doctor.path"
+
     # -- failure injection (testing) ----------------------------------------------
     #: crash the job after this many total emitted records (-1 = never)
     INJECT_CRASH_AFTER_RECORDS = "mpi.d.inject.crash.after.records"
@@ -165,6 +189,18 @@ RESTART_BACKOFF_JITTER_DEFAULT = 0.25
 TELEMETRY_INTERVAL_DEFAULT = 0.25
 #: default hub ring-buffer depth (see ``TELEMETRY_RING``)
 TELEMETRY_RING_DEFAULT = 256
+
+#: default profiler sampling rate (see ``PROFILE_HZ``)
+PROFILE_HZ_DEFAULT = 50.0
+
+#: default doctor evaluation period (see ``DOCTOR_INTERVAL_SECONDS``)
+DOCTOR_INTERVAL_DEFAULT = 0.5
+#: default straggler-score trigger (see ``DOCTOR_STRAGGLER_THRESHOLD``)
+DOCTOR_STRAGGLER_THRESHOLD_DEFAULT = 2.0
+#: default stall window in seconds (see ``DOCTOR_STALL_SECONDS``)
+DOCTOR_STALL_SECONDS_DEFAULT = 5.0
+#: default queue-depth trigger (see ``DOCTOR_QUEUE_DEPTH``)
+DOCTOR_QUEUE_DEPTH_DEFAULT = 10_000
 
 #: internal shuffle tag on the worker world communicator
 SHUFFLE_TAG = 900_001

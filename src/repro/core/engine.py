@@ -38,8 +38,10 @@ from repro.core.modes import (
 from repro.core.partition import PartitionWindow
 from repro.core.shuffle import PlaneConfig, ShufflePlane, ShuffleService
 from repro.common.logging import get_logger
-from repro.core.constants import TELEMETRY_INTERVAL_DEFAULT
+from repro.core.constants import PROFILE_HZ_DEFAULT, TELEMETRY_INTERVAL_DEFAULT
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import PROFILER
+from repro.obs import profiler as profiler_mod
 from repro.obs.telemetry import build_snapshot
 from repro.obs.tracer import TRACER as _T
 from repro.serde.comparators import default_compare
@@ -97,6 +99,14 @@ class WorkerEngine:
             batch_bytes=self.conf.get_bytes(K.SHUFFLE_BATCH_BYTES),
         )
         self._checkpoints = self._build_checkpoint_manager()
+        #: sampling rate; 0 = profiler off (the stack registry for live
+        #: dumps is maintained regardless)
+        self.profile_hz = (
+            self.conf.get_float(K.PROFILE_HZ, PROFILE_HZ_DEFAULT)
+            if self.conf.get_bool(K.PROFILE_ENABLED, False)
+            else 0.0
+        )
+        self._prof_epoch = 0
         from repro.serde.registry import resolve_type
 
         self.key_class = resolve_type(self.conf.get(K.KEY_CLASS))
@@ -143,6 +153,7 @@ class WorkerEngine:
     def _request_task(self, phase: str, round_no: int) -> int | None:
         """Ask mpidrun for the next task of (phase, round); None = phase over."""
         t0 = time.perf_counter()
+        PROFILER.set_phase("control")
         self.parent.send(("req", phase, round_no, self.rank), dest=0, tag=CONTROL_TAG)
         kind, task_id = self.parent.recv(source=0, tag=CONTROL_TAG)
         self._add_phase("control", time.perf_counter() - t0)
@@ -193,6 +204,16 @@ class WorkerEngine:
             registry=self.registry,
         )
 
+    def _telemetry_snapshot_with_profile(
+        self, epoch: int, endpoint: Any, seq: int
+    ) -> dict:
+        snap = self._telemetry_snapshot(epoch, endpoint, seq)
+        if self.profile_hz > 0:
+            prof = PROFILER.snapshot_for(self.rank, epoch)
+            if prof is not None:
+                snap["profile"] = prof
+        return snap
+
     def _start_telemetry(self) -> tuple[threading.Event, threading.Thread] | None:
         """Ship telemetry snapshots to the driver's hub on an interval
         thread — via the runtime's TELEMETRY wire frames on the process
@@ -221,7 +242,7 @@ class WorkerEngine:
             while True:
                 try:
                     snaps.inc()
-                    ship(self._telemetry_snapshot(epoch, endpoint, seq))
+                    ship(self._telemetry_snapshot_with_profile(epoch, endpoint, seq))
                 except BaseException:  # noqa: BLE001 - telemetry must not kill the rank
                     return
                 seq += 1
@@ -229,7 +250,7 @@ class WorkerEngine:
                     # one parting snapshot so final phase totals land
                     try:
                         snaps.inc()
-                        ship(self._telemetry_snapshot(epoch, endpoint, seq))
+                        ship(self._telemetry_snapshot_with_profile(epoch, endpoint, seq))
                     except BaseException:  # noqa: BLE001
                         pass
                     return
@@ -333,6 +354,7 @@ class WorkerEngine:
         cp = ctx._cp_writer
         cp0 = cp.write_seconds if cp is not None else 0.0
         replay_s = 0.0
+        PROFILER.set_phase("compute" if ctx.kind == "O" else "merge")
         start = time.perf_counter()
         try:
             if ctx.kind == "O" and self._checkpoints is not None:
@@ -388,6 +410,7 @@ class WorkerEngine:
                         "received": ctx.metrics.records_received,
                     },
                 )
+            PROFILER.set_phase("control")
             context_mod.bind(None)
             _log.debug(
                 "end %s task %d: emitted=%d received=%d %.3fs",
@@ -420,6 +443,7 @@ class WorkerEngine:
     def _finish_sends(self, plane_id: str, spl: SendPartitionList) -> None:
         """Flush remaining SPL partitions and signal end-of-stream."""
         t0 = time.perf_counter()
+        PROFILER.set_phase("communicate")
         sort0 = spl.sort_seconds
         for block in spl.flush_all():
             self.shuffle.send_block(plane_id, block)
@@ -432,6 +456,7 @@ class WorkerEngine:
         self._add_phase(
             "communicate", max(0.0, time.perf_counter() - t0 - sort_delta)
         )
+        PROFILER.set_phase("control")
         self.metrics.records_sent += spl.records_out
         self.metrics.combined_away += spl.combined_away
 
@@ -449,14 +474,18 @@ class WorkerEngine:
     def _wait_plane(self, plane: ShufflePlane) -> None:
         """Block until the plane completes, accrued as communicate time."""
         t0 = time.perf_counter()
-        if _T.enabled:
-            with _T.span(
-                "plane.wait", cat="phase", args={"plane": plane.plane_id}
-            ):
+        PROFILER.set_phase("communicate")
+        try:
+            if _T.enabled:
+                with _T.span(
+                    "plane.wait", cat="phase", args={"plane": plane.plane_id}
+                ):
+                    plane.wait_complete(self.plane_timeout)
+            else:
                 plane.wait_complete(self.plane_timeout)
-        else:
-            plane.wait_complete(self.plane_timeout)
-        self._add_phase("communicate", time.perf_counter() - t0)
+        finally:
+            self._add_phase("communicate", time.perf_counter() - t0)
+            PROFILER.set_phase("control")
 
     def _run_a_phase(self, round_no: int) -> None:
         fwd_plane = self.shuffle.plane(f"fwd:{round_no}")
@@ -493,6 +522,7 @@ class WorkerEngine:
 
         def run_a(task_id: int) -> None:
             _T.bind(self.rank)
+            PROFILER.register_thread(self.rank, self._prof_epoch, phase="merge")
             try:
                 ctx = self._make_a_context(task_id, round_no, fwd_plane, None)
                 self._execute(ctx, self.job.a_fn)
@@ -500,6 +530,8 @@ class WorkerEngine:
                     self.metrics.local_a_tasks += 1
             except BaseException as exc:  # noqa: BLE001 - re-raised below
                 errors.append(exc)
+            finally:
+                PROFILER.unregister_thread()
 
         threads = [
             threading.Thread(target=run_a, args=(t,), daemon=True, name=f"a-task-{t}")
@@ -537,6 +569,19 @@ class WorkerEngine:
     def run(self) -> WorkerMetrics:
         rounds = self.job.rounds if self.bidirectional else 1
         _T.bind(self.rank)
+        runtime = getattr(self.world, "runtime", None)
+        self._prof_epoch = int(getattr(runtime, "rank_epoch", 0) or 0)
+        # the stack registry is always on (live DUMP captures work on an
+        # unprofiled job); sampling only when profile_hz > 0
+        PROFILER.register_thread(self.rank, self._prof_epoch)
+        try:
+            PROFILER.register_queue(
+                self.rank, self._prof_epoch, self.world._my_endpoint().stats
+            )
+        except Exception:  # noqa: BLE001 - diagnostics never block startup
+            pass
+        if self.profile_hz > 0:
+            PROFILER.acquire(self.profile_hz)
         hb_stop = self._start_heartbeat()
         telemetry = self._start_telemetry()
         wall0 = time.perf_counter()
@@ -548,8 +593,10 @@ class WorkerEngine:
                     self._run_o_phase(round_no)
                     self._run_a_phase(round_no)
                 t0 = time.perf_counter()
+                PROFILER.set_phase("communicate")
                 self.world.barrier()
                 self._add_phase("communicate", time.perf_counter() - t0)
+                PROFILER.set_phase("control")
                 if not self.bidirectional:
                     # the forward plane is consumed and every peer passed
                     # the barrier: release its driver-side redelivery
@@ -580,4 +627,30 @@ class WorkerEngine:
             if hb_stop is not None:
                 hb_stop.set()
             self._stop_telemetry(telemetry)
+            self._finish_profile(runtime)
             self.shuffle.shutdown()
+
+    def _finish_profile(self, runtime: Any) -> None:
+        """Stop sampling, persist this rank's profile, drop registrations.
+
+        Process backend: the profile goes to the ``.prof-`` shard named in
+        the worker spec, merged by the driver's trace session.  Thread
+        backend: published to the in-process list the same session drains.
+        """
+        try:
+            if self.profile_hz > 0:
+                PROFILER.release()
+                profile = PROFILER.collect(
+                    self.rank, self._prof_epoch, hz=self.profile_hz
+                )
+                if profile["samples"]:
+                    shard = getattr(runtime, "profile_shard", None)
+                    if shard:
+                        profiler_mod.write_profile_shard(shard, profile)
+                    else:
+                        profiler_mod.publish_local(profile)
+        except Exception:  # noqa: BLE001 - profiling must never fail the rank
+            _log.exception("failed to persist profile for rank %d", self.rank)
+        finally:
+            PROFILER.unregister_thread()
+            PROFILER.unregister_queue(self.rank, self._prof_epoch)

@@ -157,6 +157,11 @@ class JobResult:
     failures: list = field(default_factory=list)
     #: flight-recorder journal path ("" when tracing was off)
     trace_path: str = ""
+    #: final doctor report (ranked findings, captures, rollups) when the
+    #: diagnosis engine ran — empty dict otherwise
+    doctor: dict = field(default_factory=dict)
+    #: doctor.json path ("" when the doctor was off)
+    doctor_path: str = ""
 
     @property
     def a_data_locality(self) -> float:

@@ -32,6 +32,10 @@ from typing import Any, Mapping
 
 from repro.common.errors import DataMPIError, FailureRecord
 from repro.core.constants import (
+    DOCTOR_INTERVAL_DEFAULT,
+    DOCTOR_QUEUE_DEPTH_DEFAULT,
+    DOCTOR_STALL_SECONDS_DEFAULT,
+    DOCTOR_STRAGGLER_THRESHOLD_DEFAULT,
     Mode,
     MPI_D_Constants as K,
     RANK_REDELIVERY_BYTES_DEFAULT,
@@ -160,6 +164,11 @@ class _TraceSession:
         )
         self.t0 = time.perf_counter()
         self._closed = False
+        # discard profiles a prior *untraced* profiled job in this
+        # process left in the hand-off buffer: they are not this job's
+        from repro.obs import profiler as _profiler_mod
+
+        _profiler_mod.drain_local_profiles()
         _T.enable(job=job.name, nprocs=nprocs, mode=job.mode.value)
         _T.bind(-1)  # the driver/launcher thread
         self.sampler = WindowedSampler(
@@ -206,6 +215,14 @@ class _TraceSession:
             events = sorted(
                 events + shard_events, key=lambda e: e.get("ts", 0.0)
             )
+        # sampling-profiler aggregates travel the same way: thread-backend
+        # engines publish in-process, process-backend workers leave
+        # ``.prof-`` shards next to the journal
+        from repro.obs import profiler as profiler_mod
+
+        profiles = profiler_mod.drain_local_profiles()
+        profiles += profiler_mod.merge_profile_shards(self.path)
+        profiles.sort(key=lambda p: (p.get("rank", 0), p.get("epoch", 0)))
         summary: dict[str, Any] = {
             "wall_seconds": time.perf_counter() - self.t0,
             "nprocs": self.nprocs,
@@ -239,6 +256,8 @@ class _TraceSession:
             writer.write_events(events)
             for name, (times, values) in self.sampler.as_journal_series().items():
                 writer.write_series(name, times, values)
+            for profile in profiles:
+                writer.write_profile(profile)
             writer.write_summary(summary)
         if self.conf.get_bool(K.TRACE_CHROME, False):
             chrome_path = os.path.splitext(self.path)[0] + ".json"
@@ -265,31 +284,79 @@ class _TelemetrySession:
         from repro.rpc.server import SocketRpcServer
 
         self.hub = TelemetryHub(
-            ring=conf.get_int(K.TELEMETRY_RING, TELEMETRY_RING_DEFAULT)
+            ring=conf.get_int(K.TELEMETRY_RING, TELEMETRY_RING_DEFAULT),
+            job=job.name,
         )
-        self.server = SocketRpcServer(
-            self.hub.rpc_target(), num_handlers=2, name=f"telemetry-{job.name}"
-        )
-        self.server.start()
         self.endpoint_file = str(conf.get(K.TELEMETRY_ENDPOINT_FILE) or "")
-        if self.endpoint_file:
-            import json
+        self.doctor = None
+        self.doctor_path = ""
+        self._report: dict | None = None
+        self._closed = False
+        self.server = None
+        target = self.hub.rpc_target()
+        if conf.get_bool(K.DOCTOR_ENABLED, False):
+            from repro.obs.doctor import Doctor, DoctorConfig
 
-            address = self.server.address
-            payload = {
-                "address": list(address) if isinstance(address, tuple) else address,
-                "job": job.name,
-                "pid": os.getpid(),
-            }
-            tmp = f"{self.endpoint_file}.tmp"
-            with open(tmp, "w", encoding="utf-8") as f:
-                json.dump(payload, f)
-            os.replace(tmp, self.endpoint_file)  # pollers never see a partial file
+            self.doctor = Doctor(
+                self.hub,
+                DoctorConfig(
+                    interval=conf.get_float(
+                        K.DOCTOR_INTERVAL_SECONDS, DOCTOR_INTERVAL_DEFAULT
+                    ),
+                    straggler_threshold=conf.get_float(
+                        K.DOCTOR_STRAGGLER_THRESHOLD,
+                        DOCTOR_STRAGGLER_THRESHOLD_DEFAULT,
+                    ),
+                    stall_seconds=conf.get_float(
+                        K.DOCTOR_STALL_SECONDS, DOCTOR_STALL_SECONDS_DEFAULT
+                    ),
+                    queue_depth=conf.get_int(
+                        K.DOCTOR_QUEUE_DEPTH, DOCTOR_QUEUE_DEPTH_DEFAULT
+                    ),
+                ),
+                job=job.name,
+            )
+            self.doctor_path = str(
+                conf.get(K.DOCTOR_PATH)
+                or os.path.join(
+                    tempfile.gettempdir(), f"datampi-{job.name}.doctor.json"
+                )
+            )
+            target = {**target, **self.doctor.rpc_target()}
+        # from here on every failure must tear down what already started,
+        # or an aborted launch leaks the server/endpoint file
+        try:
+            self.server = SocketRpcServer(
+                target, num_handlers=2, name=f"telemetry-{job.name}"
+            )
+            self.server.start()
+            if self.endpoint_file:
+                import json
+
+                address = self.server.address
+                payload = {
+                    "address": list(address) if isinstance(address, tuple) else address,
+                    "job": job.name,
+                    "pid": os.getpid(),
+                }
+                tmp = f"{self.endpoint_file}.tmp"
+                with open(tmp, "w", encoding="utf-8") as f:
+                    json.dump(payload, f)
+                os.replace(tmp, self.endpoint_file)  # pollers never see a partial file
+            if self.doctor is not None:
+                self.doctor.start()
+        except BaseException:
+            self.close()
+            raise
         _log.info("telemetry endpoint: %r", self.server.address)
 
     @staticmethod
     def maybe(job: DataMPIJob, conf: Any) -> "_TelemetrySession | None":
-        if not conf.get_bool(K.TELEMETRY_ENABLED, False):
+        # the doctor needs the live plane, so enabling it implies one
+        if not (
+            conf.get_bool(K.TELEMETRY_ENABLED, False)
+            or conf.get_bool(K.DOCTOR_ENABLED, False)
+        ):
             return None
         return _TelemetrySession(job, conf)
 
@@ -300,13 +367,39 @@ class _TelemetrySession:
         runtime.telemetry_hub = self.hub
         self.hub.bind_runtime(runtime)
 
-    def close(self) -> None:
-        self.server.stop()
-        if self.endpoint_file:
+    def close(self) -> dict | None:
+        """Stop the doctor and server, remove the endpoint file.
+
+        Idempotent, and ordered so the endpoint file goes away on *every*
+        exit path — even when the doctor or the server's stop raises —
+        because a stale endpoint file points the next ``repro top`` at a
+        dead socket.  Returns the final doctor report (None = no doctor).
+        """
+        if self._closed:
+            return self._report
+        self._closed = True
+        try:
+            if self.doctor is not None:
+                try:
+                    self._report = self.doctor.close()
+                    if self.doctor_path:
+                        self.doctor.write_report(self.doctor_path)
+                        _log.info("doctor report written to %s", self.doctor_path)
+                except Exception:  # noqa: BLE001 - diagnosis never blocks teardown
+                    _log.exception("doctor teardown failed")
+        finally:
             try:
-                os.unlink(self.endpoint_file)  # no stale pointers to a dead server
-            except OSError:
-                pass
+                if self.server is not None:
+                    self.server.stop()
+            except Exception:  # noqa: BLE001 - teardown must finish
+                _log.exception("telemetry server stop failed")
+            finally:
+                if self.endpoint_file:
+                    try:
+                        os.unlink(self.endpoint_file)  # no stale pointers
+                    except OSError:
+                        pass
+        return self._report
 
 
 def mpidrun(
@@ -360,8 +453,14 @@ def mpidrun(
     try:
         while True:
             attempt += 1
+            extra_conf: dict[str, Any] = {K.JOB_ATTEMPT: attempt}
+            if telemetry is not None and telemetry.doctor is not None:
+                # the diagnosis engine reads live rollups, so engines must
+                # ship telemetry snapshots even if the user only asked for
+                # the doctor
+                extra_conf[K.TELEMETRY_ENABLED] = True
             attempt_job = dataclasses.replace(
-                job, conf={**dict(job.conf or {}), K.JOB_ATTEMPT: attempt}
+                job, conf={**dict(job.conf or {}), **extra_conf}
             )
             runtime = create_runtime(
                 launcher, fault_injector=fault_injector, start_method=start_method
@@ -462,7 +561,10 @@ def mpidrun(
             break
     finally:
         if telemetry is not None:
-            telemetry.close()
+            doctor_report = telemetry.close()
+            if result is not None and doctor_report is not None:
+                result.doctor = doctor_report
+                result.doctor_path = telemetry.doctor_path
         if trace is not None:
             path = trace.close(result, reports)
             if result is not None:

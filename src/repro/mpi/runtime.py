@@ -108,6 +108,16 @@ class BaseRuntime:
     def transport(self) -> Transport:
         return self._transport
 
+    # -- diagnostics ----------------------------------------------------------
+    def request_stack_dump(self) -> list[dict]:
+        """Snapshot the live stacks + queue stats of every rank hosted in
+        *this* process (on the thread backend: all of them).  Subclasses
+        with remote ranks additionally broadcast a DUMP_REQ; those
+        replies arrive asynchronously in the telemetry hub."""
+        from repro.obs.profiler import PROFILER
+
+        return PROFILER.dump_stacks()
+
     # -- registry -------------------------------------------------------------
     def mailbox(self, global_rank: int) -> Endpoint:
         """The local mailbox of ``global_rank`` (receive side)."""
@@ -355,6 +365,13 @@ class ProcessRuntime(BaseRuntime):
 
         return RouterTransport(self)
 
+    def request_stack_dump(self) -> list[dict]:
+        """Local dumps (the driver hosts no engine ranks) plus a DUMP_REQ
+        broadcast; worker replies land in the telemetry hub shortly."""
+        local = super().request_stack_dump()
+        self._transport.request_stack_dump()
+        return local
+
     # -- surgical rank recovery ----------------------------------------------
     def enable_rank_recovery(
         self, max_respawns: int, redelivery_bytes: int
@@ -415,6 +432,11 @@ class ProcessRuntime(BaseRuntime):
             name=f"{spec.world_name}[{spec.rank}]e{epoch}",
             trace_shard=(
                 f"{self.trace_shard_prefix}.shard-g{gid}e{epoch}.jsonl"
+                if self.trace_shard_prefix
+                else None
+            ),
+            profile_shard=(
+                f"{self.trace_shard_prefix}.prof-g{gid}e{epoch}.jsonl"
                 if self.trace_shard_prefix
                 else None
             ),

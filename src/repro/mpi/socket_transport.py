@@ -364,6 +364,17 @@ class RouterTransport(Transport):
             for conn in conns:
                 conn.try_send(frame)
 
+    def request_stack_dump(self) -> int:
+        """Broadcast DUMP_REQ to every connected worker; replies arrive
+        asynchronously as DUMP frames and land in the telemetry hub.
+        Returns how many workers were asked."""
+        frame = wire.pack_frame(FrameKind.DUMP_REQ)
+        with self._lock:
+            conns = set(self._routes.values())
+        for conn in conns:
+            conn.try_send(frame)
+        return len(conns)
+
     def shutdown(self) -> None:
         self._stopping = True
         self._server.stop()
@@ -518,6 +529,14 @@ class RouterTransport(Transport):
                     hub.ingest(wire.unpack_obj(body))
                 except Exception:  # noqa: BLE001 - telemetry never kills routing
                     _log.debug("router: dropped malformed telemetry frame")
+        elif kind == FrameKind.DUMP:
+            hub = getattr(self._runtime, "telemetry_hub", None)
+            if hub is not None:
+                try:
+                    for dump in wire.unpack_obj(body):
+                        hub.ingest_dump(dump)
+                except Exception:  # noqa: BLE001 - diagnostics never kill routing
+                    _log.debug("router: dropped malformed dump frame")
         elif kind == FrameKind.RPC_REQ:
             req_id, method, params = wire.unpack_obj(body)
             try:
@@ -756,6 +775,10 @@ class WorkerSpec:
     trace_shard: str | None = None
     trace_epoch: float | None = None
     trace_meta: dict = field(default_factory=dict)
+    #: where this rank persists its sampling-profiler aggregate (the
+    #: ``.prof-`` sibling of the trace shard); None = profiling off or
+    #: thread backend (which publishes in-process instead)
+    profile_shard: str | None = None
 
 
 class WorkerTransport(Transport):
@@ -826,6 +849,7 @@ class WorkerRuntime:
         #: layer to enable staging receivers and epoch-reset streams)
         self.rank_epoch = spec.epoch
         self.rank_recovery = spec.recovery
+        self.profile_shard = spec.profile_shard
         self._transport = WorkerTransport(
             self.abort_flag, spec.gid, conn, spec.chaos_routed, epoch=spec.epoch
         )
@@ -904,6 +928,27 @@ class WorkerRuntime:
         shipper thread or killing the rank.
         """
         self._conn.try_send(wire.pack_obj_frame(FrameKind.TELEMETRY, snap))
+
+    def send_stack_dump(self) -> None:
+        """Answer a DUMP_REQ: snapshot the live stacks and queue stats of
+        every rank this process hosts and fire them back best-effort."""
+        try:
+            from repro.obs.profiler import PROFILER
+
+            dumps = PROFILER.dump_stacks()
+            if not dumps:
+                # the engine has not registered yet (or already left):
+                # still identify this incarnation so the doctor sees it
+                dumps = [{
+                    "rank": self._spec.rank,
+                    "epoch": self._spec.epoch,
+                    "pid": os.getpid(),
+                    "ts": _now(),
+                    "threads": [],
+                }]
+        except Exception:  # noqa: BLE001 - diagnostics never kill the rank
+            return
+        self._conn.try_send(wire.pack_obj_frame(FrameKind.DUMP, dumps))
 
     def record_error(self, comm: Any, exc: BaseException) -> None:
         import traceback as traceback_mod
@@ -990,6 +1035,9 @@ class WorkerRuntime:
                 box = self._rpc_pending.pop(req_id, None)
                 if box is not None:
                     box.put((ok, result))
+            elif kind == FrameKind.DUMP_REQ:
+                # reply on the reader thread: dump_stacks never blocks
+                self.send_stack_dump()
             else:
                 _log.warning("worker: ignoring unknown frame kind %d", kind)
 
@@ -1041,6 +1089,9 @@ def launch_worker_processes(
             ),
             trace_epoch=_T._epoch if shard_prefix else None,
             trace_meta=dict(_T.meta) if shard_prefix else {},
+            profile_shard=(
+                f"{shard_prefix}.prof-g{gid}.jsonl" if shard_prefix else None
+            ),
         )
         proc = ctx.Process(
             target=_worker_process_main, args=(spec,), name=spec.name, daemon=True
@@ -1057,6 +1108,9 @@ def _worker_process_main(spec: WorkerSpec) -> None:
     from repro.mpi.intercomm import Intercomm
 
     _T.reset_after_fork(epoch=spec.trace_epoch)
+    from repro.obs.profiler import PROFILER as _profiler
+
+    _profiler.reset_after_fork()
     if spec.trace_shard:
         _T.enabled = True
         _T.meta = dict(spec.trace_meta)

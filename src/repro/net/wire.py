@@ -109,6 +109,10 @@ class FrameKind:
                     # router releases that plane's redelivery-buffer entries
     TELEMETRY = 11  # worker -> router: one pickled telemetry snapshot dict;
                     # fire-and-forget (try_send), ingested by the TelemetryHub
+    DUMP_REQ = 12   # router -> worker: request a live stack/queue dump of
+                    # every rank the worker hosts (empty body)
+    DUMP = 13       # worker -> router: pickled list of per-rank stack-dump
+                    # dicts; fire-and-forget reply to DUMP_REQ
 
 #: truncate-fault marker in the envelope header flags byte
 FLAG_TRUNCATED = 0x01

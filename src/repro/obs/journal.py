@@ -67,6 +67,11 @@ class JournalWriter:
             {"type": "series", "name": name, "times": times, "values": values}
         )
 
+    def write_profile(self, profile: dict) -> None:
+        """One rank's sampling-profiler aggregate (collapsed stacks per
+        phase bucket; see :mod:`repro.obs.profiler`)."""
+        self._write({"type": "profile", **profile})
+
     def write_summary(self, summary: dict) -> None:
         self._write({"type": "summary", **summary})
 
@@ -89,6 +94,8 @@ class Journal:
     events: list[dict] = field(default_factory=list)
     series: dict[str, tuple[list[float], list[float]]] = field(default_factory=dict)
     summary: dict = field(default_factory=dict)
+    #: sampling-profiler aggregates, one per (rank, epoch)
+    profiles: list[dict] = field(default_factory=list)
 
     @property
     def spans(self) -> list[dict]:
@@ -176,6 +183,8 @@ def read_journal(path: str) -> Journal:
                 )
             elif kind == "summary":
                 journal.summary = record
+            elif kind == "profile":
+                journal.profiles.append(record)
     return journal
 
 

@@ -1,0 +1,434 @@
+"""Per-rank sampling profiler: the "why" layer under the telemetry plane.
+
+The telemetry plane (:mod:`repro.obs.telemetry`) can say *which* rank is
+slow — straggler score, shuffle skew, queue depth.  This module says
+*why*: a process-wide daemon thread walks :func:`sys._current_frames`
+at a configurable rate and aggregates collapsed call stacks per rank,
+tagged with the rank's **current phase bucket** (compute /
+partition-sort / communicate / merge / checkpoint / control — the same
+vocabulary the tracer accrues post-hoc).
+
+Design notes:
+
+* One :class:`StackSampler` per interpreter (module singleton
+  :data:`PROFILER`), never one per engine.  On the thread backend all
+  ranks share the interpreter, and ``sys._current_frames()`` is a
+  whole-process snapshot — N engines each running their own sampler
+  would pay the walk N times for the same data.  The sampler is
+  refcounted: engines :meth:`~StackSampler.acquire` / ``release`` it,
+  and the daemon thread runs only while someone holds it.
+* The *registry* (thread idents -> rank, current phase, queue-stats
+  callables) is always maintained, even with sampling off, so the
+  on-demand stack dump (the DUMP wire frame, ``repro doctor``'s
+  capture) works on an unprofiled job.
+* Aggregates are collapsed-stack counts — the flamegraph interchange
+  format — keyed ``(rank, epoch)`` so a respawned rank's incarnations
+  stay distinct.  Workers persist them as ``.prof-`` shard files next
+  to trace shards; the driver folds them into the journal as
+  ``profile`` records, exported via ``repro flame`` as collapsed text
+  or speedscope JSON.
+"""
+
+from __future__ import annotations
+
+import glob as _glob
+import json
+import os
+import sys
+import threading
+import time
+from typing import Any, Callable, Iterable
+
+#: default sampling rate (Hz) when profiling is enabled without a rate
+DEFAULT_HZ = 50.0
+
+#: stacks deeper than this are truncated at the root end
+MAX_STACK_DEPTH = 64
+
+#: phase assumed for a registered thread that never declared one
+DEFAULT_PHASE = "control"
+
+
+def _frame_name(code: Any) -> str:
+    """``sorter.merge``-style name: module basename + function name."""
+    base = os.path.basename(code.co_filename)
+    if base.endswith(".py"):
+        base = base[:-3]
+    return f"{base}.{code.co_name}"
+
+
+def collapse_stack(frame: Any) -> str:
+    """Collapse a live frame chain into ``root.fn;...;leaf.fn``."""
+    names: list[str] = []
+    while frame is not None and len(names) < MAX_STACK_DEPTH:
+        names.append(_frame_name(frame.f_code))
+        frame = frame.f_back
+    names.reverse()
+    return ";".join(names)
+
+
+def describe_stack(frame: Any) -> list[str]:
+    """Root-first frame descriptions with line numbers, for live dumps."""
+    out: list[str] = []
+    while frame is not None and len(out) < MAX_STACK_DEPTH:
+        out.append(f"{_frame_name(frame.f_code)}:{frame.f_lineno}")
+        frame = frame.f_back
+    out.reverse()
+    return out
+
+
+class StackSampler:
+    """Registry of rank-owned threads plus an optional sampling thread.
+
+    Thread-safety: registration and aggregate access take ``_lock``;
+    :meth:`set_phase` is a plain dict store keyed by thread ident (one
+    writer per key — the owning thread), deliberately lock-free because
+    it sits on the engine's per-task hot path.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: thread ident -> (rank, epoch)
+        self._threads: dict[int, tuple[int, int]] = {}
+        #: thread ident -> current phase bucket
+        self._phases: dict[int, str] = {}
+        #: (rank, epoch) -> transport queue stats callable
+        self._queues: dict[tuple[int, int], Callable[[], dict]] = {}
+        #: (rank, epoch) -> {(phase, collapsed_stack): samples}
+        self._counts: dict[tuple[int, int], dict[tuple[str, str], int]] = {}
+        #: (rank, epoch) -> total samples attributed
+        self._samples: dict[tuple[int, int], int] = {}
+        self._refs = 0
+        self._hz = 0.0
+        self._started_at = 0.0
+        self._stop: threading.Event | None = None
+        self._thread: threading.Thread | None = None
+        #: cumulative seconds spent inside the sampling walk (all ticks)
+        self.sample_cost_seconds = 0.0
+        #: sampling ticks taken since construction / fork reset
+        self.ticks = 0
+
+    # -- registry (always on) ------------------------------------------------
+    def register_thread(
+        self, rank: int, epoch: int = 0, phase: str = DEFAULT_PHASE,
+        ident: int | None = None,
+    ) -> None:
+        """Attribute the calling (or given) thread's samples to ``rank``."""
+        ident = threading.get_ident() if ident is None else ident
+        with self._lock:
+            self._threads[ident] = (int(rank), int(epoch))
+        self._phases[ident] = phase
+
+    def unregister_thread(self, ident: int | None = None) -> None:
+        ident = threading.get_ident() if ident is None else ident
+        with self._lock:
+            self._threads.pop(ident, None)
+        self._phases.pop(ident, None)
+
+    def set_phase(self, phase: str, ident: int | None = None) -> None:
+        """Declare the calling thread's current phase bucket (hot path)."""
+        self._phases[threading.get_ident() if ident is None else ident] = phase
+
+    def register_queue(
+        self, rank: int, epoch: int, stats_fn: Callable[[], dict]
+    ) -> None:
+        """Attach a transport queue ``stats()`` callable to a rank."""
+        with self._lock:
+            self._queues[(int(rank), int(epoch))] = stats_fn
+
+    def unregister_queue(self, rank: int, epoch: int = 0) -> None:
+        with self._lock:
+            self._queues.pop((int(rank), int(epoch)), None)
+
+    def registered_ranks(self) -> list[tuple[int, int]]:
+        with self._lock:
+            return sorted(set(self._threads.values()))
+
+    # -- sampler lifecycle ---------------------------------------------------
+    def acquire(self, hz: float = DEFAULT_HZ) -> None:
+        """Refcounted start; the sampler runs at the max requested rate."""
+        hz = float(hz)
+        if hz <= 0:
+            return
+        with self._lock:
+            self._refs += 1
+            self._hz = max(self._hz, hz)
+            if self._thread is None:
+                self._stop = threading.Event()
+                self._started_at = time.monotonic()
+                self._thread = threading.Thread(
+                    target=self._loop, args=(self._stop,),
+                    name="datampi-profiler", daemon=True,
+                )
+                self._thread.start()
+
+    def release(self) -> None:
+        """Refcounted stop; the thread exits when the last holder leaves."""
+        with self._lock:
+            if self._refs == 0:
+                return
+            self._refs -= 1
+            if self._refs > 0:
+                return
+            stop, thread = self._stop, self._thread
+            self._stop = self._thread = None
+            self._hz = 0.0
+        if stop is not None:
+            stop.set()
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=5)
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    @property
+    def hz(self) -> float:
+        return self._hz
+
+    def _loop(self, stop: threading.Event) -> None:
+        while True:
+            hz = self._hz or DEFAULT_HZ
+            if stop.wait(1.0 / hz):
+                return
+            try:
+                self.sample_once()
+            except Exception:  # pragma: no cover - never kill the host
+                pass
+
+    def sample_once(self) -> int:
+        """Take one sample of every registered thread; returns threads hit.
+
+        Public so the overhead benchmark can measure the per-tick cost
+        deterministically instead of racing a timer.
+        """
+        t0 = time.perf_counter()
+        frames = sys._current_frames()
+        hit = 0
+        with self._lock:
+            for ident, key in self._threads.items():
+                frame = frames.get(ident)
+                if frame is None:
+                    continue
+                stack = collapse_stack(frame)
+                phase = self._phases.get(ident, DEFAULT_PHASE)
+                bucket = self._counts.setdefault(key, {})
+                bucket[(phase, stack)] = bucket.get((phase, stack), 0) + 1
+                self._samples[key] = self._samples.get(key, 0) + 1
+                hit += 1
+            self.ticks += 1
+            self.sample_cost_seconds += time.perf_counter() - t0
+        return hit
+
+    # -- aggregate access ----------------------------------------------------
+    def collect(self, rank: int, epoch: int = 0, hz: float | None = None) -> dict:
+        """Pop and return the finished profile for ``(rank, epoch)``."""
+        key = (int(rank), int(epoch))
+        with self._lock:
+            counts = self._counts.pop(key, {})
+            samples = self._samples.pop(key, 0)
+        stacks: dict[str, dict[str, int]] = {}
+        for (phase, stack), n in counts.items():
+            stacks.setdefault(phase, {})[stack] = n
+        return {
+            "rank": key[0],
+            "epoch": key[1],
+            "hz": float(hz if hz is not None else self._hz),
+            "samples": samples,
+            "stacks": stacks,
+        }
+
+    def snapshot_for(self, rank: int, epoch: int = 0, top: int = 5) -> dict | None:
+        """Small live summary for telemetry piggyback (non-destructive)."""
+        key = (int(rank), int(epoch))
+        with self._lock:
+            counts = dict(self._counts.get(key) or {})
+            samples = self._samples.get(key, 0)
+        if not samples:
+            return None
+        phases: dict[str, int] = {}
+        for (phase, _stack), n in counts.items():
+            phases[phase] = phases.get(phase, 0) + n
+        ranked = sorted(counts.items(), key=lambda kv: -kv[1])[:top]
+        return {
+            "samples": samples,
+            "phases": phases,
+            "top": [[phase, stack, n] for (phase, stack), n in ranked],
+        }
+
+    # -- live dumps ----------------------------------------------------------
+    def dump_stacks(self) -> list[dict]:
+        """Live stacks + queue stats for every registered rank, by epoch."""
+        frames = sys._current_frames()
+        names = {t.ident: t.name for t in threading.enumerate()}
+        with self._lock:
+            threads = list(self._threads.items())
+            phases = dict(self._phases)
+            queues = dict(self._queues)
+        by_key: dict[tuple[int, int], dict] = {}
+        for ident, key in threads:
+            dump = by_key.setdefault(key, {
+                "rank": key[0],
+                "epoch": key[1],
+                "pid": os.getpid(),
+                "ts": time.time(),
+                "threads": [],
+            })
+            frame = frames.get(ident)
+            dump["threads"].append({
+                "name": names.get(ident, str(ident)),
+                "ident": ident,
+                "phase": phases.get(ident, DEFAULT_PHASE),
+                "stack": describe_stack(frame) if frame is not None else [],
+            })
+        for key, dump in by_key.items():
+            stats_fn = queues.get(key)
+            if stats_fn is not None:
+                try:
+                    dump["queue"] = dict(stats_fn())
+                except Exception:
+                    dump["queue"] = {}
+        return [by_key[k] for k in sorted(by_key)]
+
+    # -- process lifecycle ---------------------------------------------------
+    def reset_after_fork(self) -> None:
+        """Drop state inherited from the parent (fork-start workers)."""
+        self._lock = threading.Lock()
+        self._threads.clear()
+        self._phases.clear()
+        self._queues.clear()
+        self._counts.clear()
+        self._samples.clear()
+        self._refs = 0
+        self._hz = 0.0
+        self._stop = None
+        self._thread = None  # the parent's sampler thread did not survive fork
+        self.sample_cost_seconds = 0.0
+        self.ticks = 0
+
+
+#: the process-wide sampler every engine/worker shares
+PROFILER = StackSampler()
+
+
+# -- thread-backend profile hand-off ------------------------------------------
+# On the thread backend engines finish inside the driver interpreter, so
+# finished profiles are published to this bounded in-process list and
+# drained by the driver's trace session.  (Workers on the process
+# backend persist shard files instead — see write_profile_shard.)
+_LOCAL_LOCK = threading.Lock()
+_LOCAL_PROFILES: list[dict] = []
+_LOCAL_CAP = 256
+
+
+def publish_local(profile: dict) -> None:
+    with _LOCAL_LOCK:
+        _LOCAL_PROFILES.append(profile)
+        del _LOCAL_PROFILES[:-_LOCAL_CAP]
+
+
+def drain_local_profiles() -> list[dict]:
+    with _LOCAL_LOCK:
+        out = list(_LOCAL_PROFILES)
+        _LOCAL_PROFILES.clear()
+    return out
+
+
+# -- shard persistence (process backend) --------------------------------------
+def write_profile_shard(path: str, profile: dict) -> None:
+    """Append one profile as a JSON line; same contract as trace shards."""
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(profile, sort_keys=True) + "\n")
+
+
+def merge_profile_shards(journal_path: str, cleanup: bool = True) -> list[dict]:
+    """Collect worker ``.prof-`` shards written next to ``journal_path``.
+
+    Shards are named ``{journal}.a{attempt}.prof-g{gid}[e{epoch}].jsonl``
+    — the ``.prof-`` infix keeps them clear of the trace-shard glob.
+    """
+    profiles: list[dict] = []
+    for shard in sorted(_glob.glob(f"{_glob.escape(journal_path)}.a*.prof-*.jsonl")):
+        try:
+            with open(shard, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        continue
+                    if isinstance(record, dict) and "stacks" in record:
+                        profiles.append(record)
+        except OSError:
+            continue
+        if cleanup:
+            try:
+                os.unlink(shard)
+            except OSError:
+                pass
+    return profiles
+
+
+# -- exporters ----------------------------------------------------------------
+def _profile_prefix(profile: dict) -> str:
+    rank = profile.get("rank", "?")
+    epoch = int(profile.get("epoch", 0) or 0)
+    return f"rank{rank}" + (f"e{epoch}" if epoch else "")
+
+
+def to_collapsed(profiles: Iterable[dict]) -> str:
+    """Flamegraph collapsed-stack text: ``rank0;phase;a.b;c.d count``."""
+    lines: list[str] = []
+    for profile in profiles:
+        prefix = _profile_prefix(profile)
+        for phase in sorted(profile.get("stacks", {})):
+            stacks = profile["stacks"][phase]
+            for stack in sorted(stacks):
+                lines.append(f"{prefix};{phase};{stack} {stacks[stack]}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_speedscope(profiles: Iterable[dict], name: str = "datampi") -> dict:
+    """Speedscope file: one sampled profile per (rank, epoch)."""
+    frames: list[dict] = []
+    frame_index: dict[str, int] = {}
+
+    def index_of(frame_name: str) -> int:
+        if frame_name not in frame_index:
+            frame_index[frame_name] = len(frames)
+            frames.append({"name": frame_name})
+        return frame_index[frame_name]
+
+    out_profiles = []
+    for profile in profiles:
+        samples: list[list[int]] = []
+        weights: list[float] = []
+        total = 0
+        for phase in sorted(profile.get("stacks", {})):
+            stacks = profile["stacks"][phase]
+            for stack in sorted(stacks):
+                chain = [index_of(phase)]
+                chain.extend(index_of(f) for f in stack.split(";") if f)
+                samples.append(chain)
+                weights.append(float(stacks[stack]))
+                total += stacks[stack]
+        hz = float(profile.get("hz") or DEFAULT_HZ)
+        out_profiles.append({
+            "type": "sampled",
+            "name": f"{name} {_profile_prefix(profile)}",
+            "unit": "seconds",
+            "startValue": 0,
+            "endValue": total / hz if hz else total,
+            "samples": samples,
+            "weights": [w / hz if hz else w for w in weights],
+        })
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "name": name,
+        "shared": {"frames": frames},
+        "profiles": out_profiles,
+        "activeProfileIndex": 0,
+        "exporter": "datampi-repro",
+    }

@@ -31,6 +31,7 @@ the driver starts next to the job (its address is written to
 
 from __future__ import annotations
 
+import math
 import os
 import threading
 import time
@@ -50,6 +51,43 @@ COVERAGE_PHASES = (
     "compute", "partition-sort", "communicate", "merge", "checkpoint",
     "control",
 )
+
+
+def _escape_label_value(value: Any) -> str:
+    """Prometheus 0.0.4 label-value escaping: backslash, double-quote
+    and newline must be escaped inside the quoted label value."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _fmt_value(value: Any, fmt: str = "{:.6f}", fallback: float = 0.0) -> str:
+    """Render one sample value per the exposition format: non-numbers
+    fall back, NaN/inf become the spellings Prometheus parses."""
+    try:
+        number = float(value)
+    except (TypeError, ValueError):
+        number = fallback
+    if math.isnan(number):
+        return "NaN"
+    if math.isinf(number):
+        return "+Inf" if number > 0 else "-Inf"
+    return fmt.format(number)
+
+
+def _as_int(value: Any, fallback: int = 0) -> int:
+    """Defensive int coercion: snapshots cross the wire from rank code
+    and may carry NaN/None where a count belongs."""
+    try:
+        number = float(value)
+    except (TypeError, ValueError):
+        return fallback
+    if math.isnan(number) or math.isinf(number):
+        return fallback
+    return int(number)
 
 
 def _percentile(values: list[float], q: float) -> float:
@@ -110,20 +148,31 @@ class TelemetryHub:
     scrape.
     """
 
-    def __init__(self, ring: int = 256) -> None:
+    def __init__(self, ring: int = 256, job: str = "") -> None:
         self._lock = threading.Lock()
         self._ring = max(1, int(ring))
         self._series: dict[tuple[int, int], deque] = {}
+        #: latest live stack dump per (rank, epoch) — DUMP frames on the
+        #: process backend, direct ingest_dump on threads
+        self._dumps: dict[tuple[int, int], dict] = {}
         self._done: set[int] = set()
         self._expected = 0
         self._runtime: Any = None
+        self.job = job
         self.snapshots_ingested = 0
+        self.dumps_ingested = 0
         self._t0 = time.time()
 
     # -- wiring ---------------------------------------------------------------
     def bind_runtime(self, runtime: Any) -> None:
         """Read live recovery counters off this runtime at scrape time."""
         self._runtime = runtime
+
+    @property
+    def runtime(self) -> Any:
+        """The bound runtime (None before attach) — the doctor asks it
+        for all-rank stack dumps."""
+        return self._runtime
 
     def expect(self, nprocs: int) -> None:
         """The scheduler announces the world size (rollup denominators)."""
@@ -148,6 +197,25 @@ class TelemetryHub:
                 ring = self._series[key] = deque(maxlen=self._ring)
             ring.append(snap)
             self.snapshots_ingested += 1
+
+    def ingest_dump(self, dump: dict[str, Any]) -> None:
+        """Accept one live stack dump (DUMP frame reply or local call)."""
+        if not isinstance(dump, dict) or "rank" not in dump:
+            return
+        key = (int(dump["rank"]), int(dump.get("epoch", 0)))
+        with self._lock:
+            self._dumps[key] = dump
+            self.dumps_ingested += 1
+
+    def dumps(self) -> dict[int, dict[str, Any]]:
+        """Latest stack dump per rank, from that rank's highest epoch."""
+        with self._lock:
+            best: dict[int, tuple[int, dict]] = {}
+            for (rank, epoch), dump in self._dumps.items():
+                held = best.get(rank)
+                if held is None or epoch > held[0]:
+                    best[rank] = (epoch, dump)
+            return {rank: dump for rank, (_e, dump) in best.items()}
 
     # -- read path ------------------------------------------------------------
     def series_keys(self) -> list[tuple[int, int]]:
@@ -209,10 +277,10 @@ class TelemetryHub:
                     "age_s": round(time.time() - snap.get("ts", 0.0), 3),
                     "phases": {k: round(v, 4) for k, v in phases.items()},
                     "wall_s": round(sum(phases.values()), 4),
-                    "bytes_sent": int(shuffle.get("bytes_sent", 0)),
-                    "records_received": int(shuffle.get("records_received", 0)),
-                    "pending": int(q.get("pending", 0)),
-                    "bytes_in": int(q.get("bytes_in", 0)),
+                    "bytes_sent": _as_int(shuffle.get("bytes_sent", 0)),
+                    "records_received": _as_int(shuffle.get("records_received", 0)),
+                    "pending": _as_int(q.get("pending", 0)),
+                    "bytes_in": _as_int(q.get("bytes_in", 0)),
                     "cpu_s": round(
                         snap.get("process", {}).get("cpu_seconds", 0.0), 3
                     ),
@@ -282,14 +350,20 @@ class TelemetryHub:
             lines.append(f"# HELP {name} {help_text}")
             lines.append(f"# TYPE {name} {kind}")
 
+        family("datampi_job_info", "gauge",
+               "Constant 1; the job label carries the (escaped) job name.")
+        lines.append(
+            f'datampi_job_info{{job="{_escape_label_value(self.job)}"}} 1'
+        )
         latest = self.latest()
         family("datampi_phase_seconds", "gauge",
                "Cumulative seconds per engine phase bucket, per rank.")
         for rank, snap in sorted(latest.items()):
             for phase, seconds in sorted(snap.get("phases", {}).items()):
                 lines.append(
-                    f'datampi_phase_seconds{{rank="{rank}",phase="{phase}"}}'
-                    f" {seconds:.6f}"
+                    f'datampi_phase_seconds{{rank="{rank}",'
+                    f'phase="{_escape_label_value(phase)}"}}'
+                    f" {_fmt_value(seconds)}"
                 )
         rollups = self.rollups()
         family("datampi_phase_quantile_seconds", "gauge",
@@ -298,8 +372,9 @@ class TelemetryHub:
             for q_name in ("p50", "p99"):
                 quantile = "0.5" if q_name == "p50" else "0.99"
                 lines.append(
-                    f'datampi_phase_quantile_seconds{{phase="{phase}",'
-                    f'quantile="{quantile}"}} {quantiles[q_name]:.6f}'
+                    f'datampi_phase_quantile_seconds'
+                    f'{{phase="{_escape_label_value(phase)}",'
+                    f'quantile="{quantile}"}} {_fmt_value(quantiles[q_name])}'
                 )
         family("datampi_shuffle_bytes_sent_total", "counter",
                "Shuffle payload bytes sent, per rank.")
@@ -322,25 +397,25 @@ class TelemetryHub:
             label = f'rank="{rank}"'
             lines.append(
                 f"datampi_shuffle_bytes_sent_total{{{label}}}"
-                f" {int(shuffle.get('bytes_sent', 0))}"
+                f" {_as_int(shuffle.get('bytes_sent', 0))}"
             )
             lines.append(
                 f"datampi_shuffle_records_received_total{{{label}}}"
-                f" {int(shuffle.get('records_received', 0))}"
+                f" {_as_int(shuffle.get('records_received', 0))}"
             )
             lines.append(
-                f"datampi_queue_pending{{{label}}} {int(q.get('pending', 0))}"
+                f"datampi_queue_pending{{{label}}} {_as_int(q.get('pending', 0))}"
             )
             lines.append(
-                f"datampi_queue_bytes{{{label}}} {int(q.get('bytes_in', 0))}"
+                f"datampi_queue_bytes{{{label}}} {_as_int(q.get('bytes_in', 0))}"
             )
             lines.append(
                 f"datampi_process_cpu_seconds_total{{{label}}}"
-                f" {process.get('cpu_seconds', 0.0):.3f}"
+                f" {_fmt_value(process.get('cpu_seconds', 0.0), '{:.3f}')}"
             )
             lines.append(
                 f"datampi_process_rss_bytes{{{label}}}"
-                f" {process.get('rss_bytes', 0.0):.0f}"
+                f" {_fmt_value(process.get('rss_bytes', 0.0), '{:.0f}')}"
             )
         with self._lock:
             per_series = {
@@ -353,16 +428,21 @@ class TelemetryHub:
             )
         family("datampi_straggler_score", "gauge",
                "Slowest rank wall time over the median (1.0 = balanced).")
-        lines.append(f"datampi_straggler_score {rollups['straggler_score']}")
+        lines.append(
+            f"datampi_straggler_score {_fmt_value(rollups['straggler_score'], '{:.4f}')}"
+        )
         family("datampi_shuffle_skew", "gauge",
                "Max rank shuffle bytes sent over the median.")
-        lines.append(f"datampi_shuffle_skew {rollups['shuffle_skew']}")
+        lines.append(
+            f"datampi_shuffle_skew {_fmt_value(rollups['shuffle_skew'], '{:.4f}')}"
+        )
         recovery = rollups["recovery"]
         family("datampi_recovery_total", "counter",
                "Rank-recovery event counts (live, from the runtime).")
         for counter, value in sorted(recovery.items()):
             lines.append(
-                f'datampi_recovery_total{{event="{counter}"}} {value}'
+                f'datampi_recovery_total{{event="{_escape_label_value(counter)}"}}'
+                f" {_as_int(value)}"
             )
         family("datampi_ranks_reporting", "gauge",
                "Ranks with at least one telemetry snapshot.")

@@ -1,0 +1,515 @@
+"""The repro doctor: stall signatures, automatic captures, the CLI.
+
+Acceptance invariants (both rank backends):
+
+* a deliberately skewed WordCount — every record routed to one hot
+  partition — produces a doctor.json whose TOP finding names the
+  straggler rank and attributes >= 50% of its samples to the merge
+  phase;
+* an injected stall (a severed worker) trips the frozen-phase-clock
+  signature and automatically captures all-rank stacks containing the
+  wedged shuffle-wait frame;
+* the telemetry endpoint file disappears on every mpidrun exit path,
+  including a raising job (the stale-endpoint regression).
+"""
+
+import importlib
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.core import mapreduce_job, mpidrun
+from repro.core.constants import MPI_D_Constants as K
+from repro.mpi import FaultInjector
+from repro.obs.doctor import Doctor, DoctorConfig, render_report
+from repro.obs.telemetry import TelemetryHub, build_snapshot
+
+from tests.core.helpers import (
+    FileCollector,
+    expected_wordcount,
+    wordcount_pieces,
+)
+
+_mpidrun_mod = importlib.import_module("repro.core.mpidrun")
+
+
+def _snap(rank, epoch=0, seq=0, wall=1.0, bytes_sent=0, pending=0, **over):
+    snap = build_snapshot(
+        rank=rank, epoch=epoch, seq=seq,
+        phases={"compute": wall},
+        shuffle={"bytes_sent": bytes_sent, "records_received": 0,
+                 "replays_dropped": 0, "duplicates_dropped": 0},
+        queue={"pending": pending, "bytes_in": 0},
+        tasks={"o": 0, "a": 0},
+    )
+    snap.update(over)
+    return snap
+
+
+@pytest.fixture
+def captured_hub(monkeypatch):
+    """Capture the driver-side hub that mpidrun wires up internally."""
+    captured = {}
+    orig = _mpidrun_mod._TelemetrySession.attach
+
+    def attach(self, runtime):
+        captured["hub"] = self.hub
+        orig(self, runtime)
+
+    monkeypatch.setattr(_mpidrun_mod._TelemetrySession, "attach", attach)
+    return captured
+
+
+# -- signatures, one by one -------------------------------------------------------
+
+
+class TestStallSignature:
+    def make(self, stall_seconds=5.0):
+        hub = TelemetryHub()
+        now = [0.0]
+        doctor = Doctor(
+            hub, DoctorConfig(stall_seconds=stall_seconds),
+            clock=lambda: now[0],
+        )
+        return hub, doctor, now
+
+    def test_frozen_phase_clock_with_live_snapshots_is_a_stall(self):
+        hub, doctor, now = self.make(stall_seconds=5.0)
+        hub.ingest(_snap(0, wall=1.0))
+        assert doctor.evaluate() == []  # first sighting just records progress
+        now[0] = 10.0
+        hub.ingest(_snap(0, seq=1, wall=1.0))  # fresh snapshot, same wall
+        (finding,) = doctor.evaluate()
+        assert finding["kind"] == "stall"
+        assert finding["rank"] == 0
+        assert "phase clock frozen for 10.0s" in finding["summary"]
+
+    def test_progress_clears_the_stall(self):
+        hub, doctor, now = self.make(stall_seconds=5.0)
+        hub.ingest(_snap(0, wall=1.0))
+        doctor.evaluate()
+        now[0] = 10.0
+        hub.ingest(_snap(0, seq=1, wall=1.0))
+        assert doctor.evaluate()
+        hub.ingest(_snap(0, seq=2, wall=2.0))  # the wait returned
+        assert doctor.evaluate() == []
+
+    def test_aged_out_rank_is_silent_not_stalled(self):
+        hub, doctor, now = self.make(stall_seconds=5.0)
+        stale = _snap(0, wall=1.0)
+        stale["ts"] = time.time() - 30  # last heard half a minute ago
+        hub.ingest(stale)
+        doctor.evaluate()
+        now[0] = 10.0
+        (finding,) = doctor.evaluate()
+        assert finding["kind"] == "silent"
+        assert "stopped reporting" in finding["summary"]
+
+    def test_done_ranks_never_stall(self):
+        hub, doctor, now = self.make(stall_seconds=5.0)
+        hub.ingest(_snap(0, wall=1.0))
+        doctor.evaluate()
+        hub.mark_done(0)
+        now[0] = 60.0
+        assert doctor.evaluate() == []
+
+
+class TestStragglerSignature:
+    def test_profile_attribution_names_the_hot_frame(self):
+        hub = TelemetryHub()
+        hub.ingest(_snap(0, wall=1.0, bytes_sent=100))
+        hub.ingest(_snap(1, wall=1.0, bytes_sent=100))
+        slow = _snap(2, wall=8.0, bytes_sent=800)
+        slow["profile"] = {
+            "samples": 100,
+            "phases": {"merge": 82, "communicate": 18},
+            "top": [["merge", "engine.run;sorter.merge", 60],
+                    ["communicate", "engine.run;plane.wait", 18]],
+        }
+        hub.ingest(slow)
+        doctor = Doctor(hub, DoctorConfig(straggler_threshold=2.0))
+        findings = doctor.evaluate()
+        assert findings[0]["kind"] == "straggler"  # outranks the skew hint
+        assert findings[0]["rank"] == 2
+        assert "82% of samples in sorter.merge under merge" in findings[0]["summary"]
+        assert "straggler score 8.0x" in findings[0]["summary"]
+        assert "shuffle skew 8.0x" in findings[0]["summary"]
+        details = findings[0]["details"]
+        assert details["source"] == "profile"
+        assert details["phase"] == "merge" and details["phase_pct"] == 82.0
+        # the skew hint rides along lower in the ranking
+        assert {f["kind"] for f in findings} >= {"straggler", "shuffle-skew"}
+
+    def test_phase_clock_fallback_without_a_profile(self):
+        hub = TelemetryHub()
+        hub.ingest(_snap(0, wall=1.0))
+        hub.ingest(_snap(1, wall=1.0))
+        hub.ingest(_snap(2, wall=9.0))  # no profile summary attached
+        doctor = Doctor(hub, DoctorConfig(straggler_threshold=2.0))
+        findings = [f for f in doctor.evaluate() if f["kind"] == "straggler"]
+        assert findings[0]["details"]["source"] == "phases"
+        assert findings[0]["details"]["phase"] == "compute"
+        assert "% of wall time in compute" in findings[0]["summary"]
+
+    def test_below_threshold_is_quiet(self):
+        hub = TelemetryHub()
+        hub.ingest(_snap(0, wall=1.0))
+        hub.ingest(_snap(1, wall=1.5))
+        doctor = Doctor(hub, DoctorConfig(straggler_threshold=2.0))
+        assert [f for f in doctor.evaluate() if f["kind"] == "straggler"] == []
+
+
+class TestQueueAndChurnSignatures:
+    def test_queue_growth(self):
+        hub = TelemetryHub()
+        hub.ingest(_snap(0, pending=50))
+        doctor = Doctor(hub, DoctorConfig(queue_depth=10))
+        findings = [f for f in doctor.evaluate() if f["kind"] == "queue-growth"]
+        assert findings and findings[0]["rank"] == 0
+        assert "50 envelopes pending" in findings[0]["summary"]
+
+    def test_redelivery_churn_fires_on_deltas_only(self):
+        class _ScriptedHub:
+            runtime = None
+
+            def __init__(self):
+                self.recovery = {"respawns": 1, "redelivered_frames": 40}
+
+            def per_rank(self):
+                return []
+
+            def rollups(self):
+                return {"recovery": dict(self.recovery)}
+
+            def latest(self):
+                return {}
+
+        hub = _ScriptedHub()
+        doctor = Doctor(hub, DoctorConfig())
+        (finding,) = doctor.evaluate()
+        assert finding["kind"] == "redelivery-churn"
+        assert "respawns +1" in finding["summary"]
+        assert doctor.evaluate() == []  # counters flat -> churn over
+
+
+# -- captures ---------------------------------------------------------------------
+
+
+class TestCapture:
+    def test_capture_ingests_local_dumps(self):
+        class _Runtime:
+            def request_stack_dump(self):
+                return [{"rank": 3, "epoch": 0, "pid": os.getpid(),
+                         "ts": time.time(),
+                         "threads": [{"name": "engine-3", "ident": 1,
+                                      "phase": "communicate",
+                                      "stack": ["shuffle.wait_complete:178"]}]}]
+
+        hub = TelemetryHub()
+        hub.bind_runtime(_Runtime())
+        doctor = Doctor(hub, DoctorConfig(capture_grace=0.0))
+        record = doctor.capture("unit test")
+        assert record["reason"] == "unit test"
+        assert [d["rank"] for d in record["dumps"]] == [3]
+        report = doctor.report()
+        assert report["captures"][-1]["dumps"][0]["rank"] == 3
+        rendered = render_report(report)
+        assert "shuffle.wait_complete:178" in rendered
+
+    def test_report_write_is_valid_json(self, tmp_path):
+        doctor = Doctor(TelemetryHub(), DoctorConfig(), job="wc")
+        doctor.evaluate()
+        path = doctor.write_report(str(tmp_path / "doctor.json"))
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+        assert doc["job"] == "wc"
+        assert doc["evaluations"] == 1
+        assert doc["thresholds"]["stall_seconds"] == DoctorConfig().stall_seconds
+        assert "no findings: all ranks healthy" in render_report(doc)
+
+
+# -- acceptance: skewed WordCount names the straggler -----------------------------
+
+
+def _hot_partitioner(key, value, num_partitions):
+    return 0  # every record lands on one partition: deliberate skew
+
+
+def _hot_reducer(word, counts, emit):
+    deadline = time.perf_counter() + 0.004
+    while time.perf_counter() < deadline:
+        pass  # the hot frame the profiler must attribute
+    emit(word, sum(counts))
+
+
+SKEW_TEXTS = [f"w{i:03d} x{i:03d}" for i in range(150)]  # 300 distinct keys
+
+
+class TestDoctorEndToEnd:
+    def test_skewed_wordcount_names_the_straggler(
+        self, tmp_path, launcher, captured_hub
+    ):
+        doctor_path = str(tmp_path / "doctor.json")
+        provider, mapper, _ = wordcount_pieces(SKEW_TEXTS)
+        out = FileCollector(tmp_path / "out")
+        job = mapreduce_job(
+            "skew-wc", provider, mapper, _hot_reducer, out,
+            o_tasks=3, a_tasks=3, partitioner=_hot_partitioner,
+            conf={
+                K.LAUNCHER: launcher,
+                K.TELEMETRY_ENABLED: True,
+                K.TELEMETRY_INTERVAL_SECONDS: 0.05,
+                K.DOCTOR_ENABLED: True,
+                K.DOCTOR_PATH: doctor_path,
+                K.DOCTOR_INTERVAL_SECONDS: 0.1,
+                K.PROFILE_ENABLED: True,
+                K.PROFILE_HZ: 200.0,
+            },
+        )
+        result = mpidrun(job, nprocs=3, timeout=120.0, raise_on_error=True)
+        assert result.success
+        assert out.merged() == expected_wordcount(SKEW_TEXTS)
+
+        # the hot partition made exactly one rank do all the merging
+        rows = captured_hub["hub"].per_rank()
+        expected_rank = max(rows, key=lambda r: r["wall_s"])["rank"]
+
+        with open(doctor_path, encoding="utf-8") as f:
+            report = json.load(f)
+        top = report["findings"][0]
+        assert top["kind"] == "straggler"
+        assert top["rank"] == expected_rank
+        assert top["details"]["source"] == "profile"
+        assert top["details"]["phase"] == "merge"
+        assert top["details"]["phase_pct"] >= 50.0
+        # the same report rides the JobResult
+        assert result.doctor["findings"][0]["kind"] == "straggler"
+        assert result.doctor_path == doctor_path
+
+    def test_injected_stall_triggers_stack_capture(
+        self, tmp_path, launcher
+    ):
+        doctor_path = str(tmp_path / "stall.doctor.json")
+        injector = FaultInjector()
+        injector.sever(2)  # worker 1: globals are driver=0, workers=1..n
+        provider, mapper, reducer = wordcount_pieces(
+            [f"s{i % 5} t{i % 3}" for i in range(40)]
+        )
+        job = mapreduce_job(
+            "stall-wc", provider, mapper, reducer,
+            FileCollector(tmp_path / "out"), o_tasks=2, a_tasks=2,
+            conf={
+                K.LAUNCHER: launcher,
+                K.TELEMETRY_ENABLED: True,
+                K.TELEMETRY_INTERVAL_SECONDS: 0.05,
+                K.DOCTOR_ENABLED: True,
+                K.DOCTOR_PATH: doctor_path,
+                K.DOCTOR_INTERVAL_SECONDS: 0.1,
+                K.DOCTOR_STALL_SECONDS: 1.0,
+                K.PLANE_TIMEOUT_SECONDS: 10.0,
+                # keep the heartbeat detector out of the way: the doctor
+                # must see the wedge, not a declared-dead worker
+                K.HEARTBEAT_DEADLINE_SECONDS: 120.0,
+            },
+        )
+        result = mpidrun(
+            job, nprocs=2, timeout=120.0, fault_injector=injector,
+            raise_on_error=False,
+        )
+        assert not result.success
+
+        with open(doctor_path, encoding="utf-8") as f:
+            report = json.load(f)
+        assert {f["kind"] for f in report["findings"]} & {"stall", "silent"}
+        captures = report["captures"]
+        assert captures, "the stall never triggered an automatic capture"
+        assert captures[0]["reason"] == "stall detected"
+        # the capture holds the wedged rank's live stack: parked inside
+        # the shuffle wait, in the communicate phase
+        wedged = [
+            thread
+            for capture in captures
+            for dump in capture["dumps"]
+            for thread in dump.get("threads", [])
+            if any("wait_complete" in frame for frame in thread["stack"])
+        ]
+        assert wedged, "no capture contains the wedged shuffle-wait frame"
+        assert any(t["phase"] == "communicate" for t in wedged)
+
+
+# -- the endpoint file dies with the job (all exit paths) -------------------------
+
+
+def _raise_o(ctx):
+    raise RuntimeError("boom")
+
+
+def _noop_a(ctx):
+    list(ctx.recv_iter())
+
+
+class TestEndpointCleanup:
+    def test_raising_job_leaves_no_endpoint_file(self, tmp_path, launcher):
+        from repro.core import DataMPIJob
+
+        endpoint = str(tmp_path / "job.endpoint")
+        job = DataMPIJob(
+            name="boom", o_fn=_raise_o, a_fn=_noop_a, o_tasks=2, a_tasks=2,
+            conf={
+                K.LAUNCHER: launcher,
+                K.TELEMETRY_ENABLED: True,
+                K.TELEMETRY_ENDPOINT_FILE: endpoint,
+            },
+        )
+        result = mpidrun(job, nprocs=2, timeout=120.0, raise_on_error=False)
+        assert not result.success
+        assert not os.path.exists(endpoint)
+
+    def test_raise_on_error_path_also_cleans_up(self, tmp_path, launcher):
+        from repro.common.errors import JobFailedError
+        from repro.core import DataMPIJob
+
+        endpoint = str(tmp_path / "job.endpoint")
+        job = DataMPIJob(
+            name="boom", o_fn=_raise_o, a_fn=_noop_a, o_tasks=2, a_tasks=2,
+            conf={
+                K.LAUNCHER: launcher,
+                K.TELEMETRY_ENABLED: True,
+                K.TELEMETRY_ENDPOINT_FILE: endpoint,
+            },
+        )
+        with pytest.raises(JobFailedError):
+            mpidrun(job, nprocs=2, timeout=120.0, raise_on_error=True)
+        assert not os.path.exists(endpoint)
+
+    def test_close_unlinks_even_when_server_stop_raises(self, tmp_path):
+        from repro.common.config import Configuration
+        from repro.core import DataMPIJob
+
+        endpoint = str(tmp_path / "job.endpoint")
+        job = DataMPIJob(
+            name="wc", o_fn=_noop_a, a_fn=_noop_a, o_tasks=1, a_tasks=1,
+        )
+        conf = Configuration({
+            K.TELEMETRY_ENABLED: True,
+            K.TELEMETRY_ENDPOINT_FILE: endpoint,
+        })
+        session = _mpidrun_mod._TelemetrySession(job, conf)
+        assert os.path.exists(endpoint)
+
+        def exploding_stop():
+            raise RuntimeError("stop failed")
+
+        session.server.stop, orig_stop = exploding_stop, session.server.stop
+        try:
+            session.close()  # must swallow the stop failure...
+        finally:
+            orig_stop()
+        assert not os.path.exists(endpoint)  # ...and still unlink
+
+
+# -- repro doctor (the CLI) -------------------------------------------------------
+
+
+@pytest.fixture
+def served_doctor(tmp_path):
+    """A live endpoint whose RPC target includes the doctor handlers."""
+    from repro.rpc.server import SocketRpcServer
+
+    hub = TelemetryHub(job="wc")
+    hub.ingest(_snap(0, wall=1.0))
+    hub.ingest(_snap(1, wall=1.0))
+    hub.ingest(_snap(2, wall=9.0))
+    doctor = Doctor(hub, DoctorConfig(capture_grace=0.0), job="wc")
+    doctor.evaluate()
+    server = SocketRpcServer(
+        {**hub.rpc_target(), **doctor.rpc_target()},
+        num_handlers=2, name="test-doctor",
+    )
+    server.start()
+    endpoint = tmp_path / "job.endpoint"
+    address = server.address
+    endpoint.write_text(json.dumps({
+        "address": list(address) if isinstance(address, tuple) else address,
+        "job": "wc", "pid": os.getpid(),
+    }))
+    yield str(endpoint), doctor
+    server.stop()
+
+
+class TestDoctorCli:
+    def test_doctor_renders_a_live_report(self, served_doctor, capsys):
+        from repro.cli import main
+
+        endpoint, _ = served_doctor
+        assert main(["doctor", endpoint]) == 0
+        out = capsys.readouterr().out
+        assert "doctor report — job wc" in out
+        assert "[straggler]" in out
+
+    def test_doctor_capture_flag_triggers_a_capture(self, served_doctor, capsys):
+        from repro.cli import main
+
+        endpoint, doctor = served_doctor
+        assert main(["doctor", endpoint, "--capture", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["captures"] and doc["captures"][-1]["reason"] == "rpc request"
+
+    def test_doctor_reads_a_written_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        doctor = Doctor(TelemetryHub(), DoctorConfig(), job="wc")
+        doctor.evaluate()
+        path = doctor.write_report(str(tmp_path / "doctor.json"))
+        assert main(["doctor", path]) == 0
+        assert "doctor report — job wc" in capsys.readouterr().out
+        out_path = str(tmp_path / "copy.json")
+        assert main(["doctor", path, "--out", out_path]) == 0
+        with open(out_path, encoding="utf-8") as f:
+            assert json.load(f)["job"] == "wc"
+
+    def test_doctor_fails_cleanly_without_a_target(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["doctor", str(tmp_path / "missing.endpoint")]) == 2
+        assert "no such endpoint file or socket" in capsys.readouterr().err
+
+    def test_doctor_explains_a_doctorless_job(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.rpc.server import SocketRpcServer
+
+        hub = TelemetryHub(job="wc")
+        server = SocketRpcServer(hub.rpc_target(), num_handlers=2,
+                                 name="test-no-doctor")
+        server.start()
+        endpoint = tmp_path / "job.endpoint"
+        address = server.address
+        endpoint.write_text(json.dumps({
+            "address": list(address) if isinstance(address, tuple) else address,
+            "job": "wc", "pid": os.getpid(),
+        }))
+        try:
+            assert main(["doctor", str(endpoint)]) == 2
+            assert "no diagnosis engine" in capsys.readouterr().err
+        finally:
+            server.stop()
+
+
+class TestDoctorFlag:
+    def test_doctor_flag_sets_the_conf(self):
+        from repro.cli import _extract_obs_flags
+
+        rest, conf, _ = _extract_obs_flags(["--doctor=/tmp/d.json", "-O", "2"])
+        assert rest == ["-O", "2"]
+        assert conf[K.DOCTOR_ENABLED] is True
+        assert conf[K.DOCTOR_PATH] == "/tmp/d.json"
+
+    def test_bare_doctor_flag_enables_with_default_path(self):
+        from repro.cli import _extract_obs_flags
+
+        _, conf, _ = _extract_obs_flags(["--doctor"])
+        assert conf[K.DOCTOR_ENABLED] is True
+        assert K.DOCTOR_PATH not in conf

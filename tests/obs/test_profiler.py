@@ -1,0 +1,367 @@
+"""The sampling profiler: registry, sampler, shards, exporters, flame CLI.
+
+Tentpole invariants:
+
+* samples taken while a registered thread burns inside a function are
+  attributed to that thread's rank under its declared phase bucket;
+* the registry works with sampling off (live stack dumps for the DUMP
+  frame / doctor captures, including transport queue stats);
+* worker ``.prof-`` shards round-trip through the merge without being
+  picked up by the trace-shard glob;
+* a profiled job folds one ``profile`` record per rank into its
+  journal on BOTH backends, and ``repro flame`` renders/exports them.
+"""
+
+import json
+import os
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.core import DataMPIJob, mpidrun
+from repro.core.constants import MPI_D_Constants as K
+from repro.obs import profiler as profiler_mod
+from repro.obs.journal import JournalWriter, merge_shards, read_journal
+from repro.obs.profiler import (
+    DEFAULT_PHASE,
+    StackSampler,
+    collapse_stack,
+    describe_stack,
+    merge_profile_shards,
+    to_collapsed,
+    to_speedscope,
+    write_profile_shard,
+)
+
+
+def _burn_until(stop: threading.Event) -> None:
+    while not stop.is_set():
+        sum(i for i in range(50))
+
+
+@pytest.fixture
+def burning_thread():
+    """A live thread spinning inside ``_burn_until``; yields its ident."""
+    stop = threading.Event()
+    thread = threading.Thread(target=_burn_until, args=(stop,), daemon=True)
+    thread.start()
+    yield thread.ident
+    stop.set()
+    thread.join(timeout=5)
+
+
+# -- stack helpers ----------------------------------------------------------------
+
+
+class TestStackShapes:
+    def test_collapse_is_root_first_and_module_dot_function(self):
+        collapsed = collapse_stack(sys._getframe())
+        names = collapsed.split(";")
+        # leaf-most frame is this very test function
+        assert names[-1].endswith("test_profiler.test_collapse_is_root_first_and_module_dot_function")
+        assert all("." in name for name in names)
+
+    def test_describe_carries_line_numbers(self):
+        described = describe_stack(sys._getframe())
+        assert described[-1].startswith("test_profiler.test_describe_carries_line_numbers:")
+        assert int(described[-1].rsplit(":", 1)[1]) > 0
+
+
+# -- the sampler ------------------------------------------------------------------
+
+
+class TestStackSampler:
+    def test_samples_attribute_to_rank_and_phase(self, burning_thread):
+        sampler = StackSampler()
+        sampler.register_thread(7, ident=burning_thread, phase="merge")
+        for _ in range(20):
+            sampler.sample_once()
+        profile = sampler.collect(7, hz=100.0)
+        assert profile["rank"] == 7
+        assert profile["hz"] == 100.0
+        assert profile["samples"] == 20
+        assert set(profile["stacks"]) == {"merge"}
+        assert any(
+            "_burn_until" in stack for stack in profile["stacks"]["merge"]
+        )
+
+    def test_set_phase_rebuckets_subsequent_samples(self, burning_thread):
+        sampler = StackSampler()
+        sampler.register_thread(3, ident=burning_thread)  # default phase
+        sampler.sample_once()
+        sampler.set_phase("communicate", ident=burning_thread)
+        sampler.sample_once()
+        profile = sampler.collect(3)
+        assert set(profile["stacks"]) == {DEFAULT_PHASE, "communicate"}
+
+    def test_collect_pops_the_aggregate(self, burning_thread):
+        sampler = StackSampler()
+        sampler.register_thread(1, ident=burning_thread)
+        sampler.sample_once()
+        assert sampler.collect(1)["samples"] == 1
+        assert sampler.collect(1)["samples"] == 0  # popped
+
+    def test_snapshot_for_is_non_destructive_and_ranked(self, burning_thread):
+        sampler = StackSampler()
+        sampler.register_thread(4, ident=burning_thread, phase="compute")
+        for _ in range(5):
+            sampler.sample_once()
+        snap = sampler.snapshot_for(4)
+        assert snap["samples"] == 5
+        assert snap["phases"] == {"compute": 5}
+        phase, stack, count = snap["top"][0]
+        assert phase == "compute" and count >= 1 and "_burn_until" in stack
+        assert sampler.collect(4)["samples"] == 5  # snapshot did not pop
+        assert sampler.snapshot_for(4) is None  # nothing left -> no summary
+
+    def test_unregistered_threads_are_invisible(self, burning_thread):
+        sampler = StackSampler()
+        sampler.register_thread(2, ident=burning_thread)
+        sampler.unregister_thread(ident=burning_thread)
+        sampler.sample_once()
+        assert sampler.collect(2)["samples"] == 0
+
+    def test_acquire_release_refcount(self):
+        sampler = StackSampler()
+        assert not sampler.running
+        sampler.acquire(10.0)
+        sampler.acquire(50.0)
+        assert sampler.running
+        assert sampler.hz == 50.0  # max requested rate wins
+        sampler.release()
+        assert sampler.running  # one holder left
+        sampler.release()
+        assert not sampler.running
+        sampler.release()  # over-release is a no-op
+
+    def test_background_loop_actually_samples(self, burning_thread):
+        sampler = StackSampler()
+        sampler.register_thread(9, ident=burning_thread, phase="compute")
+        sampler.acquire(200.0)
+        try:
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                if sampler.snapshot_for(9):
+                    break
+                time.sleep(0.01)
+        finally:
+            sampler.release()
+        profile = sampler.collect(9)
+        assert profile["samples"] > 0
+        assert sampler.ticks > 0
+        assert sampler.sample_cost_seconds > 0.0
+
+    def test_dump_stacks_reports_live_threads_and_queues(self, burning_thread):
+        sampler = StackSampler()
+        sampler.register_thread(5, epoch=1, ident=burning_thread, phase="merge")
+        sampler.register_queue(5, 1, lambda: {"pending": 3, "bytes_in": 64})
+        dumps = sampler.dump_stacks()
+        assert len(dumps) == 1
+        dump = dumps[0]
+        assert dump["rank"] == 5 and dump["epoch"] == 1
+        assert dump["pid"] == os.getpid()
+        assert dump["queue"] == {"pending": 3, "bytes_in": 64}
+        (thread,) = dump["threads"]
+        assert thread["phase"] == "merge"
+        assert any("_burn_until" in frame for frame in thread["stack"])
+
+    def test_dump_works_with_sampling_off(self, burning_thread):
+        # the registry is always on: doctor captures must work unprofiled
+        sampler = StackSampler()
+        sampler.register_thread(0, ident=burning_thread)
+        assert not sampler.running
+        assert sampler.dump_stacks()[0]["threads"]
+
+
+# -- shards -----------------------------------------------------------------------
+
+
+class TestProfileShards:
+    def test_round_trip_and_cleanup(self, tmp_path):
+        journal = str(tmp_path / "job.trace.jsonl")
+        shard = f"{journal}.a1.prof-g1.jsonl"
+        write_profile_shard(shard, {"rank": 0, "epoch": 0, "samples": 2,
+                                    "hz": 50.0, "stacks": {"compute": {"a.b": 2}}})
+        write_profile_shard(shard, {"rank": 1, "epoch": 0, "samples": 1,
+                                    "hz": 50.0, "stacks": {"merge": {"c.d": 1}}})
+        with open(shard, "a", encoding="utf-8") as fh:
+            fh.write('{"torn')  # crashed-worker tail must be tolerated
+        profiles = merge_profile_shards(journal)
+        assert [p["rank"] for p in profiles] == [0, 1]
+        assert not os.path.exists(shard)  # consumed
+
+    def test_prof_shards_do_not_feed_the_trace_glob(self, tmp_path):
+        journal = str(tmp_path / "job.trace.jsonl")
+        write_profile_shard(f"{journal}.a1.prof-g1.jsonl",
+                            {"rank": 0, "stacks": {}})
+        assert merge_shards(journal) == []  # trace merge must not eat it
+        assert merge_profile_shards(journal)  # still there for the profiler
+
+
+# -- exporters --------------------------------------------------------------------
+
+
+PROFILES = [
+    {"rank": 0, "epoch": 0, "hz": 50.0, "samples": 3,
+     "stacks": {"compute": {"engine.run;app.o_fn": 2},
+                "communicate": {"engine.run;plane.wait_complete": 1}}},
+    {"rank": 1, "epoch": 2, "hz": 50.0, "samples": 1,
+     "stacks": {"merge": {"engine.run;sorter.merge": 1}}},
+]
+
+
+class TestExporters:
+    def test_collapsed_lines_carry_rank_phase_and_count(self):
+        text = to_collapsed(PROFILES)
+        lines = text.strip().splitlines()
+        assert "rank0;communicate;engine.run;plane.wait_complete 1" in lines
+        assert "rank0;compute;engine.run;app.o_fn 2" in lines
+        # a respawned incarnation keeps its epoch in the prefix
+        assert "rank1e2;merge;engine.run;sorter.merge 1" in lines
+
+    def test_speedscope_document_shape(self):
+        doc = to_speedscope(PROFILES, name="wc")
+        assert doc["$schema"].endswith("file-format-schema.json")
+        assert len(doc["profiles"]) == 2
+        prof = doc["profiles"][0]
+        assert prof["type"] == "sampled"
+        assert len(prof["samples"]) == len(prof["weights"])
+        # weights are seconds: count / hz
+        assert sum(prof["weights"]) == pytest.approx(3 / 50.0)
+        nframes = len(doc["shared"]["frames"])
+        for sample in prof["samples"]:
+            assert all(0 <= idx < nframes for idx in sample)
+
+
+# -- a profiled job end-to-end ----------------------------------------------------
+
+
+def _busy(seconds: float) -> None:
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        sum(i for i in range(100))
+
+
+class TestProfiledJob:
+    def test_profiles_land_in_the_journal(self, tmp_path, launcher):
+        journal_path = str(tmp_path / "prof.trace.jsonl")
+
+        def o_fn(ctx):
+            _busy(0.3)
+            for i in range(ctx.rank, 60, ctx.o_size):
+                ctx.send(f"w{i % 7}", 1)
+
+        def a_fn(ctx):
+            list(ctx.recv_iter())
+            _busy(0.3)
+
+        job = DataMPIJob(
+            name="prof-wc", o_fn=o_fn, a_fn=a_fn, o_tasks=2, a_tasks=2,
+            conf={
+                K.LAUNCHER: launcher,
+                K.TRACE_ENABLED: True,
+                K.TRACE_PATH: journal_path,
+                K.PROFILE_ENABLED: True,
+                K.PROFILE_HZ: 200.0,
+            },
+        )
+        result = mpidrun(job, nprocs=2, timeout=120.0, raise_on_error=True)
+        assert result.success
+        journal = read_journal(journal_path)
+        ranks = {p["rank"] for p in journal.profiles}
+        assert ranks == {0, 1}
+        assert all(p["samples"] > 0 for p in journal.profiles)
+        assert all(p["hz"] == 200.0 for p in journal.profiles)
+        # the deliberate busy work is attributed to engine phases
+        all_phases = set()
+        for profile in journal.profiles:
+            all_phases.update(profile["stacks"])
+        assert all_phases & {"compute", "merge"}
+        # no stray shard files survive the merge
+        assert not [
+            name for name in os.listdir(tmp_path) if ".prof-" in name
+        ]
+
+
+# -- repro flame ------------------------------------------------------------------
+
+
+@pytest.fixture
+def profiled_journal(tmp_path):
+    path = str(tmp_path / "flame.trace.jsonl")
+    with JournalWriter(path) as writer:
+        writer.write_meta(job="wc", nprocs=2, mode="mapreduce")
+        for profile in PROFILES:
+            writer.write_profile(profile)
+        writer.write_summary({"workers": []})
+    return path
+
+
+class TestFlameCli:
+    def test_flame_summarizes_and_exports(self, profiled_journal, tmp_path, capsys):
+        from repro.cli import main
+
+        out = str(tmp_path / "wc.collapsed")
+        scope = str(tmp_path / "wc.speedscope.json")
+        code = main(["flame", profiled_journal, "--out", out,
+                     "--speedscope", scope])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "rank 0: 3 samples @ 50 Hz" in printed
+        assert "rank 1 (epoch 2)" in printed
+        with open(out, encoding="utf-8") as f:
+            lines = f.read().strip().splitlines()
+        assert "rank0;compute;engine.run;app.o_fn 2" in lines
+        with open(scope, encoding="utf-8") as f:
+            doc = json.load(f)
+        assert doc["name"] == "wc"
+        assert len(doc["profiles"]) == 2
+
+    def test_flame_rank_and_phase_filters(self, profiled_journal, capsys):
+        from repro.cli import main
+
+        assert main(["flame", profiled_journal, "--rank", "0"]) == 0
+        printed = capsys.readouterr().out
+        assert "rank 0" in printed and "rank 1" not in printed
+        assert main(["flame", profiled_journal, "--phase", "merge"]) == 0
+        printed = capsys.readouterr().out
+        assert "sorter.merge" in printed and "app.o_fn" not in printed
+
+    def test_flame_fails_cleanly_without_profiles(self, tmp_path, capsys):
+        from repro.cli import main
+
+        empty = str(tmp_path / "empty.trace.jsonl")
+        with JournalWriter(empty) as writer:
+            writer.write_meta(job="wc", nprocs=1, mode="common")
+        assert main(["flame", empty]) == 2
+        assert "no matching profiles" in capsys.readouterr().err
+        assert main(["flame", str(tmp_path / "missing.jsonl")]) == 2
+
+
+# -- launch flag ------------------------------------------------------------------
+
+
+class TestProfileFlag:
+    def test_profile_flag_sets_the_conf(self):
+        from repro.cli import _extract_obs_flags
+
+        rest, conf, _ = _extract_obs_flags(["--profile=25", "-O", "2"])
+        assert rest == ["-O", "2"]
+        assert conf[K.PROFILE_ENABLED] is True
+        assert conf[K.PROFILE_HZ] == 25.0
+
+    def test_bare_profile_flag_uses_the_default_rate(self):
+        from repro.cli import _extract_obs_flags
+
+        _, conf, _ = _extract_obs_flags(["--profile"])
+        assert conf[K.PROFILE_ENABLED] is True
+        assert K.PROFILE_HZ not in conf
+
+    def test_bad_profile_rate_is_rejected(self):
+        from repro.cli import _extract_obs_flags
+        from repro.common.errors import DataMPIError
+
+        with pytest.raises(DataMPIError):
+            _extract_obs_flags(["--profile=fast"])

@@ -503,3 +503,91 @@ class TestTelemetryFlag:
         _, conf, _ = _extract_obs_flags(["--telemetry"])
         assert conf[K.TELEMETRY_ENABLED] is True
         assert K.TELEMETRY_ENDPOINT_FILE not in conf
+
+
+# -- exposition edge cases --------------------------------------------------------
+
+_EXPOSITION_LINE = __import__("re").compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? \S+$"
+)
+
+
+class TestPrometheusEdgeCases:
+    """Exposition format 0.0.4: escaping, empty hubs, NaN/inf guards."""
+
+    def test_label_values_are_escaped(self):
+        hub = TelemetryHub(job='we"ird\\job\nname')
+        text = hub.prometheus_text()
+        assert 'datampi_job_info{job="we\\"ird\\\\job\\nname"} 1' in text
+        assert "\n\n" not in text.strip()  # the raw newline did not leak
+
+    def test_phase_label_escaping(self):
+        hub = TelemetryHub()
+        hub.ingest(_snap(0, phases={'ph"ase\\x\n': 1.0}))
+        text = hub.prometheus_text()
+        line = next(
+            l for l in text.splitlines() if l.startswith("datampi_phase_seconds")
+        )
+        assert 'phase="ph\\"ase\\\\x\\n"' in line
+
+    def test_empty_hub_still_emits_a_parsable_exposition(self):
+        text = TelemetryHub().prometheus_text()
+        assert "# HELP datampi_job_info" in text
+        for line in text.splitlines():
+            if line.startswith("#") or not line:
+                continue
+            assert _EXPOSITION_LINE.match(line), f"malformed line: {line!r}"
+
+    def test_nan_and_inf_render_as_prometheus_spellings(self):
+        hub = TelemetryHub()
+        snap = _snap(0, phases={"compute": float("nan")})
+        snap["process"] = {"cpu_seconds": float("inf"),
+                           "rss_bytes": float("-inf")}
+        hub.ingest(snap)
+        text = hub.prometheus_text()
+        phase_line = next(
+            l for l in text.splitlines()
+            if l.startswith("datampi_phase_seconds")
+        )
+        assert phase_line.endswith(" NaN")
+        cpu_line = next(
+            l for l in text.splitlines()
+            if l.startswith("datampi_process_cpu_seconds_total")
+        )
+        assert cpu_line.endswith(" +Inf")
+        rss_line = next(
+            l for l in text.splitlines()
+            if l.startswith("datampi_process_rss_bytes")
+        )
+        assert rss_line.endswith(" -Inf")
+        # every non-comment line still parses
+        for line in text.splitlines():
+            if line.startswith("#") or not line:
+                continue
+            assert _EXPOSITION_LINE.match(line), f"malformed line: {line!r}"
+
+    def test_nan_counters_fall_back_to_zero_integers(self):
+        hub = TelemetryHub()
+        snap = _snap(0)
+        snap["shuffle"] = {"bytes_sent": float("nan"),
+                           "records_received": "not-a-number"}
+        snap["queue"] = {"pending": float("inf"), "bytes_in": None}
+        hub.ingest(snap)
+        text = hub.prometheus_text()
+        for name in ("datampi_shuffle_bytes_sent_total",
+                     "datampi_shuffle_records_received_total",
+                     "datampi_queue_pending", "datampi_queue_bytes"):
+            line = next(l for l in text.splitlines() if l.startswith(name))
+            assert line.endswith(" 0"), line  # counters stay integral
+        row = hub.per_rank()[0]
+        assert row["bytes_sent"] == 0 and row["pending"] == 0
+
+    def test_weird_rank_table_values_do_not_break_top(self):
+        from repro.cli import _format_top_table
+
+        hub = TelemetryHub()
+        snap = _snap(3)
+        snap["shuffle"] = {"bytes_sent": float("nan"), "records_received": 0}
+        hub.ingest(snap)
+        rendered = _format_top_table(hub.per_rank(), hub.rollups())
+        assert "   3 " in rendered
